@@ -1,0 +1,251 @@
+//! Finite-difference gradient checking.
+//!
+//! Used pervasively by this crate's test suite: every op's analytic
+//! backward is validated against a central finite difference of a scalar
+//! functional of the forward output.
+
+use crate::tape::{NodeId, Tape};
+use skipnode_tensor::Matrix;
+
+/// Check the analytic gradient of `build` at `input` against central
+/// finite differences.
+///
+/// `build(tape, x_id)` must construct a graph rooted at some output node
+/// and return it; the scalar functional is `0.5 * Σ out²` so the seed
+/// gradient is simply `out`.
+///
+/// Returns the maximum absolute deviation between analytic and numeric
+/// gradients. Callers assert a tolerance.
+pub fn finite_difference_check(
+    input: &Matrix,
+    eps: f32,
+    build: impl Fn(&mut Tape, NodeId) -> NodeId,
+) -> f32 {
+    // Analytic pass.
+    let mut tape = Tape::new();
+    let x = tape.param(input.clone());
+    let out = build(&mut tape, x);
+    let seed = tape.value(out).clone();
+    let grads = tape.backward(out, seed);
+    let analytic = grads[x].clone();
+
+    // Numeric pass.
+    let scalar = |m: &Matrix| -> f64 {
+        let mut tape = Tape::new();
+        let x = tape.constant(m.clone());
+        let out = build(&mut tape, x);
+        0.5 * skipnode_tensor::l2_norm_sq(tape.value(out))
+    };
+    let mut worst = 0.0f32;
+    for i in 0..input.len() {
+        let mut plus = input.clone();
+        plus.as_mut_slice()[i] += eps;
+        let mut minus = input.clone();
+        minus.as_mut_slice()[i] -= eps;
+        let fd = ((scalar(&plus) - scalar(&minus)) / (2.0 * eps as f64)) as f32;
+        let dev = (fd - analytic.as_slice()[i]).abs();
+        worst = worst.max(dev);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skipnode_sparse::gcn_adjacency;
+    use skipnode_tensor::SplitRng;
+    use std::sync::Arc;
+
+    fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        SplitRng::new(seed).uniform_matrix(rows, cols, -1.0, 1.0)
+    }
+
+    #[test]
+    fn matmul_gradient() {
+        let x = rand_matrix(4, 3, 1);
+        let w = rand_matrix(3, 5, 2);
+        let dev = finite_difference_check(&x, 1e-2, |t, xid| {
+            let wid = t.constant(w.clone());
+            t.matmul(xid, wid)
+        });
+        assert!(dev < 2e-2, "dev {dev}");
+    }
+
+    #[test]
+    fn matmul_weight_gradient() {
+        // Check gradient w.r.t. the second operand as well.
+        let x = rand_matrix(4, 3, 3);
+        let w = rand_matrix(3, 2, 4);
+        let dev = finite_difference_check(&w, 1e-2, |t, wid| {
+            let xid = t.constant(x.clone());
+            t.matmul(xid, wid)
+        });
+        assert!(dev < 2e-2, "dev {dev}");
+    }
+
+    #[test]
+    fn spmm_gradient() {
+        let adj = Arc::new(gcn_adjacency(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]));
+        let x = rand_matrix(5, 3, 5);
+        let dev = finite_difference_check(&x, 1e-2, |t, xid| {
+            let a = t.register_adj(adj.clone());
+            t.spmm(a, xid)
+        });
+        assert!(dev < 2e-2, "dev {dev}");
+    }
+
+    #[test]
+    fn relu_gradient() {
+        // Keep inputs away from the kink.
+        let mut x = rand_matrix(6, 4, 6);
+        x.map_in_place(|v| if v.abs() < 0.2 { v + 0.4 } else { v });
+        let dev = finite_difference_check(&x, 1e-3, |t, xid| t.relu(xid));
+        assert!(dev < 2e-2, "dev {dev}");
+    }
+
+    #[test]
+    fn add_scaled_gradient() {
+        let x = rand_matrix(3, 3, 7);
+        let y = rand_matrix(3, 3, 8);
+        let dev = finite_difference_check(&x, 1e-2, |t, xid| {
+            let yid = t.constant(y.clone());
+            t.add_scaled(xid, yid, -0.7)
+        });
+        assert!(dev < 2e-2, "dev {dev}");
+    }
+
+    #[test]
+    fn add_bias_gradient_wrt_bias() {
+        let x = rand_matrix(5, 3, 9);
+        let b = rand_matrix(1, 3, 10);
+        let dev = finite_difference_check(&b, 1e-2, |t, bid| {
+            let xid = t.constant(x.clone());
+            t.add_bias(xid, bid)
+        });
+        assert!(dev < 2e-2, "dev {dev}");
+    }
+
+    #[test]
+    fn row_combine_gradient_through_both_branches() {
+        let x = rand_matrix(6, 3, 11);
+        let mask = [true, false, true, false, false, true];
+        // conv branch = x*W, skip branch = x: both depend on x.
+        let w = rand_matrix(3, 3, 12);
+        let dev = finite_difference_check(&x, 1e-2, |t, xid| {
+            let wid = t.constant(w.clone());
+            let conv = t.matmul(xid, wid);
+            t.row_combine(conv, xid, &mask)
+        });
+        assert!(dev < 2e-2, "dev {dev}");
+    }
+
+    #[test]
+    fn concat_cols_gradient() {
+        let x = rand_matrix(4, 3, 13);
+        let w = rand_matrix(3, 2, 14);
+        let dev = finite_difference_check(&x, 1e-2, |t, xid| {
+            let wid = t.constant(w.clone());
+            let h = t.matmul(xid, wid);
+            t.concat_cols(&[xid, h])
+        });
+        assert!(dev < 2e-2, "dev {dev}");
+    }
+
+    #[test]
+    fn max_pool_gradient_away_from_ties() {
+        let mut a = rand_matrix(4, 4, 15);
+        a.map_in_place(|v| v * 2.0);
+        let b = rand_matrix(4, 4, 16);
+        let dev = finite_difference_check(&a, 1e-3, |t, aid| {
+            let bid = t.constant(b.clone());
+            t.max_pool(&[aid, bid])
+        });
+        assert!(dev < 2e-2, "dev {dev}");
+    }
+
+    #[test]
+    fn pairnorm_gradient() {
+        let x = rand_matrix(6, 4, 17);
+        let dev = finite_difference_check(&x, 1e-2, |t, xid| t.pairnorm(xid, 1.0));
+        assert!(dev < 3e-2, "dev {dev}");
+    }
+
+    #[test]
+    fn hadamard_gradient() {
+        let x = rand_matrix(3, 4, 18);
+        let y = rand_matrix(3, 4, 19);
+        let dev = finite_difference_check(&x, 1e-2, |t, xid| {
+            let yid = t.constant(y.clone());
+            t.hadamard(xid, yid)
+        });
+        assert!(dev < 2e-2, "dev {dev}");
+    }
+
+    #[test]
+    fn lin_comb_gradient() {
+        let x = rand_matrix(3, 3, 20);
+        let dev = finite_difference_check(&x, 1e-2, |t, xid| {
+            let sq = t.hadamard(xid, xid);
+            t.lin_comb(&[(xid, 0.3), (sq, 0.7)])
+        });
+        assert!(dev < 2e-2, "dev {dev}");
+    }
+
+    #[test]
+    fn weighted_sum_gradient_wrt_weights() {
+        let x1 = rand_matrix(4, 3, 21);
+        let x2 = rand_matrix(4, 3, 22);
+        let w = rand_matrix(1, 2, 23);
+        let dev = finite_difference_check(&w, 1e-2, |t, wid| {
+            let a = t.constant(x1.clone());
+            let b = t.constant(x2.clone());
+            t.weighted_sum(&[a, b], wid)
+        });
+        assert!(dev < 2e-2, "dev {dev}");
+    }
+
+    #[test]
+    fn weighted_sum_gradient_wrt_inputs() {
+        let x2 = rand_matrix(4, 3, 24);
+        let w = rand_matrix(1, 2, 25);
+        let x1 = rand_matrix(4, 3, 26);
+        let dev = finite_difference_check(&x1, 1e-2, |t, xid| {
+            let b = t.constant(x2.clone());
+            let wid = t.constant(w.clone());
+            t.weighted_sum(&[xid, b], wid)
+        });
+        assert!(dev < 2e-2, "dev {dev}");
+    }
+
+    #[test]
+    fn edge_score_gradient() {
+        let h = rand_matrix(5, 3, 27);
+        let edges = [(0usize, 1usize), (1, 2), (3, 4), (0, 4)];
+        let dev = finite_difference_check(&h, 1e-2, |t, hid| t.edge_score(hid, &edges));
+        assert!(dev < 2e-2, "dev {dev}");
+    }
+
+    #[test]
+    fn deep_composite_gradient() {
+        // A miniature 3-layer GCN with SkipNode and PairNorm: the ops must
+        // compose correctly end-to-end.
+        let adj = Arc::new(gcn_adjacency(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]));
+        let x = rand_matrix(6, 4, 28);
+        let w1 = rand_matrix(4, 4, 29);
+        let w2 = rand_matrix(4, 4, 30);
+        let mask = [false, true, false, true, true, false];
+        let dev = finite_difference_check(&x, 1e-2, |t, xid| {
+            let a = t.register_adj(adj.clone());
+            let w1id = t.constant(w1.clone());
+            let w2id = t.constant(w2.clone());
+            let h = t.spmm(a, xid);
+            let h = t.matmul(h, w1id);
+            let h = t.relu(h);
+            let h = t.row_combine(h, xid, &mask);
+            let h = t.pairnorm(h, 1.0);
+            let h = t.spmm(a, h);
+            t.matmul(h, w2id)
+        });
+        assert!(dev < 5e-2, "dev {dev}");
+    }
+}

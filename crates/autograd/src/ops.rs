@@ -1,0 +1,264 @@
+//! Forward op constructors on [`Tape`].
+
+use crate::tape::{pairnorm_forward, AdjId, NodeId, Op, Tape};
+use skipnode_tensor::{Matrix, SplitRng};
+
+impl Tape {
+    fn rg(&self, id: NodeId) -> bool {
+        self.requires_grad(id)
+    }
+
+    /// Dense product `a * b`.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let value = self.value(a).matmul(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(value, Op::MatMul(a, b), rg)
+    }
+
+    /// Sparse propagation `Ã * x`.
+    pub fn spmm(&mut self, adj: AdjId, x: NodeId) -> NodeId {
+        let value = self.adjs[adj.0].mat.spmm(self.value(x));
+        let rg = self.rg(x);
+        self.push(value, Op::Spmm { adj: adj.0, x }, rg)
+    }
+
+    /// `a + b`.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.add_scaled(a, b, 1.0)
+    }
+
+    /// `a + c * b`.
+    pub fn add_scaled(&mut self, a: NodeId, b: NodeId, c: f32) -> NodeId {
+        assert_eq!(
+            self.value(a).shape(),
+            self.value(b).shape(),
+            "add_scaled shape mismatch"
+        );
+        let mut value = self.value(a).clone();
+        value.add_scaled(self.value(b), c);
+        let rg = self.rg(a) || self.rg(b);
+        self.push(value, Op::AddScaled(a, b, c), rg)
+    }
+
+    /// `c * x`.
+    pub fn scale(&mut self, x: NodeId, c: f32) -> NodeId {
+        let value = self.value(x) * c;
+        let rg = self.rg(x);
+        self.push(value, Op::Scale(x, c), rg)
+    }
+
+    /// Broadcast bias add: `x (n×d) + bias (1×d)`.
+    pub fn add_bias(&mut self, x: NodeId, bias: NodeId) -> NodeId {
+        let b = self.value(bias);
+        assert_eq!(b.rows(), 1, "bias must be a row vector");
+        assert_eq!(b.cols(), self.value(x).cols(), "bias width mismatch");
+        let mut value = self.value(x).clone();
+        for r in 0..value.rows() {
+            let row = value.row_mut(r);
+            for (v, &bv) in row.iter_mut().zip(self.nodes[bias.0].value.row(0)) {
+                *v += bv;
+            }
+        }
+        let rg = self.rg(x) || self.rg(bias);
+        self.push(value, Op::AddBias(x, bias), rg)
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&mut self, x: NodeId) -> NodeId {
+        let value = self.value(x).relu();
+        let rg = self.rg(x);
+        self.push(value, Op::Relu(x), rg)
+    }
+
+    /// Inverted dropout with rate `p` (no-op when `p == 0`).
+    pub fn dropout(&mut self, x: NodeId, p: f64, rng: &mut SplitRng) -> NodeId {
+        assert!((0.0..1.0).contains(&p), "dropout rate must be in [0,1)");
+        if p == 0.0 {
+            return x;
+        }
+        let scale = (1.0 / (1.0 - p)) as f32;
+        let len = self.value(x).len();
+        let mask: Vec<f32> = (0..len)
+            .map(|_| if rng.bernoulli(p) { 0.0 } else { scale })
+            .collect();
+        let mut value = self.value(x).clone();
+        for (v, &m) in value.as_mut_slice().iter_mut().zip(&mask) {
+            *v *= m;
+        }
+        let rg = self.rg(x);
+        self.push(value, Op::Mask { x, mask }, rg)
+    }
+
+    /// Row-level dropout (GRAND's random propagation masks whole node
+    /// feature rows), with inverted scaling.
+    pub fn dropout_rows(&mut self, x: NodeId, p: f64, rng: &mut SplitRng) -> NodeId {
+        assert!((0.0..1.0).contains(&p), "dropout rate must be in [0,1)");
+        if p == 0.0 {
+            return x;
+        }
+        let scale = (1.0 / (1.0 - p)) as f32;
+        let rows = self.value(x).rows();
+        let factors: Vec<f32> = (0..rows)
+            .map(|_| if rng.bernoulli(p) { 0.0 } else { scale })
+            .collect();
+        let mut value = self.value(x).clone();
+        for (r, &f) in factors.iter().enumerate() {
+            for v in value.row_mut(r) {
+                *v *= f;
+            }
+        }
+        let rg = self.rg(x);
+        self.push(value, Op::RowMask { x, factors }, rg)
+    }
+
+    /// SkipNode combine (Eq. 4): row `i` of the output is `skip`'s row when
+    /// `take_skip[i]`, else `conv`'s row. Gradients route through whichever
+    /// branch supplied the row — this is what lets gradients bypass deep
+    /// stacks of weight multiplications.
+    pub fn row_combine(&mut self, conv: NodeId, skip: NodeId, take_skip: &[bool]) -> NodeId {
+        assert_eq!(
+            self.value(conv).shape(),
+            self.value(skip).shape(),
+            "row_combine shape mismatch"
+        );
+        assert_eq!(
+            take_skip.len(),
+            self.value(conv).rows(),
+            "row_combine mask length"
+        );
+        let mut value = self.value(conv).clone();
+        for (r, &take) in take_skip.iter().enumerate() {
+            if take {
+                let src = self.nodes[skip.0].value.row(r).to_vec();
+                value.row_mut(r).copy_from_slice(&src);
+            }
+        }
+        let rg = self.rg(conv) || self.rg(skip);
+        self.push(
+            value,
+            Op::RowCombine {
+                conv,
+                skip,
+                take_skip: take_skip.to_vec(),
+            },
+            rg,
+        )
+    }
+
+    /// Column-wise concatenation (JKNet's layer aggregation).
+    pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "concat of zero parts");
+        let mats: Vec<&Matrix> = parts.iter().map(|&p| self.value(p)).collect();
+        let value = Matrix::hcat(&mats);
+        let rg = parts.iter().any(|&p| self.rg(p));
+        self.push(value, Op::ConcatCols(parts.to_vec()), rg)
+    }
+
+    /// Elementwise max across same-shaped inputs (JKNet max aggregation).
+    pub fn max_pool(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "max_pool of zero parts");
+        let shape = self.value(parts[0]).shape();
+        for &p in parts {
+            assert_eq!(self.value(p).shape(), shape, "max_pool shape mismatch");
+        }
+        let len = self.value(parts[0]).len();
+        let mut value = self.value(parts[0]).clone();
+        let mut argmax = vec![0u8; len];
+        for (k, &p) in parts.iter().enumerate().skip(1) {
+            let pv = self.value(p).as_slice().to_vec();
+            for (i, &cand) in pv.iter().enumerate() {
+                if cand > value.as_slice()[i] {
+                    value.as_mut_slice()[i] = cand;
+                    argmax[i] = k as u8;
+                }
+            }
+        }
+        let rg = parts.iter().any(|&p| self.rg(p));
+        self.push(
+            value,
+            Op::MaxPool {
+                xs: parts.to_vec(),
+                argmax,
+            },
+            rg,
+        )
+    }
+
+    /// PairNorm center-and-scale with target scale `s`.
+    pub fn pairnorm(&mut self, x: NodeId, s: f32) -> NodeId {
+        let value = pairnorm_forward(self.value(x), s);
+        let rg = self.rg(x);
+        self.push(value, Op::PairNorm { x, s }, rg)
+    }
+
+    /// Elementwise product.
+    pub fn hadamard(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let value = self.value(a).zip(self.value(b), |x, y| x * y);
+        let rg = self.rg(a) || self.rg(b);
+        self.push(value, Op::Hadamard(a, b), rg)
+    }
+
+    /// Fixed-coefficient linear combination `Σ c_k * x_k`.
+    pub fn lin_comb(&mut self, parts: &[(NodeId, f32)]) -> NodeId {
+        assert!(!parts.is_empty(), "lin_comb of zero parts");
+        let shape = self.value(parts[0].0).shape();
+        let mut value = Matrix::zeros(shape.0, shape.1);
+        for &(p, c) in parts {
+            assert_eq!(self.value(p).shape(), shape, "lin_comb shape mismatch");
+            value.add_scaled(self.value(p), c);
+        }
+        let rg = parts.iter().any(|&(p, _)| self.rg(p));
+        self.push(value, Op::LinComb(parts.to_vec()), rg)
+    }
+
+    /// Learnable-weight combination `Σ_k w[0,k] * x_k` (GPRGNN's
+    /// generalized-PageRank coefficients).
+    pub fn weighted_sum(&mut self, xs: &[NodeId], w: NodeId) -> NodeId {
+        assert!(!xs.is_empty(), "weighted_sum of zero parts");
+        let wv = self.value(w);
+        assert_eq!(wv.rows(), 1, "weights must be a row vector");
+        assert_eq!(wv.cols(), xs.len(), "one weight per input");
+        let shape = self.value(xs[0]).shape();
+        let coef: Vec<f32> = (0..xs.len()).map(|k| self.value(w).get(0, k)).collect();
+        let mut value = Matrix::zeros(shape.0, shape.1);
+        for (&x, &c) in xs.iter().zip(&coef) {
+            assert_eq!(self.value(x).shape(), shape, "weighted_sum shape mismatch");
+            value.add_scaled(self.value(x), c);
+        }
+        let rg = xs.iter().any(|&p| self.rg(p)) || self.rg(w);
+        self.push(
+            value,
+            Op::WeightedSum {
+                xs: xs.to_vec(),
+                w,
+            },
+            rg,
+        )
+    }
+
+    /// Per-edge dot-product scores `h_u · h_v` as an `m×1` column (the
+    /// link-prediction decoder).
+    pub fn edge_score(&mut self, h: NodeId, edges: &[(usize, usize)]) -> NodeId {
+        let hv = self.value(h);
+        let mut value = Matrix::zeros(edges.len(), 1);
+        for (e, &(u, v)) in edges.iter().enumerate() {
+            assert!(u < hv.rows() && v < hv.rows(), "edge endpoint out of range");
+            let dot: f32 = hv
+                .row(u)
+                .iter()
+                .zip(hv.row(v))
+                .map(|(&a, &b)| a * b)
+                .sum();
+            value.set(e, 0, dot);
+        }
+        let rg = self.rg(h);
+        self.push(
+            value,
+            Op::EdgeScore {
+                h,
+                edges: edges.to_vec(),
+            },
+            rg,
+        )
+    }
+}

@@ -1,0 +1,505 @@
+//! The tape: node storage, adjacency registry, and the backward pass.
+
+use skipnode_sparse::CsrMatrix;
+use skipnode_tensor::Matrix;
+use std::ops::Index;
+use std::sync::Arc;
+
+/// Handle to a value on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+/// Handle to a registered sparse propagation matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdjId(pub(crate) usize);
+
+pub(crate) struct AdjEntry {
+    pub mat: Arc<CsrMatrix>,
+    /// `None` when the matrix is symmetric (backward reuses `mat`).
+    pub transpose: Option<CsrMatrix>,
+}
+
+/// The operation that produced a node (closed-world op set).
+pub(crate) enum Op {
+    Leaf,
+    MatMul(NodeId, NodeId),
+    Spmm {
+        adj: usize,
+        x: NodeId,
+    },
+    /// `a + c * b`
+    AddScaled(NodeId, NodeId, f32),
+    Scale(NodeId, f32),
+    /// `x (n×d) + bias (1×d)` broadcast over rows
+    AddBias(NodeId, NodeId),
+    Relu(NodeId),
+    /// Elementwise mask multiply (inverted-dropout mask, already scaled).
+    Mask {
+        x: NodeId,
+        mask: Vec<f32>,
+    },
+    /// Per-row mask multiply (GRAND-style row dropout; factors scaled).
+    RowMask {
+        x: NodeId,
+        factors: Vec<f32>,
+    },
+    /// SkipNode combine: row i comes from `skip` when `take_skip[i]`,
+    /// otherwise from `conv`.
+    RowCombine {
+        conv: NodeId,
+        skip: NodeId,
+        take_skip: Vec<bool>,
+    },
+    ConcatCols(Vec<NodeId>),
+    /// Elementwise max across same-shaped inputs; `argmax[i]` records the
+    /// winning input per element.
+    MaxPool {
+        xs: Vec<NodeId>,
+        argmax: Vec<u8>,
+    },
+    /// PairNorm center-and-scale with target scale `s`.
+    PairNorm {
+        x: NodeId,
+        s: f32,
+    },
+    Hadamard(NodeId, NodeId),
+    /// Fixed-coefficient linear combination of same-shaped inputs.
+    LinComb(Vec<(NodeId, f32)>),
+    /// `Σ_k w[0,k] * xs[k]` with learnable `w` (1×K).
+    WeightedSum {
+        xs: Vec<NodeId>,
+        w: NodeId,
+    },
+    /// Per-edge dot products `h_u · h_v` producing an `m×1` score column.
+    EdgeScore {
+        h: NodeId,
+        edges: Vec<(usize, usize)>,
+    },
+    /// Fused GAT neighborhood attention (see the `attention` module).
+    GatAggregate {
+        h: NodeId,
+        s_src: NodeId,
+        s_dst: NodeId,
+        cache: Box<crate::attention::GatCache>,
+    },
+}
+
+pub(crate) struct Node {
+    pub value: Matrix,
+    pub op: Op,
+    pub requires_grad: bool,
+}
+
+/// Gradients produced by a backward pass, indexed by [`NodeId`].
+pub struct Grads(Vec<Option<Matrix>>);
+
+impl Grads {
+    /// Gradient for `id`, if the node participated in the backward pass.
+    pub fn get(&self, id: NodeId) -> Option<&Matrix> {
+        self.0.get(id.0).and_then(|g| g.as_ref())
+    }
+
+    /// Move the gradient for `id` out of the map.
+    pub fn take(&mut self, id: NodeId) -> Option<Matrix> {
+        self.0.get_mut(id.0).and_then(|g| g.take())
+    }
+}
+
+impl Index<NodeId> for Grads {
+    type Output = Matrix;
+    fn index(&self, id: NodeId) -> &Matrix {
+        self.get(id).expect("no gradient recorded for node")
+    }
+}
+
+impl Index<&NodeId> for Grads {
+    type Output = Matrix;
+    fn index(&self, id: &NodeId) -> &Matrix {
+        &self[*id]
+    }
+}
+
+/// A single-use computation tape.
+#[derive(Default)]
+pub struct Tape {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) adjs: Vec<AdjEntry>,
+    params: Vec<NodeId>,
+}
+
+impl Tape {
+    /// Fresh empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub(crate) fn push(&mut self, value: Matrix, op: Op, requires_grad: bool) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            value,
+            op,
+            requires_grad,
+        });
+        id
+    }
+
+    /// Register a trainable leaf. Gradients are produced for it.
+    pub fn param(&mut self, value: Matrix) -> NodeId {
+        let id = self.push(value, Op::Leaf, true);
+        self.params.push(id);
+        id
+    }
+
+    /// Register a non-trainable leaf (inputs, cached activations).
+    pub fn constant(&mut self, value: Matrix) -> NodeId {
+        self.push(value, Op::Leaf, false)
+    }
+
+    /// Parameters in registration order (for optimizer hookup).
+    pub fn params(&self) -> &[NodeId] {
+        &self.params
+    }
+
+    /// Register a sparse propagation matrix. Symmetric matrices (the usual
+    /// GCN `Ã`) reuse themselves in backward; asymmetric ones (row
+    /// normalized) cache a transpose.
+    pub fn register_adj(&mut self, mat: Arc<CsrMatrix>) -> AdjId {
+        let transpose = if mat.is_symmetric(1e-6) {
+            None
+        } else {
+            Some(mat.transpose())
+        };
+        let id = AdjId(self.adjs.len());
+        self.adjs.push(AdjEntry { mat, transpose });
+        id
+    }
+
+    /// Value of a node.
+    pub fn value(&self, id: NodeId) -> &Matrix {
+        &self.nodes[id.0].value
+    }
+
+    /// Whether gradients flow to this node.
+    pub fn requires_grad(&self, id: NodeId) -> bool {
+        self.nodes[id.0].requires_grad
+    }
+
+    /// Backward pass from a single root with the given seed gradient.
+    pub fn backward(&self, root: NodeId, seed: Matrix) -> Grads {
+        self.backward_multi(vec![(root, seed)])
+    }
+
+    /// Backward pass from several roots at once (used by GRAND, whose loss
+    /// seeds gradients into every augmented prediction head).
+    pub fn backward_multi(&self, seeds: Vec<(NodeId, Matrix)>) -> Grads {
+        let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
+        let mut max_id = 0usize;
+        for (root, seed) in seeds {
+            assert_eq!(
+                seed.shape(),
+                self.nodes[root.0].value.shape(),
+                "seed gradient shape mismatch"
+            );
+            accum(&mut grads, root, &seed);
+            max_id = max_id.max(root.0);
+        }
+        for idx in (0..=max_id).rev() {
+            let Some(g) = grads[idx].take() else {
+                continue;
+            };
+            if !self.nodes[idx].requires_grad && !matches!(self.nodes[idx].op, Op::Leaf) {
+                continue;
+            }
+            self.backprop_one(idx, &g, &mut grads);
+            // Leaf gradients are kept; interior gradients are kept too so
+            // diagnostics can inspect them. Put the gradient back.
+            grads[idx] = Some(g);
+        }
+        Grads(grads)
+    }
+
+    fn backprop_one(&self, idx: usize, g: &Matrix, grads: &mut [Option<Matrix>]) {
+        match &self.nodes[idx].op {
+            Op::Leaf => {}
+            Op::MatMul(a, b) => {
+                if self.nodes[a.0].requires_grad {
+                    let da = g.matmul_t(&self.nodes[b.0].value);
+                    accum(grads, *a, &da);
+                }
+                if self.nodes[b.0].requires_grad {
+                    let db = self.nodes[a.0].value.t_matmul(g);
+                    accum(grads, *b, &db);
+                }
+            }
+            Op::Spmm { adj, x } => {
+                if self.nodes[x.0].requires_grad {
+                    let entry = &self.adjs[*adj];
+                    let dx = match &entry.transpose {
+                        Some(t) => t.spmm(g),
+                        None => entry.mat.spmm(g),
+                    };
+                    accum(grads, *x, &dx);
+                }
+            }
+            Op::AddScaled(a, b, c) => {
+                if self.nodes[a.0].requires_grad {
+                    accum(grads, *a, g);
+                }
+                if self.nodes[b.0].requires_grad {
+                    let db = g * *c;
+                    accum(grads, *b, &db);
+                }
+            }
+            Op::Scale(x, c) => {
+                if self.nodes[x.0].requires_grad {
+                    let dx = g * *c;
+                    accum(grads, *x, &dx);
+                }
+            }
+            Op::AddBias(x, b) => {
+                if self.nodes[x.0].requires_grad {
+                    accum(grads, *x, g);
+                }
+                if self.nodes[b.0].requires_grad {
+                    // Sum over rows.
+                    let mut db = Matrix::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        let row = g.row(r);
+                        let dst = db.row_mut(0);
+                        for (d, &v) in dst.iter_mut().zip(row) {
+                            *d += v;
+                        }
+                    }
+                    accum(grads, *b, &db);
+                }
+            }
+            Op::Relu(x) => {
+                if self.nodes[x.0].requires_grad {
+                    let out = &self.nodes[idx].value;
+                    let dx = g.zip(out, |gv, ov| if ov > 0.0 { gv } else { 0.0 });
+                    accum(grads, *x, &dx);
+                }
+            }
+            Op::Mask { x, mask } => {
+                if self.nodes[x.0].requires_grad {
+                    let mut dx = g.clone();
+                    for (v, &m) in dx.as_mut_slice().iter_mut().zip(mask) {
+                        *v *= m;
+                    }
+                    accum(grads, *x, &dx);
+                }
+            }
+            Op::RowMask { x, factors } => {
+                if self.nodes[x.0].requires_grad {
+                    let mut dx = g.clone();
+                    for (r, &f) in factors.iter().enumerate() {
+                        for v in dx.row_mut(r) {
+                            *v *= f;
+                        }
+                    }
+                    accum(grads, *x, &dx);
+                }
+            }
+            Op::RowCombine {
+                conv,
+                skip,
+                take_skip,
+            } => {
+                let route = |take: bool| -> Matrix {
+                    let mut d = g.clone();
+                    for (r, &ts) in take_skip.iter().enumerate() {
+                        if ts != take {
+                            for v in d.row_mut(r) {
+                                *v = 0.0;
+                            }
+                        }
+                    }
+                    d
+                };
+                if self.nodes[conv.0].requires_grad {
+                    accum(grads, *conv, &route(false));
+                }
+                if self.nodes[skip.0].requires_grad {
+                    accum(grads, *skip, &route(true));
+                }
+            }
+            Op::ConcatCols(parts) => {
+                let mut off = 0;
+                for p in parts {
+                    let pc = self.nodes[p.0].value.cols();
+                    if self.nodes[p.0].requires_grad {
+                        let mut dp = Matrix::zeros(g.rows(), pc);
+                        for r in 0..g.rows() {
+                            dp.row_mut(r).copy_from_slice(&g.row(r)[off..off + pc]);
+                        }
+                        accum(grads, *p, &dp);
+                    }
+                    off += pc;
+                }
+            }
+            Op::MaxPool { xs, argmax } => {
+                for (k, x) in xs.iter().enumerate() {
+                    if !self.nodes[x.0].requires_grad {
+                        continue;
+                    }
+                    let mut dx = Matrix::zeros(g.rows(), g.cols());
+                    for (i, (&a, &gv)) in argmax.iter().zip(g.as_slice()).enumerate() {
+                        if a as usize == k {
+                            dx.as_mut_slice()[i] = gv;
+                        }
+                    }
+                    accum(grads, *x, &dx);
+                }
+            }
+            Op::PairNorm { x, s } => {
+                if self.nodes[x.0].requires_grad {
+                    let dx = pairnorm_backward(&self.nodes[x.0].value, g, *s);
+                    accum(grads, *x, &dx);
+                }
+            }
+            Op::Hadamard(a, b) => {
+                if self.nodes[a.0].requires_grad {
+                    let da = g.zip(&self.nodes[b.0].value, |gv, bv| gv * bv);
+                    accum(grads, *a, &da);
+                }
+                if self.nodes[b.0].requires_grad {
+                    let db = g.zip(&self.nodes[a.0].value, |gv, av| gv * av);
+                    accum(grads, *b, &db);
+                }
+            }
+            Op::LinComb(parts) => {
+                for (p, c) in parts {
+                    if self.nodes[p.0].requires_grad {
+                        let dp = g * *c;
+                        accum(grads, *p, &dp);
+                    }
+                }
+            }
+            Op::WeightedSum { xs, w } => {
+                let wv = &self.nodes[w.0].value;
+                for (k, x) in xs.iter().enumerate() {
+                    if self.nodes[x.0].requires_grad {
+                        let dx = g * wv.get(0, k);
+                        accum(grads, *x, &dx);
+                    }
+                }
+                if self.nodes[w.0].requires_grad {
+                    let mut dw = Matrix::zeros(1, xs.len());
+                    for (k, x) in xs.iter().enumerate() {
+                        let xv = &self.nodes[x.0].value;
+                        let dot: f64 = g
+                            .as_slice()
+                            .iter()
+                            .zip(xv.as_slice())
+                            .map(|(&gv, &xvv)| gv as f64 * xvv as f64)
+                            .sum();
+                        dw.set(0, k, dot as f32);
+                    }
+                    accum(grads, *w, &dw);
+                }
+            }
+            Op::GatAggregate {
+                h,
+                s_src,
+                s_dst,
+                cache,
+            } => {
+                let (dh, dsrc, ddst) =
+                    crate::attention::gat_backward(&self.nodes[h.0].value, cache, g);
+                if self.nodes[h.0].requires_grad {
+                    accum(grads, *h, &dh);
+                }
+                if self.nodes[s_src.0].requires_grad {
+                    accum(grads, *s_src, &dsrc);
+                }
+                if self.nodes[s_dst.0].requires_grad {
+                    accum(grads, *s_dst, &ddst);
+                }
+            }
+            Op::EdgeScore { h, edges } => {
+                if self.nodes[h.0].requires_grad {
+                    let hv = &self.nodes[h.0].value;
+                    let mut dh = Matrix::zeros(hv.rows(), hv.cols());
+                    for (e, &(u, v)) in edges.iter().enumerate() {
+                        let ge = g.get(e, 0);
+                        // dh_u += ge * h_v ; dh_v += ge * h_u — split the
+                        // borrows via raw indexing.
+                        for c in 0..hv.cols() {
+                            let hu = hv.get(u, c);
+                            let hvv = hv.get(v, c);
+                            dh.set(u, c, dh.get(u, c) + ge * hvv);
+                            dh.set(v, c, dh.get(v, c) + ge * hu);
+                        }
+                    }
+                    accum(grads, *h, &dh);
+                }
+            }
+        }
+    }
+}
+
+/// PairNorm forward used by the ops module; exposed here so forward and
+/// backward stay in one place.
+pub(crate) fn pairnorm_forward(x: &Matrix, s: f32) -> Matrix {
+    let mean = x.col_mean();
+    let mut xc = x.clone();
+    for r in 0..xc.rows() {
+        let row = xc.row_mut(r);
+        for (v, &m) in row.iter_mut().zip(mean.row(0)) {
+            *v -= m;
+        }
+    }
+    let fro = skipnode_tensor::frobenius_norm(&xc).max(1e-12);
+    let alpha = (s as f64) * (x.rows() as f64).sqrt() / fro;
+    xc.scale_in_place(alpha as f32);
+    xc
+}
+
+fn pairnorm_backward(x: &Matrix, g: &Matrix, s: f32) -> Matrix {
+    // y = α Xc / r with α = s·sqrt(n), Xc = X − 1·mean, r = ||Xc||_F.
+    // dXc = α/r · G − α ⟨G, Xc⟩ / r³ · Xc ; dX = dXc − colmean(dXc).
+    let mean = x.col_mean();
+    let mut xc = x.clone();
+    for r in 0..xc.rows() {
+        let row = xc.row_mut(r);
+        for (v, &m) in row.iter_mut().zip(mean.row(0)) {
+            *v -= m;
+        }
+    }
+    let r = skipnode_tensor::frobenius_norm(&xc).max(1e-12);
+    let alpha = (s as f64) * (x.rows() as f64).sqrt();
+    let dot: f64 = g
+        .as_slice()
+        .iter()
+        .zip(xc.as_slice())
+        .map(|(&a, &b)| a as f64 * b as f64)
+        .sum();
+    let c1 = (alpha / r) as f32;
+    let c2 = (alpha * dot / (r * r * r)) as f32;
+    let mut dxc = g.zip(&xc, |gv, xcv| c1 * gv - c2 * xcv);
+    let dmean = dxc.col_mean();
+    for rr in 0..dxc.rows() {
+        let row = dxc.row_mut(rr);
+        for (v, &m) in row.iter_mut().zip(dmean.row(0)) {
+            *v -= m;
+        }
+    }
+    dxc
+}
+
+fn accum(grads: &mut [Option<Matrix>], id: NodeId, delta: &Matrix) {
+    match &mut grads[id.0] {
+        Some(g) => g.add_scaled(delta, 1.0),
+        slot @ None => *slot = Some(delta.clone()),
+    }
+}

@@ -1,0 +1,109 @@
+//! Ablation (beyond the paper): degree vs PageRank importance for the
+//! biased sampler.
+//!
+//! The paper weights skip probability by node degree. PageRank generalizes
+//! that to indirect connectivity. This binary trains a deep GCN whose
+//! SkipNode mask is biased by (a) degree and (b) PageRank-derived
+//! pseudo-degrees, via a manual training loop that substitutes the
+//! importance vector handed to the sampler.
+//!
+//! Usage: `cargo run -p skipnode-bench --release --bin ablation_centrality
+//!         [--quick] [--epochs N] [--seed N]`
+
+use skipnode_autograd::{softmax_cross_entropy, Tape};
+use skipnode_bench::{ExpArgs, TablePrinter};
+use skipnode_core::{Sampling, SkipNodeConfig};
+use skipnode_graph::{load, pagerank, semi_supervised_split, DatasetName};
+use skipnode_nn::models::{Gcn, Model};
+use skipnode_nn::{accuracy, Adam, AdamConfig, ForwardCtx, Strategy};
+use skipnode_tensor::{Matrix, SplitRng};
+use std::sync::Arc;
+
+/// Train one deep GCN with SkipNode, biasing the sampler by the given
+/// per-node importance vector. Returns best test accuracy (tracked on val).
+fn train_with_importance(
+    g: &skipnode_graph::Graph,
+    importance: &[usize],
+    depth: usize,
+    rho: f64,
+    epochs: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = SplitRng::new(seed);
+    let split = semi_supervised_split(g, &mut rng);
+    let mut model = Gcn::new(g.feature_dim(), 64, g.num_classes(), depth, 0.5, &mut rng);
+    let mut opt = Adam::new(model.store(), AdamConfig::default());
+    let full_adj = Arc::new(g.gcn_adjacency());
+    let strategy = Strategy::SkipNode(SkipNodeConfig::new(rho, Sampling::Biased));
+    let eval_strategy = Strategy::None;
+    let mut best_val = f64::NEG_INFINITY;
+    let mut best_test = 0.0;
+    for epoch in 0..epochs {
+        let mut tape = Tape::new();
+        let binding = model.store().bind(&mut tape);
+        let adj_id = tape.register_adj(Arc::clone(&full_adj));
+        let x = tape.constant(g.features().clone());
+        let mut fwd_rng = rng.split();
+        let mut ctx = ForwardCtx::new(adj_id, x, importance, &strategy, true, &mut fwd_rng);
+        let logits = model.forward(&mut tape, &binding, &mut ctx);
+        let out = softmax_cross_entropy(tape.value(logits), g.labels(), &split.train);
+        let mut grads = tape.backward(logits, out.grad);
+        let param_grads: Vec<Option<Matrix>> =
+            binding.nodes().iter().map(|&n| grads.take(n)).collect();
+        opt.step(model.store_mut(), &param_grads);
+        if epoch % 5 == 0 || epoch + 1 == epochs {
+            let mut eval_rng = rng.split();
+            let (logits, _) = skipnode_nn::evaluate(
+                &model,
+                g,
+                &full_adj,
+                &eval_strategy,
+                &mut eval_rng,
+            );
+            let val = accuracy(&logits, g.labels(), &split.val);
+            if val >= best_val {
+                best_val = val;
+                best_test = accuracy(&logits, g.labels(), &split.test);
+            }
+        }
+    }
+    best_test
+}
+
+fn main() {
+    let args = ExpArgs::parse(200, 1);
+    let depth = args.depth.unwrap_or(12);
+    let rho = 0.6;
+    let g = load(DatasetName::Cora, args.scale, args.seed);
+    println!(
+        "Centrality ablation — {depth}-layer GCN + SkipNode-B(rho={rho}) on Cora substitute, {} epochs\n",
+        args.epochs
+    );
+    let degrees = g.degrees();
+    // PageRank → pseudo-degrees on the same scale as real degrees so the
+    // sampler's +1 smoothing plays the same role.
+    let pr = pagerank(&g, 0.85, 60);
+    let max_deg = *degrees.iter().max().unwrap_or(&1) as f64;
+    let max_pr = pr.iter().cloned().fold(f64::MIN, f64::max);
+    let pr_importance: Vec<usize> = pr
+        .iter()
+        .map(|&p| ((p / max_pr) * max_deg).round() as usize)
+        .collect();
+    let uniform_importance: Vec<usize> = vec![1; g.num_nodes()];
+
+    let mut t = TablePrinter::new(&["importance", "test accuracy (%)"]);
+    for (label, imp) in [
+        ("degree (paper)", &degrees),
+        ("pagerank", &pr_importance),
+        ("uniform weights", &uniform_importance),
+    ] {
+        let acc = train_with_importance(&g, imp, depth, rho, args.epochs, args.seed);
+        t.row(vec![label.to_string(), format!("{:.1}", acc * 100.0)]);
+    }
+    t.print();
+    println!(
+        "\nExpected: degree and PageRank importance track each other closely\n\
+         (PageRank ≈ degree on undirected graphs); both match or beat uniform\n\
+         weighting at depth."
+    );
+}

@@ -1,0 +1,111 @@
+//! Figure 2 + Table 1: the three degradation issues on a 9-layer GCN (Cora).
+//!
+//! Trains a 9-layer GCN under each strategy and prints per-epoch series of
+//! (a) MAD of the penultimate features — over-smoothing, (b) gradient norm
+//! at the classification layer — gradient vanishing, and (c) Σ‖W‖² —
+//! weight over-decaying. Finishes with an empirical verdict table mirroring
+//! Table 1 (which issues each strategy alleviates).
+//!
+//! Usage: `cargo run -p skipnode-bench --release --bin fig2 [--epochs N] [--seed N]`
+
+use skipnode_bench::{strategy_by_name, tuned_rho, ExpArgs, TablePrinter};
+use skipnode_graph::{load, semi_supervised_split, DatasetName};
+use skipnode_nn::models::Gcn;
+use skipnode_nn::{train_node_classifier, EpochDiagnostics, TrainConfig};
+use skipnode_tensor::SplitRng;
+
+const DEFAULT_LAYERS: usize = 9;
+
+fn main() {
+    let args = ExpArgs::parse(200, 1);
+    // The paper uses 9 layers on real Cora; our substitute is a planted
+    // partition with better expansion, so its degradation point sits
+    // deeper — override with --depth to probe it.
+    let layers = args.depth.unwrap_or(DEFAULT_LAYERS);
+    let g = load(DatasetName::Cora, args.scale, args.seed);
+    println!(
+        "Figure 2 — three issues on a {layers}-layer GCN, Cora substitute ({} nodes), {} epochs\n",
+        g.num_nodes(),
+        args.epochs
+    );
+    // SkipNode's ρ follows the paper's per-depth grid search (deep models
+    // need large ρ — see Figure 5 and the harness's `tuned_rho`).
+    let rho = tuned_rho(layers);
+    let strategies = [
+        ("GCN", "-", 0.0),
+        ("GCN (DropEdge)", "dropedge", 0.3),
+        ("GCN (DropNode)", "dropnode", 0.3),
+        ("GCN (PairNorm)", "pairnorm", 1.0),
+        ("GCN (SkipNode-U)", "skipnode-u", rho),
+        ("GCN (SkipNode-B)", "skipnode-b", rho),
+    ];
+    let mut all: Vec<(&str, Vec<EpochDiagnostics>)> = Vec::new();
+    for (label, sname, rate) in strategies {
+        let strategy = strategy_by_name(sname, rate);
+        let mut rng = SplitRng::new(args.seed);
+        let split = semi_supervised_split(&g, &mut rng);
+        let mut model = Gcn::new(g.feature_dim(), 64, g.num_classes(), layers, 0.5, &mut rng);
+        let cfg = TrainConfig {
+            epochs: args.epochs,
+            patience: 0,
+            eval_every: 10,
+            diagnostics_every: (args.epochs / 20).max(1),
+            record_mad: true,
+            ..Default::default()
+        };
+        let result = train_node_classifier(&mut model, &g, &split, &strategy, &cfg, &mut rng);
+        println!(
+            "{label}: final val acc {:.3}",
+            result.val_accuracy
+        );
+        all.push((label, result.diagnostics));
+    }
+
+    for (panel, field) in [
+        ("(a) over-smoothing: MAD of penultimate features", 0usize),
+        ("(b) gradient vanishing: ||dL/dZ||_F at classifier", 1),
+        ("(c) weight over-decaying: sum ||W||^2", 2),
+    ] {
+        println!("\n{panel}");
+        let epochs: Vec<usize> = all[0].1.iter().map(|d| d.epoch).collect();
+        let mut t = TablePrinter::new(
+            &std::iter::once("epoch")
+                .chain(all.iter().map(|(l, _)| *l))
+                .collect::<Vec<_>>(),
+        );
+        for (i, &e) in epochs.iter().enumerate() {
+            let mut row = vec![e.to_string()];
+            for (_, diags) in &all {
+                let d = &diags[i];
+                let v = match field {
+                    0 => d.mad.unwrap_or(f64::NAN),
+                    1 => d.output_grad_norm,
+                    _ => d.weight_norm_sq,
+                };
+                row.push(format!("{v:.4}"));
+            }
+            t.row(row);
+        }
+        t.print();
+    }
+
+    // Empirical Table 1: a strategy "handles" an issue if its final value
+    // stays healthy relative to the vanilla run.
+    println!("\nTable 1 (empirical verdicts vs vanilla GCN)");
+    let last = |diags: &[EpochDiagnostics]| diags.last().expect("diagnostics recorded").clone();
+    let base = last(&all[0].1);
+    let mut t = TablePrinter::new(&["strategy", "OS (MAD up?)", "GV (grad up?)", "WD (||W|| kept?)"]);
+    for (label, diags) in all.iter().skip(1) {
+        let d = last(diags);
+        let os = d.mad.unwrap_or(0.0) > base.mad.unwrap_or(0.0) * 2.0 + 1e-6;
+        let gv = d.output_grad_norm > base.output_grad_norm * 2.0;
+        let wd = d.weight_norm_sq > base.weight_norm_sq * 2.0;
+        let mark = |b: bool| if b { "yes" } else { "no" }.to_string();
+        t.row(vec![label.to_string(), mark(os), mark(gv), mark(wd)]);
+    }
+    t.print();
+    println!(
+        "\nPaper expectation: DropEdge eases OS only; PairNorm/DropNode leave GV+WD;\n\
+         SkipNode-U/B alleviate all three."
+    );
+}

@@ -1,0 +1,92 @@
+//! Figure 5: sensitivity to the sampling rate ρ — accuracy and MAD of a
+//! 32-layer GCN on Cora / Citeseer / Pubmed for ρ ∈ {0.1, …, 0.9}.
+//!
+//! Hyperparameters fixed as in the paper: hidden 64, lr 0.01, weight decay
+//! 5e-4, 500 epochs (shrink with --epochs/--quick).
+//!
+//! Usage: `cargo run -p skipnode-bench --release --bin fig5
+//!         [--quick] [--epochs N] [--seed N]`
+
+use skipnode_bench::{run_classification, strategy_by_name, ExpArgs, Protocol, TablePrinter};
+use skipnode_graph::{load, DatasetName};
+use skipnode_nn::TrainConfig;
+
+const DEFAULT_LAYERS: usize = 32;
+
+fn main() {
+    let args = ExpArgs::parse(500, 1);
+    let datasets: Vec<DatasetName> = if args.quick {
+        vec![DatasetName::Cora]
+    } else {
+        vec![DatasetName::Cora, DatasetName::Citeseer, DatasetName::Pubmed]
+    };
+    let rhos: Vec<f64> = if args.quick {
+        vec![0.3, 0.6, 0.9]
+    } else {
+        vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+    };
+    let layers = args.depth.unwrap_or(DEFAULT_LAYERS);
+    println!(
+        "Figure 5 — {layers}-layer GCN, accuracy and MAD vs rho, {} epochs\n",
+        args.epochs
+    );
+    let cfg = TrainConfig {
+        epochs: args.epochs,
+        patience: 0,
+        eval_every: 10,
+        record_mad: true,
+        ..Default::default()
+    };
+    for &d in &datasets {
+        let g = load(d, args.scale, args.seed);
+        let mut t = TablePrinter::new(&["rho", "accuracy (U)", "MAD (U)", "accuracy (B)", "MAD (B)"]);
+        // Baseline: vanilla 32-layer GCN.
+        let base = run_classification(
+            &g,
+            "gcn",
+            layers,
+            &strategy_by_name("-", 0.0),
+            Protocol::SemiSupervised,
+            &cfg,
+            args.splits,
+            64,
+            0.5,
+            args.seed,
+        );
+        for &rho in &rhos {
+            let mut cells = vec![format!("{rho:.1}")];
+            for sname in ["skipnode-u", "skipnode-b"] {
+                let out = run_classification(
+                    &g,
+                    "gcn",
+                    layers,
+                    &strategy_by_name(sname, rho),
+                    Protocol::SemiSupervised,
+                    &cfg,
+                    args.splits,
+                    64,
+                    0.5,
+                    args.seed,
+                );
+                cells.push(format!("{:.1}", out.mean));
+                cells.push(
+                    out.mad
+                        .map_or("-".to_string(), |m| format!("{m:.3}")),
+                );
+            }
+            t.row(cells);
+        }
+        println!(
+            "dataset: {} (vanilla GCN baseline: {:.1}%, MAD {})",
+            d.as_str(),
+            base.mean,
+            base.mad.map_or("-".into(), |m| format!("{m:.3}")),
+        );
+        t.print();
+        println!();
+    }
+    println!(
+        "Paper shape: at L = 32 larger rho helps (over-smoothing dominates);\n\
+         vanilla GCN's MAD pins at ~0 while SkipNode keeps MAD well above 0."
+    );
+}

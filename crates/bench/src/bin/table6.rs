@@ -1,0 +1,86 @@
+//! Table 6: semi-supervised accuracy vs depth (the headline result).
+//!
+//! Cora / Citeseer / Pubmed substitutes; backbones GCN, ResGCN, JKNet,
+//! InceptGCN, GCNII; depths L ∈ {4, 8, 16, 32, 64}; strategies
+//! {-, DropEdge, SkipNode-U, SkipNode-B}.
+//!
+//! The full grid is 3×5×4×5 = 300 training runs — hours on a laptop. Use
+//! `--quick` for a smoke subset or the flags to slice it.
+//!
+//! Usage: `cargo run -p skipnode-bench --release --bin table6
+//!         [--quick] [--epochs N] [--seed N]`
+
+use skipnode_bench::{run_classification, strategy_by_name, tuned_rho, ExpArgs, Protocol, TablePrinter};
+use skipnode_graph::{load, DatasetName};
+
+fn main() {
+    let args = ExpArgs::parse(150, 1);
+    let (datasets, backbones, depths): (Vec<DatasetName>, Vec<String>, Vec<usize>) =
+        if args.quick {
+            (
+                args.slice_datasets(vec![DatasetName::Cora]),
+                args.slice_backbones(vec!["gcn", "gcnii"]),
+                args.slice_depths(vec![4, 8]),
+            )
+        } else {
+            (
+                args.slice_datasets(vec![
+                    DatasetName::Cora,
+                    DatasetName::Citeseer,
+                    DatasetName::Pubmed,
+                ]),
+                args.slice_backbones(vec!["gcn", "resgcn", "jknet", "inceptgcn", "gcnii"]),
+                args.slice_depths(vec![4, 8, 16, 32, 64]),
+            )
+        };
+    let strategies = [("-", 0.0), ("dropedge", 0.3), ("skipnode-u", 0.5), ("skipnode-b", 0.5)];
+    println!(
+        "Table 6 — semi-supervised accuracy (%) vs depth, {} epochs\n",
+        args.epochs
+    );
+    let cfg = args.train_config();
+    for &d in &datasets {
+        let g = load(d, args.scale, args.seed);
+        println!("dataset: {}", d.as_str());
+        for backbone in &backbones {
+            let mut header = vec!["strategy".to_string()];
+            header.extend(depths.iter().map(|l| format!("L = {l}")));
+            let mut t = TablePrinter::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+            for (sname, rate) in strategies {
+                let mut row = vec![strategy_by_name(sname, rate).label()];
+                for &depth in &depths {
+                    // ρ tuned per depth for SkipNode (paper grid-searches
+                    // ρ; Figure 5 shows deep models want ρ ≈ 0.8–0.9).
+                    let rate = if sname.starts_with("skipnode") {
+                        tuned_rho(depth)
+                    } else {
+                        rate
+                    };
+                    let strategy = strategy_by_name(sname, rate);
+                    let out = run_classification(
+                        &g,
+                        backbone,
+                        depth,
+                        &strategy,
+                        Protocol::SemiSupervised,
+                        &cfg,
+                        args.splits,
+                        64,
+                        0.5,
+                        args.seed,
+                    );
+                    row.push(format!("{:.1}", out.mean));
+                }
+                t.row(row);
+            }
+            println!("  backbone: {backbone}");
+            t.print();
+            println!();
+        }
+    }
+    println!(
+        "Paper shape: plain GCN/ResGCN collapse to ~class-prior accuracy by\n\
+         L = 16–32 while SkipNode keeps them trainable far deeper; JKNet /\n\
+         InceptGCN / GCNII degrade gracefully and SkipNode still adds 1–5 points."
+    );
+}

@@ -1,0 +1,65 @@
+//! Table 7: strategy shoot-out on Cora — GCN & InceptGCN at
+//! L ∈ {3, 5, 7, 9} vs DropEdge / DropNode / PairNorm / SkipNode.
+//!
+//! Usage: `cargo run -p skipnode-bench --release --bin table7
+//!         [--quick] [--epochs N] [--seed N]`
+
+use skipnode_bench::{run_classification, strategy_by_name, ExpArgs, Protocol, TablePrinter};
+use skipnode_graph::{load, DatasetName};
+
+fn main() {
+    let args = ExpArgs::parse(150, 1);
+    let depths: Vec<usize> =
+        args.slice_depths(if args.quick { vec![3, 5] } else { vec![3, 5, 7, 9] });
+    let backbones: Vec<String> = args.slice_backbones(if args.quick {
+        vec!["gcn"]
+    } else {
+        vec!["gcn", "inceptgcn"]
+    });
+    let strategies = [
+        ("-", 0.0),
+        ("dropedge", 0.3),
+        ("dropnode", 0.3),
+        ("pairnorm", 1.0),
+        ("skipnode-u", 0.5),
+        ("skipnode-b", 0.5),
+    ];
+    let g = load(DatasetName::Cora, args.scale, args.seed);
+    println!(
+        "Table 7 — strategy comparison on Cora substitute (semi-supervised), {} epochs\n",
+        args.epochs
+    );
+    let cfg = args.train_config();
+    for backbone in &backbones {
+        let mut header = vec!["strategy".to_string()];
+        header.extend(depths.iter().map(|l| format!("L = {l}")));
+        let mut t = TablePrinter::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+        for (sname, rate) in strategies {
+            let strategy = strategy_by_name(sname, rate);
+            let mut row = vec![strategy.label()];
+            for &depth in &depths {
+                let out = run_classification(
+                    &g,
+                    backbone,
+                    depth,
+                    &strategy,
+                    Protocol::SemiSupervised,
+                    &cfg,
+                    args.splits,
+                    64,
+                    0.5,
+                    args.seed,
+                );
+                row.push(format!("{:.1}", out.mean));
+            }
+            t.row(row);
+        }
+        println!("backbone: {backbone}");
+        t.print();
+        println!();
+    }
+    println!(
+        "Paper shape: SkipNode-U/B dominate at every depth; DropNode collapses\n\
+         hard on deep GCN (L = 7, 9); PairNorm/DropEdge roughly track vanilla."
+    );
+}

@@ -1,0 +1,159 @@
+//! Hyperparameter grid search, mirroring the paper's protocol (§6.3):
+//! first tune the backbone's dropout / weight decay / learning rate on
+//! validation accuracy, then tune only the strategy rate on top.
+
+use crate::harness::{build_model, Protocol};
+use skipnode_graph::{full_supervised_split, semi_supervised_split, Graph};
+use skipnode_nn::{train_node_classifier, AdamConfig, Strategy, TrainConfig};
+use skipnode_tensor::SplitRng;
+
+/// The search space of §6.3 (trimmed to CPU-friendly defaults; the paper
+/// searches dropout ∈ {0, 0.05, …, 0.8}, wd ∈ {5e-4, 5e-7, 5e-9},
+/// lr ∈ {0.01, 0.05, 0.1}).
+#[derive(Debug, Clone)]
+pub struct SweepSpace {
+    /// Dropout candidates.
+    pub dropouts: Vec<f64>,
+    /// Weight-decay candidates.
+    pub weight_decays: Vec<f64>,
+    /// Learning-rate candidates.
+    pub lrs: Vec<f64>,
+}
+
+impl Default for SweepSpace {
+    fn default() -> Self {
+        Self {
+            dropouts: vec![0.2, 0.5],
+            weight_decays: vec![5e-4, 5e-7],
+            lrs: vec![0.01, 0.05],
+        }
+    }
+}
+
+/// The winning configuration of a sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepResult {
+    /// Best dropout.
+    pub dropout: f64,
+    /// Best weight decay.
+    pub weight_decay: f64,
+    /// Best learning rate.
+    pub lr: f64,
+    /// Validation accuracy achieved.
+    pub val_accuracy: f64,
+    /// Test accuracy at that configuration (report-only).
+    pub test_accuracy: f64,
+}
+
+/// Grid-search backbone hyperparameters on validation accuracy.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_backbone(
+    graph: &Graph,
+    backbone: &str,
+    depth: usize,
+    strategy: &Strategy,
+    protocol: Protocol,
+    space: &SweepSpace,
+    epochs: usize,
+    seed: u64,
+) -> SweepResult {
+    let mut best: Option<SweepResult> = None;
+    for &dropout in &space.dropouts {
+        for &weight_decay in &space.weight_decays {
+            for &lr in &space.lrs {
+                let mut rng = SplitRng::new(seed);
+                let split = match protocol {
+                    Protocol::SemiSupervised => semi_supervised_split(graph, &mut rng),
+                    Protocol::FullSupervised => full_supervised_split(graph, &mut rng),
+                };
+                let mut model = build_model(
+                    backbone,
+                    graph.feature_dim(),
+                    64,
+                    graph.num_classes(),
+                    depth,
+                    dropout,
+                    &mut rng,
+                );
+                let cfg = TrainConfig {
+                    epochs,
+                    patience: (epochs / 4).max(10),
+                    adam: AdamConfig {
+                        lr,
+                        weight_decay,
+                        ..Default::default()
+                    },
+                    eval_every: 2,
+                    ..Default::default()
+                };
+                let r = train_node_classifier(
+                    model.as_mut(),
+                    graph,
+                    &split,
+                    strategy,
+                    &cfg,
+                    &mut rng,
+                );
+                let candidate = SweepResult {
+                    dropout,
+                    weight_decay,
+                    lr,
+                    val_accuracy: r.val_accuracy,
+                    test_accuracy: r.test_accuracy,
+                };
+                if best
+                    .as_ref()
+                    .is_none_or(|b| candidate.val_accuracy > b.val_accuracy)
+                {
+                    best = Some(candidate);
+                }
+            }
+        }
+    }
+    best.expect("non-empty search space")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skipnode_graph::{partition_graph, FeatureStyle, PartitionConfig};
+
+    #[test]
+    fn sweep_picks_a_configuration_from_the_space() {
+        let g = partition_graph(
+            &PartitionConfig {
+                n: 200,
+                m: 800,
+                classes: 4,
+                homophily: 0.85,
+                power: 0.2,
+            },
+            48,
+            FeatureStyle::BinaryBagOfWords {
+                active: 8,
+                fidelity: 0.9,
+                confusion: 0.1,
+            },
+            &mut SplitRng::new(1),
+        );
+        let space = SweepSpace {
+            dropouts: vec![0.0, 0.4],
+            weight_decays: vec![5e-4],
+            lrs: vec![0.01],
+        };
+        let r = sweep_backbone(
+            &g,
+            "gcn",
+            2,
+            &Strategy::None,
+            Protocol::FullSupervised,
+            &space,
+            15,
+            3,
+        );
+        assert!(space.dropouts.contains(&r.dropout));
+        assert!(space.weight_decays.contains(&r.weight_decay));
+        assert!(space.lrs.contains(&r.lr));
+        assert!(r.val_accuracy > 0.3, "val {}", r.val_accuracy);
+    }
+}

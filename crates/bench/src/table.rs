@@ -1,0 +1,85 @@
+//! Minimal aligned-text table printer for experiment binaries.
+
+/// Accumulates rows and prints an aligned table with a header rule.
+#[derive(Debug, Default)]
+pub struct TablePrinter {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TablePrinter {
+    /// New table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(c, s)| format!("{:width$}", s, width = widths[c]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&line(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TablePrinter::new(&["name", "acc"]);
+        t.row(vec!["gcn".into(), "86.1".into()]);
+        t.row(vec!["skipnode-u".into(), "89.7".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("gcn"));
+        // column alignment: "acc" column starts at the same offset
+        let off = lines[0].find("acc").unwrap();
+        assert_eq!(&lines[2][off..off + 4], "86.1");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = TablePrinter::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! SkipNode: the paper's primary contribution.
+//!
+//! SkipNode is a plug-and-play module for deep GCN training. In each middle
+//! layer it samples a set of nodes that *skip* the layer's convolution
+//! entirely (Eq. 4 of the paper):
+//!
+//! ```text
+//! X^(l) = (I − P^(l)) σ(Ã X^(l−1) W^(l)) + P^(l) X^(l−1)
+//! ```
+//!
+//! where `P^(l)` is a diagonal 0/1 mask resampled every layer, every epoch,
+//! during training only. Two samplers are provided ([`Sampling`]):
+//! uniform (`P_ii ~ Bernoulli(ρ)`) and biased (`ρN` nodes, probability
+//! proportional to degree — high-degree nodes smooth fastest).
+//!
+//! The [`theory`] module carries the paper's analysis instruments: the
+//! `(sλ)^L` machinery, the Theorem 2 / Theorem 3 bounds, and the drivers
+//! for the Figure 4 experiments.
+//!
+//! ```
+//! use skipnode_core::{SkipNodeConfig, Sampling};
+//! use skipnode_tensor::SplitRng;
+//!
+//! let cfg = SkipNodeConfig::new(0.5, Sampling::Uniform);
+//! let degrees = vec![3, 1, 4, 1, 5];
+//! let mut rng = SplitRng::new(7);
+//! let mask = cfg.sample_mask(&degrees, &mut rng);
+//! assert_eq!(mask.len(), 5);
+//! ```
+
+mod sampler;
+pub mod theory;
+
+pub use sampler::{Sampling, SkipNodeConfig};

@@ -1,0 +1,345 @@
+//! The paper's over-smoothing theory, executable.
+//!
+//! Implements the `(sλ)^L` machinery from Section 5.2: controlled-spectrum
+//! weight sampling, the vanilla and SkipNode layer maps, the Theorem 2 /
+//! Theorem 3 bounds, and the series drivers behind Figure 4.
+
+use crate::sampler::{Sampling, SkipNodeConfig};
+use skipnode_graph::erdos_renyi;
+use skipnode_sparse::{
+    gcn_adjacency, second_largest_eigen_magnitude, CsrMatrix, SmoothingSubspace,
+};
+use skipnode_tensor::{glorot_uniform, max_singular_value, Matrix, SplitRng};
+
+/// A graph instrumented for the theory experiments: normalized adjacency,
+/// the over-smoothing subspace `M`, degrees, and `λ`.
+pub struct TheoryGraph {
+    adj: CsrMatrix,
+    subspace: SmoothingSubspace,
+    degrees: Vec<usize>,
+    lambda: f64,
+}
+
+impl TheoryGraph {
+    /// Instrument an arbitrary undirected edge list.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let adj = gcn_adjacency(n, edges);
+        let subspace = SmoothingSubspace::from_edges(n, edges);
+        let lambda = second_largest_eigen_magnitude(&adj, &subspace, 500);
+        let mut degrees = vec![0usize; n];
+        for &(u, v) in edges {
+            if u != v {
+                degrees[u] += 1;
+                degrees[v] += 1;
+            }
+        }
+        Self {
+            adj,
+            subspace,
+            degrees,
+            lambda,
+        }
+    }
+
+    /// The Figure 4 graph: Erdős–Rényi `G(n, p)`.
+    pub fn erdos_renyi(n: usize, p: f64, rng: &mut SplitRng) -> Self {
+        let edges = erdos_renyi(n, p, rng);
+        Self::from_edges(n, &edges)
+    }
+
+    /// `λ`, the second-largest eigenvalue magnitude of `Ã`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Node count.
+    pub fn nodes(&self) -> usize {
+        self.adj.rows()
+    }
+
+    /// Node degrees.
+    pub fn degrees(&self) -> &[usize] {
+        &self.degrees
+    }
+
+    /// `d_M(X)` on this graph's smoothing subspace.
+    pub fn distance(&self, x: &Matrix) -> f64 {
+        self.subspace.distance(x)
+    }
+
+    /// The normalized adjacency.
+    pub fn adjacency(&self) -> &CsrMatrix {
+        &self.adj
+    }
+}
+
+/// Glorot-initialized `d×d` weight rescaled so its maximum singular value
+/// is exactly `s` — the controlled knob of the Figure 4 sweeps.
+pub fn random_weight_with_singular_value(d: usize, s: f64, rng: &mut SplitRng) -> Matrix {
+    assert!(s > 0.0, "target singular value must be positive");
+    let mut w = glorot_uniform(d, d, rng);
+    let cur = max_singular_value(&w, 300);
+    assert!(cur > 0.0, "degenerate random weight");
+    w.scale_in_place((s / cur) as f32);
+    w
+}
+
+/// One vanilla GCN layer: `X₁ = ReLU(Ã X W)`.
+pub fn vanilla_layer(g: &TheoryGraph, x: &Matrix, w: &Matrix) -> Matrix {
+    g.adj.spmm(x).matmul(w).relu()
+}
+
+/// One SkipNode layer: `X₂ = (I − P) ReLU(Ã X W) + P X` for the given mask.
+pub fn skipnode_layer(g: &TheoryGraph, x: &Matrix, w: &Matrix, mask: &[bool]) -> Matrix {
+    let mut x2 = vanilla_layer(g, x, w);
+    for (r, &skip) in mask.iter().enumerate() {
+        if skip {
+            let src = x.row(r).to_vec();
+            x2.row_mut(r).copy_from_slice(&src);
+        }
+    }
+    x2
+}
+
+/// Theorem 2 coefficient: the one-layer upper bound on
+/// `d_M(E[X₂]) / d_M(X)` is `sλ + ρ(1 − sλ)` (vs `sλ` for vanilla GCN).
+pub fn theorem2_coefficient(s_lambda: f64, rho: f64) -> f64 {
+    s_lambda + rho * (1.0 - s_lambda)
+}
+
+/// Theorem 3 lower bound on `d_M(E[X₂]) / d_M(X₁)`: `ρ(1/(sλ) + 1) − 1`
+/// (meaningful when positive).
+pub fn theorem3_lower_bound(s_lambda: f64, rho: f64) -> f64 {
+    rho * (1.0 / s_lambda + 1.0) - 1.0
+}
+
+/// The smallest `ρ` for which Theorem 3 guarantees
+/// `d_M(E[X₂]) ≥ d_M(X₁)`, i.e. `ρ(1/(sλ)+1) > 2`.
+pub fn theorem3_min_rho(s_lambda: f64) -> f64 {
+    2.0 / (1.0 / s_lambda + 1.0)
+}
+
+/// Figure 4(a): per-layer `log(d_M(X^(l)) / d_M(X^(0)))` for an `L`-layer
+/// forward pass with fresh weights of singular value `s` per layer and the
+/// given SkipNode rate (`ρ = 0` reproduces vanilla GCN). One run; average
+/// over seeds at the call site.
+pub fn depth_log_ratio_series(
+    g: &TheoryGraph,
+    x0: &Matrix,
+    s: f64,
+    rho: f64,
+    layers: usize,
+    rng: &mut SplitRng,
+) -> Vec<f64> {
+    let d0 = g.distance(x0).max(1e-300);
+    let cfg = (rho > 0.0).then(|| SkipNodeConfig::new(rho, Sampling::Uniform));
+    let mut x = x0.clone();
+    let mut out = Vec::with_capacity(layers);
+    for _ in 0..layers {
+        let w = random_weight_with_singular_value(x0.cols(), s, rng);
+        x = match &cfg {
+            Some(cfg) => {
+                let mask = cfg.sample_mask(g.degrees(), rng);
+                skipnode_layer(g, &x, &w, &mask)
+            }
+            None => vanilla_layer(g, &x, &w),
+        };
+        out.push((g.distance(&x).max(1e-300) / d0).ln());
+    }
+    out
+}
+
+/// Figure 4(b): one-layer `log(d_M(X₂) / d_M(X₁))` for a single draw of
+/// weights and mask.
+pub fn one_layer_log_ratio(
+    g: &TheoryGraph,
+    x0: &Matrix,
+    s: f64,
+    rho: f64,
+    rng: &mut SplitRng,
+) -> f64 {
+    let w = random_weight_with_singular_value(x0.cols(), s, rng);
+    let x1 = vanilla_layer(g, x0, &w);
+    let cfg = SkipNodeConfig::new(rho, Sampling::Uniform);
+    let mask = cfg.sample_mask(g.degrees(), rng);
+    let x2 = skipnode_layer(g, x0, &w, &mask);
+    (g.distance(&x2).max(1e-300) / g.distance(&x1).max(1e-300)).ln()
+}
+
+/// Expected number of convolutions a node actually undergoes in an
+/// `layers`-deep SkipNode model: each middle layer is skipped independently
+/// with probability `rho`, so the effective exponent of `(sλ)^L` shrinks to
+/// `L(1−ρ)` in expectation.
+pub fn effective_depth(layers: usize, rho: f64) -> f64 {
+    assert!((0.0..1.0).contains(&rho), "rho in [0,1)");
+    layers as f64 * (1.0 - rho)
+}
+
+/// The expected log over-smoothing coefficient after `layers` SkipNode
+/// layers, combining both effects from Theorem 2: the shrunken exponent and
+/// the loosened per-layer base `sλ + ρ(1−sλ)`.
+pub fn expected_log_coefficient(layers: usize, s_lambda: f64, rho: f64) -> f64 {
+    layers as f64 * theorem2_coefficient(s_lambda, rho).ln()
+}
+
+/// Non-negative random feature matrix (stand-in for a previous ReLU
+/// layer's output, as the theory assumes `X ≥ 0`).
+pub fn random_nonneg_features(n: usize, d: usize, rng: &mut SplitRng) -> Matrix {
+    rng.uniform_matrix(n, d, 0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn er_graph(seed: u64) -> TheoryGraph {
+        let mut rng = SplitRng::new(seed);
+        TheoryGraph::erdos_renyi(60, 0.3, &mut rng)
+    }
+
+    #[test]
+    fn lambda_is_in_unit_interval() {
+        let g = er_graph(1);
+        assert!(g.lambda() > 0.0 && g.lambda() < 1.0, "λ = {}", g.lambda());
+    }
+
+    #[test]
+    fn controlled_weight_hits_target_singular_value() {
+        let mut rng = SplitRng::new(2);
+        for &s in &[0.2f64, 0.5, 1.0, 2.0] {
+            let w = random_weight_with_singular_value(16, s, &mut rng);
+            let got = max_singular_value(&w, 400);
+            assert!((got - s).abs() < 1e-3, "target {s}, got {got}");
+        }
+    }
+
+    #[test]
+    fn vanilla_layer_contracts_distance_by_s_lambda() {
+        // Theorem 1 of Oono & Suzuki: d_M(X₁) ≤ sλ d_M(X).
+        let g = er_graph(3);
+        let mut rng = SplitRng::new(4);
+        let x = random_nonneg_features(g.nodes(), 8, &mut rng);
+        for &s in &[0.3f64, 0.8] {
+            let w = random_weight_with_singular_value(8, s, &mut rng);
+            let x1 = vanilla_layer(&g, &x, &w);
+            let bound = s * g.lambda() * g.distance(&x);
+            assert!(
+                g.distance(&x1) <= bound * (1.0 + 1e-4),
+                "d(X1) = {} > bound {}",
+                g.distance(&x1),
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn theorem2_expected_output_respects_upper_bound() {
+        let g = er_graph(5);
+        let mut rng = SplitRng::new(6);
+        let x = random_nonneg_features(g.nodes(), 8, &mut rng);
+        let s = 0.4;
+        let rho = 0.5;
+        let w = random_weight_with_singular_value(8, s, &mut rng);
+        let x1 = vanilla_layer(&g, &x, &w);
+        // E[X₂] = (1−ρ)X₁ + ρX.
+        let ex2 = x1.zip(&x, |a, b| (1.0 - rho as f32) * a + rho as f32 * b);
+        let coef = theorem2_coefficient(s * g.lambda(), rho);
+        assert!(
+            g.distance(&ex2) <= coef * g.distance(&x) * (1.0 + 1e-4),
+            "d(E[X2]) = {} > {}",
+            g.distance(&ex2),
+            coef * g.distance(&x)
+        );
+        // And the SkipNode coefficient is strictly larger than vanilla's.
+        assert!(coef > s * g.lambda());
+    }
+
+    #[test]
+    fn theorem3_expected_output_respects_lower_bound() {
+        let g = er_graph(7);
+        let mut rng = SplitRng::new(8);
+        let x = random_nonneg_features(g.nodes(), 8, &mut rng);
+        let s = 0.2; // sλ small → condition easy to satisfy
+        let rho = 0.6;
+        let sl = s * g.lambda();
+        assert!(rho * (1.0 / sl + 1.0) > 2.0, "test setup violates condition");
+        let w = random_weight_with_singular_value(8, s, &mut rng);
+        let x1 = vanilla_layer(&g, &x, &w);
+        let ex2 = x1.zip(&x, |a, b| (1.0 - rho as f32) * a + rho as f32 * b);
+        let lower = theorem3_lower_bound(sl, rho) * g.distance(&x1);
+        assert!(
+            g.distance(&ex2) >= lower * (1.0 - 1e-4),
+            "d(E[X2]) = {} < lower bound {}",
+            g.distance(&ex2),
+            lower
+        );
+        // When ρ(1/sλ+1) > 2 the SkipNode output is farther from M than X₁.
+        assert!(g.distance(&ex2) > g.distance(&x1));
+    }
+
+    #[test]
+    fn theorem3_min_rho_matches_remark_2_example() {
+        // Remark 2: sλ ≈ 0.199 → ρ > 0.34 suffices (paper computes ≈0.332).
+        let min_rho = theorem3_min_rho(0.199);
+        assert!((min_rho - 0.332).abs() < 0.01, "min ρ = {min_rho}");
+    }
+
+    #[test]
+    fn depth_series_vanilla_decays_and_skipnode_decays_slower() {
+        let g = er_graph(9);
+        let mut rng = SplitRng::new(10);
+        let x0 = random_nonneg_features(g.nodes(), 8, &mut rng);
+        let layers = 8;
+        let runs = 10;
+        let avg = |rho: f64, rng: &mut SplitRng| -> Vec<f64> {
+            let mut acc = vec![0.0f64; layers];
+            for _ in 0..runs {
+                let series = depth_log_ratio_series(&g, &x0, 0.9, rho, layers, rng);
+                for (a, v) in acc.iter_mut().zip(series) {
+                    *a += v;
+                }
+            }
+            acc.into_iter().map(|v| v / runs as f64).collect()
+        };
+        let vanilla = avg(0.0, &mut rng);
+        let skip = avg(0.5, &mut rng);
+        // Vanilla decays monotonically-ish and ends far below SkipNode.
+        assert!(vanilla[layers - 1] < vanilla[0], "{vanilla:?}");
+        assert!(
+            skip[layers - 1] > vanilla[layers - 1] + 1.0,
+            "skip {skip:?} vanilla {vanilla:?}"
+        );
+    }
+
+    #[test]
+    fn effective_depth_shrinks_linearly() {
+        assert_eq!(effective_depth(10, 0.0), 10.0);
+        assert_eq!(effective_depth(10, 0.5), 5.0);
+        assert!((effective_depth(64, 0.9) - 6.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_log_coefficient_is_less_negative_with_skipnode() {
+        let vanilla = expected_log_coefficient(16, 0.2, 0.0);
+        let skip = expected_log_coefficient(16, 0.2, 0.5);
+        assert!(vanilla < skip, "{vanilla} vs {skip}");
+        assert!(skip < 0.0, "still contracts: {skip}");
+    }
+
+    #[test]
+    fn one_layer_ratio_is_positive_and_grows_with_rho() {
+        let g = er_graph(11);
+        let mut rng = SplitRng::new(12);
+        let x0 = random_nonneg_features(g.nodes(), 8, &mut rng);
+        let mean_ratio = |rho: f64, rng: &mut SplitRng| -> f64 {
+            (0..20)
+                .map(|_| one_layer_log_ratio(&g, &x0, 0.5, rho, rng))
+                .sum::<f64>()
+                / 20.0
+        };
+        let low = mean_ratio(0.25, &mut rng);
+        let high = mean_ratio(0.75, &mut rng);
+        assert!(low > 0.0, "low {low}");
+        assert!(high > low, "high {high} low {low}");
+    }
+}

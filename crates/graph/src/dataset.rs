@@ -1,0 +1,409 @@
+//! The dataset registry: nine synthetic stand-ins matched to Table 2 of the
+//! paper.
+//!
+//! Every dataset is generated deterministically from `(name, seed)`. Two
+//! scales are provided:
+//! - [`Scale::Paper`] — node/edge/feature counts exactly as published;
+//! - [`Scale::Bench`] — large graphs reduced (Pubmed, ogbn-arxiv, ogbl-ppa)
+//!   and very wide feature matrices trimmed so the full experiment grid
+//!   trains on a CPU in minutes. Reductions are documented per-spec and
+//!   printed by the `table2` binary.
+
+use crate::generators::{
+    barabasi_albert_with_classes, class_feature_matrix, planted_partition, FeatureStyle,
+    PartitionConfig,
+};
+use crate::graph::Graph;
+use skipnode_tensor::SplitRng;
+
+/// Identifier for one of the paper's nine datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetName {
+    /// Cora citation graph (homophilic).
+    Cora,
+    /// Citeseer citation graph (homophilic).
+    Citeseer,
+    /// Pubmed citation graph (homophilic).
+    Pubmed,
+    /// Chameleon Wikipedia graph (heterophilic, hubby).
+    Chameleon,
+    /// Cornell WebKB graph (tiny, heterophilic).
+    Cornell,
+    /// Texas WebKB graph (tiny, heterophilic).
+    Texas,
+    /// Wisconsin WebKB graph (tiny, heterophilic).
+    Wisconsin,
+    /// ogbn-arxiv large citation graph.
+    OgbnArxiv,
+    /// ogbl-ppa protein association graph (link prediction).
+    OgblPpa,
+}
+
+/// All nine datasets in Table 2 order.
+pub const ALL_DATASETS: [DatasetName; 9] = [
+    DatasetName::Cora,
+    DatasetName::Citeseer,
+    DatasetName::Pubmed,
+    DatasetName::Chameleon,
+    DatasetName::Cornell,
+    DatasetName::Texas,
+    DatasetName::Wisconsin,
+    DatasetName::OgbnArxiv,
+    DatasetName::OgblPpa,
+];
+
+impl DatasetName {
+    /// Lowercase canonical name (CLI argument form).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DatasetName::Cora => "cora",
+            DatasetName::Citeseer => "citeseer",
+            DatasetName::Pubmed => "pubmed",
+            DatasetName::Chameleon => "chameleon",
+            DatasetName::Cornell => "cornell",
+            DatasetName::Texas => "texas",
+            DatasetName::Wisconsin => "wisconsin",
+            DatasetName::OgbnArxiv => "ogbn-arxiv",
+            DatasetName::OgblPpa => "ogbl-ppa",
+        }
+    }
+
+    /// Parse from the CLI form.
+    pub fn parse(s: &str) -> Option<Self> {
+        ALL_DATASETS.iter().copied().find(|d| d.as_str() == s)
+    }
+}
+
+/// Generation scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Statistics exactly as published in Table 2.
+    Paper,
+    /// CPU-budget scale: large graphs shrunk, wide features trimmed.
+    Bench,
+}
+
+/// Topology family for a spec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Topology {
+    /// Degree-corrected planted partition with the given degree power.
+    Partition { power: f64 },
+    /// Class-biased preferential attachment with the given per-node degree.
+    /// Kept as an alternative large-graph topology (hub-heavy, expander
+    /// spectrum); the shipped arxiv substitute uses `Ring` for spectral
+    /// fidelity instead.
+    #[allow(dead_code)]
+    Preferential { attach: usize },
+    /// Small-world ring of class blocks (citation graphs): slow mixing,
+    /// `λ ≈ 0.999` like real Planetoid graphs. Homophily is set by the
+    /// block length.
+    Ring { block: usize, window: usize },
+}
+
+/// Full recipe for generating one dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Which paper dataset this substitutes.
+    pub name: DatasetName,
+    /// Node count.
+    pub nodes: usize,
+    /// Target undirected edge count.
+    pub edges: usize,
+    /// Feature dimensionality.
+    pub features: usize,
+    /// Class count.
+    pub classes: usize,
+    /// Target edge homophily.
+    pub homophily: f64,
+    feature_style: FeatureStyle,
+    topology: Topology,
+}
+
+impl DatasetSpec {
+    /// The generation recipe for `(name, scale)`.
+    pub fn of(name: DatasetName, scale: Scale) -> DatasetSpec {
+        use DatasetName::*;
+        let bow = |active: usize, confusion: f64| FeatureStyle::BinaryBagOfWords {
+            active,
+            fidelity: 0.85,
+            confusion,
+        };
+        let paper = match name {
+            Cora => DatasetSpec {
+                name,
+                nodes: 2708,
+                edges: 5429,
+                features: 1433,
+                classes: 7,
+                homophily: 0.81,
+                feature_style: bow(18, 0.20),
+                topology: Topology::Ring {
+                    block: 15,
+                    window: 12,
+                },
+            },
+            Citeseer => DatasetSpec {
+                name,
+                nodes: 3327,
+                edges: 4732,
+                features: 3703,
+                classes: 6,
+                homophily: 0.74,
+                feature_style: bow(22, 0.30),
+                topology: Topology::Ring {
+                    block: 9,
+                    window: 10,
+                },
+            },
+            Pubmed => DatasetSpec {
+                name,
+                nodes: 19717,
+                edges: 44338,
+                features: 500,
+                classes: 3,
+                homophily: 0.80,
+                feature_style: FeatureStyle::TfidfGaussian { separation: 0.036 },
+                topology: Topology::Ring {
+                    block: 14,
+                    window: 12,
+                },
+            },
+            Chameleon => DatasetSpec {
+                name,
+                nodes: 2277,
+                edges: 36101,
+                features: 2325,
+                classes: 5,
+                homophily: 0.23,
+                feature_style: bow(20, 0.45),
+                topology: Topology::Partition { power: 0.8 },
+            },
+            Cornell => DatasetSpec {
+                name,
+                nodes: 183,
+                edges: 295,
+                features: 1703,
+                classes: 5,
+                homophily: 0.13,
+                feature_style: bow(30, 0.20),
+                topology: Topology::Partition { power: 0.2 },
+            },
+            Texas => DatasetSpec {
+                name,
+                nodes: 183,
+                edges: 309,
+                features: 1703,
+                classes: 5,
+                homophily: 0.11,
+                feature_style: bow(30, 0.20),
+                topology: Topology::Partition { power: 0.2 },
+            },
+            Wisconsin => DatasetSpec {
+                name,
+                nodes: 251,
+                edges: 499,
+                features: 1703,
+                classes: 5,
+                homophily: 0.20,
+                feature_style: bow(30, 0.20),
+                topology: Topology::Partition { power: 0.2 },
+            },
+            OgbnArxiv => DatasetSpec {
+                name,
+                nodes: 169_343,
+                edges: 1_166_243,
+                features: 128,
+                classes: 40,
+                homophily: 0.65,
+                feature_style: FeatureStyle::TfidfGaussian { separation: 0.3 },
+                // Ring-of-blocks rather than preferential attachment: like
+                // the citation graphs, real ogbn-arxiv mixes slowly
+                // (λ ≈ 1); a BA expander substitute collapses deep GCNs at
+                // chance level regardless of strategy. Hub-heaviness is
+                // sacrificed for spectral fidelity (the BA generator
+                // remains available in `generators`).
+                topology: Topology::Ring {
+                    block: 11,
+                    window: 12,
+                },
+            },
+            OgblPpa => DatasetSpec {
+                name,
+                nodes: 576_289,
+                edges: 30_326_273,
+                features: 58,
+                classes: 58,
+                homophily: 0.55,
+                feature_style: FeatureStyle::OneHotGroup,
+                topology: Topology::Partition { power: 0.5 },
+            },
+        };
+        match scale {
+            Scale::Paper => paper,
+            Scale::Bench => paper.bench_scaled(),
+        }
+    }
+
+    /// CPU-budget reductions (documented; printed by the `table2` binary).
+    fn bench_scaled(mut self) -> DatasetSpec {
+        use DatasetName::*;
+        match self.name {
+            Pubmed => {
+                self.nodes = 6000;
+                self.edges = 13_500;
+            }
+            OgbnArxiv => {
+                self.nodes = 12_000;
+                self.edges = 80_000;
+            }
+            OgblPpa => {
+                self.nodes = 6000;
+                self.edges = 90_000;
+            }
+            Chameleon => {
+                self.features = 800;
+            }
+            Citeseer => {
+                self.features = 1200;
+            }
+            _ => {}
+        }
+        // Feature width dominates the first-layer GEMM; cap it everywhere.
+        self.features = self.features.min(1500);
+        self
+    }
+
+    /// Generate the graph deterministically from this spec and a seed.
+    pub fn generate(&self, seed: u64) -> Graph {
+        let mut rng = SplitRng::new(seed ^ fxhash(self.name.as_str()));
+        let mut topo_rng = rng.split();
+        let mut feat_rng = rng.split();
+        let (edges, labels) = match self.topology {
+            Topology::Ring { block, window } => {
+                let cfg = crate::generators::RingConfig {
+                    n: self.nodes,
+                    m: self.edges,
+                    classes: self.classes,
+                    block,
+                    rewire: 0.2,
+                    window,
+                };
+                crate::generators::ring_of_blocks(&cfg, &mut topo_rng)
+            }
+            Topology::Partition { power } => {
+                let cfg = PartitionConfig {
+                    n: self.nodes,
+                    m: self.edges,
+                    classes: self.classes,
+                    homophily: self.homophily,
+                    power,
+                };
+                planted_partition(&cfg, &mut topo_rng)
+            }
+            Topology::Preferential { attach } => barabasi_albert_with_classes(
+                self.nodes,
+                attach,
+                self.classes,
+                self.homophily,
+                &mut topo_rng,
+            ),
+        };
+        let features = class_feature_matrix(
+            &labels,
+            self.classes,
+            self.features,
+            self.feature_style,
+            &mut feat_rng,
+        );
+        Graph::new(self.nodes, edges, features, labels, self.classes)
+    }
+}
+
+/// Load a dataset by name at the given scale, deterministically from `seed`.
+pub fn load(name: DatasetName, scale: Scale, seed: u64) -> Graph {
+    DatasetSpec::of(name, scale).generate(seed)
+}
+
+/// Tiny stable string hash so each dataset gets a distinct RNG stream from
+/// the same user seed.
+fn fxhash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cora_matches_published_statistics() {
+        let g = load(DatasetName::Cora, Scale::Paper, 7);
+        assert_eq!(g.num_nodes(), 2708);
+        assert_eq!(g.feature_dim(), 1433);
+        assert_eq!(g.num_classes(), 7);
+        let m = g.num_edges() as f64;
+        assert!((m - 5429.0).abs() < 5429.0 * 0.02, "edges {m}");
+        let h = g.edge_homophily();
+        assert!((h - 0.81).abs() < 0.06, "homophily {h}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = load(DatasetName::Cornell, Scale::Paper, 3);
+        let b = load(DatasetName::Cornell, Scale::Paper, 3);
+        assert_eq!(a.edges(), b.edges());
+        assert_eq!(a.features(), b.features());
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = load(DatasetName::Cornell, Scale::Paper, 3);
+        let b = load(DatasetName::Cornell, Scale::Paper, 4);
+        assert_ne!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn heterophilic_graphs_have_low_homophily() {
+        for name in [DatasetName::Cornell, DatasetName::Texas, DatasetName::Wisconsin] {
+            let g = load(name, Scale::Paper, 1);
+            assert!(g.edge_homophily() < 0.35, "{name:?}: {}", g.edge_homophily());
+        }
+    }
+
+    #[test]
+    fn bench_scale_reduces_large_graphs() {
+        let p = DatasetSpec::of(DatasetName::OgbnArxiv, Scale::Paper);
+        let b = DatasetSpec::of(DatasetName::OgbnArxiv, Scale::Bench);
+        assert!(b.nodes < p.nodes / 4);
+        let g = b.generate(7);
+        assert_eq!(g.num_nodes(), 12_000);
+        assert_eq!(g.num_classes(), 40);
+        // The substitute trades BA hubs for citation-like slow mixing;
+        // check the homophily dial instead of the degree tail.
+        let h = g.edge_homophily();
+        assert!((h - 0.65).abs() < 0.08, "homophily {h}");
+    }
+
+    #[test]
+    fn name_parse_round_trips() {
+        for d in ALL_DATASETS {
+            assert_eq!(DatasetName::parse(d.as_str()), Some(d));
+        }
+        assert_eq!(DatasetName::parse("nope"), None);
+    }
+
+    #[test]
+    fn all_bench_datasets_generate_quickly_and_validly() {
+        for name in ALL_DATASETS {
+            let g = load(name, Scale::Bench, 2);
+            assert!(g.num_nodes() > 0);
+            assert!(g.num_edges() > 0);
+            assert!(g.features().all_finite());
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Parameter checkpointing: a tiny self-describing binary format for
+//! saving and restoring a [`ParamStore`], so trained models survive
+//! process restarts (and experiment binaries can hand models to each
+//! other).
+//!
+//! Format (little-endian):
+//! ```text
+//! magic "SKPN" | version u32 | param_count u32 |
+//!   per param: name_len u32 | name utf8 | rows u32 | cols u32 | f32 * rows*cols
+//! ```
+
+use crate::param::ParamStore;
+use skipnode_tensor::Matrix;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"SKPN";
+const VERSION: u32 = 1;
+
+/// Serialize the store to any writer.
+pub fn write_checkpoint<W: Write>(store: &ParamStore, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(store.len() as u32).to_le_bytes())?;
+    for id in store.ids() {
+        let name = store.name(id).as_bytes();
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name)?;
+        let m = store.value(id);
+        w.write_all(&(m.rows() as u32).to_le_bytes())?;
+        w.write_all(&(m.cols() as u32).to_le_bytes())?;
+        for &v in m.as_slice() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize a store from any reader.
+pub fn read_checkpoint<R: Read>(mut r: R) -> io::Result<ParamStore> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported checkpoint version {version}"),
+        ));
+    }
+    let count = read_u32(&mut r)? as usize;
+    let mut store = ParamStore::new();
+    for _ in 0..count {
+        let name_len = read_u32(&mut r)? as usize;
+        if name_len > 1 << 20 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "name too long"));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let rows = read_u32(&mut r)? as usize;
+        let cols = read_u32(&mut r)? as usize;
+        let len = rows.checked_mul(cols).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "shape overflow")
+        })?;
+        let mut data = vec![0.0f32; len];
+        let mut buf = [0u8; 4];
+        for v in &mut data {
+            r.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+        store.add(name, Matrix::from_vec(rows, cols, data));
+    }
+    Ok(store)
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Save a store to a file.
+pub fn save_checkpoint(store: &ParamStore, path: impl AsRef<Path>) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_checkpoint(store, io::BufWriter::new(f))
+}
+
+/// Load a store from a file.
+pub fn load_checkpoint(path: impl AsRef<Path>) -> io::Result<ParamStore> {
+    let f = std::fs::File::open(path)?;
+    read_checkpoint(io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skipnode_tensor::SplitRng;
+
+    fn sample_store() -> ParamStore {
+        let mut rng = SplitRng::new(5);
+        let mut store = ParamStore::new();
+        store.add("w0", rng.uniform_matrix(3, 4, -1.0, 1.0));
+        store.add("b0", Matrix::zeros(1, 4));
+        store.add("gamma", rng.uniform_matrix(1, 11, 0.0, 1.0));
+        store
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        write_checkpoint(&store, &mut buf).unwrap();
+        let loaded = read_checkpoint(buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), store.len());
+        for (a, b) in store.ids().into_iter().zip(loaded.ids()) {
+            assert_eq!(store.name(a), loaded.name(b));
+            assert_eq!(store.value(a), loaded.value(b));
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let store = sample_store();
+        let path = std::env::temp_dir().join("skipnode_ckpt_test.skpn");
+        save_checkpoint(&store, &path).unwrap();
+        let loaded = load_checkpoint(&path).unwrap();
+        assert_eq!(loaded.len(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"XXXX\x01\x00\x00\x00\x00\x00\x00\x00";
+        assert!(read_checkpoint(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        write_checkpoint(&store, &mut buf).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(read_checkpoint(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(read_checkpoint(buf.as_slice()).is_err());
+    }
+}

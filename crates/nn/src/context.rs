@@ -1,0 +1,246 @@
+//! Plug-and-play strategies and the per-forward context.
+
+use skipnode_autograd::{AdjId, NodeId, Tape};
+use skipnode_core::SkipNodeConfig;
+use skipnode_graph::Graph;
+use skipnode_sparse::{gcn_adjacency_filtered, gcn_adjacency_with_node_mask, CsrMatrix};
+use skipnode_tensor::SplitRng;
+use std::sync::Arc;
+
+/// The plug-and-play strategies compared throughout the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Strategy {
+    /// Plain backbone.
+    None,
+    /// DropEdge [25]: delete a fraction of edges each epoch and
+    /// renormalize the adjacency.
+    DropEdge {
+        /// Fraction of edges removed.
+        rate: f64,
+    },
+    /// DropNode [34]: remove a fraction of nodes (and incident edges) from
+    /// the propagation graph each epoch; removed nodes get zero rows.
+    DropNode {
+        /// Fraction of nodes removed.
+        rate: f64,
+    },
+    /// PairNorm [22]: center-and-scale normalization after each middle
+    /// convolution (active at train *and* eval — it is architectural).
+    PairNorm {
+        /// Target row-norm scale `s`.
+        scale: f32,
+    },
+    /// SkipNode (this paper): sampled nodes skip each middle convolution
+    /// during training.
+    SkipNode(SkipNodeConfig),
+    /// Ablation variant: the skip mask is also sampled at evaluation time
+    /// (the paper keeps SkipNode train-only; `ablation_eval_mode` measures
+    /// why).
+    SkipNodeTrainEval(SkipNodeConfig),
+}
+
+impl Strategy {
+    /// Short label used in result tables.
+    pub fn label(&self) -> String {
+        match self {
+            Strategy::None => "-".into(),
+            Strategy::DropEdge { rate } => format!("DropEdge({rate})"),
+            Strategy::DropNode { rate } => format!("DropNode({rate})"),
+            Strategy::PairNorm { scale } => format!("PairNorm({scale})"),
+            Strategy::SkipNodeTrainEval(cfg) => format!("SkipNode-eval({})", cfg.rate()),
+            Strategy::SkipNode(cfg) => format!(
+                "SkipNode-{}({})",
+                match cfg.sampling() {
+                    skipnode_core::Sampling::Uniform => "U",
+                    skipnode_core::Sampling::Biased => "B",
+                    skipnode_core::Sampling::InverseBiased => "I",
+                    skipnode_core::Sampling::TopDegree => "T",
+                },
+                cfg.rate()
+            ),
+        }
+    }
+
+    /// The propagation matrix for one epoch. Graph-modifying strategies
+    /// (DropEdge, DropNode) resample and renormalize during training;
+    /// everything else — and all evaluation — uses the cached full `Ã`.
+    pub fn epoch_adjacency(
+        &self,
+        graph: &Graph,
+        full: &Arc<CsrMatrix>,
+        train: bool,
+        rng: &mut SplitRng,
+    ) -> Arc<CsrMatrix> {
+        if !train {
+            return Arc::clone(full);
+        }
+        match self {
+            Strategy::DropEdge { rate } => {
+                let kept = graph
+                    .edges()
+                    .iter()
+                    .copied()
+                    .filter(|_| !rng.bernoulli(*rate));
+                Arc::new(gcn_adjacency_filtered(graph.num_nodes(), kept))
+            }
+            Strategy::DropNode { rate } => {
+                let keep: Vec<bool> = (0..graph.num_nodes())
+                    .map(|_| !rng.bernoulli(*rate))
+                    .collect();
+                Arc::new(gcn_adjacency_with_node_mask(
+                    graph.num_nodes(),
+                    graph.edges(),
+                    &keep,
+                ))
+            }
+            _ => Arc::clone(full),
+        }
+    }
+}
+
+/// Per-forward-pass context handed to every model.
+pub struct ForwardCtx<'a> {
+    /// The epoch's propagation matrix, already registered on the tape.
+    pub adj: AdjId,
+    /// Input features on the tape.
+    pub x: NodeId,
+    /// Node degrees (drives SkipNode's biased sampler).
+    pub degrees: &'a [usize],
+    /// Strategy in effect.
+    pub strategy: &'a Strategy,
+    /// Training (true) vs evaluation (false) semantics.
+    pub train: bool,
+    /// RNG for dropout and mask sampling.
+    pub rng: &'a mut SplitRng,
+    /// Set by models: the representation before the classification layer
+    /// (the MAD metric of Figures 2(a) and 5(b) reads it).
+    pub penultimate: Option<NodeId>,
+}
+
+impl<'a> ForwardCtx<'a> {
+    /// Create a context.
+    pub fn new(
+        adj: AdjId,
+        x: NodeId,
+        degrees: &'a [usize],
+        strategy: &'a Strategy,
+        train: bool,
+        rng: &'a mut SplitRng,
+    ) -> Self {
+        Self {
+            adj,
+            x,
+            degrees,
+            strategy,
+            train,
+            rng,
+            penultimate: None,
+        }
+    }
+
+    /// Post-convolution hook for *middle* layers: applies PairNorm
+    /// (always) or the SkipNode row-combine against the layer input
+    /// (training only). `h_act` and `h_prev` must share a shape for
+    /// SkipNode to engage.
+    pub fn post_conv(&mut self, tape: &mut Tape, h_act: NodeId, h_prev: NodeId) -> NodeId {
+        match self.strategy {
+            Strategy::PairNorm { scale } => tape.pairnorm(h_act, *scale),
+            Strategy::SkipNode(cfg) if self.train => {
+                if tape.value(h_act).shape() != tape.value(h_prev).shape() {
+                    return h_act;
+                }
+                let mask = cfg.sample_mask(self.degrees, self.rng);
+                tape.row_combine(h_act, h_prev, &mask)
+            }
+            Strategy::SkipNodeTrainEval(cfg) => {
+                if tape.value(h_act).shape() != tape.value(h_prev).shape() {
+                    return h_act;
+                }
+                let mask = cfg.sample_mask(self.degrees, self.rng);
+                tape.row_combine(h_act, h_prev, &mask)
+            }
+            _ => h_act,
+        }
+    }
+
+    /// Training-time dropout (identity at eval or rate 0).
+    pub fn dropout(&mut self, tape: &mut Tape, h: NodeId, rate: f64) -> NodeId {
+        if self.train && rate > 0.0 {
+            tape.dropout(h, rate, self.rng)
+        } else {
+            h
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skipnode_graph::{load, DatasetName, Scale};
+
+    fn cornell() -> Graph {
+        load(DatasetName::Cornell, Scale::Bench, 7)
+    }
+
+    #[test]
+    fn eval_always_uses_full_adjacency() {
+        let g = cornell();
+        let full = Arc::new(g.gcn_adjacency());
+        let mut rng = SplitRng::new(1);
+        let s = Strategy::DropEdge { rate: 0.9 };
+        let adj = s.epoch_adjacency(&g, &full, false, &mut rng);
+        assert!(Arc::ptr_eq(&adj, &full));
+    }
+
+    #[test]
+    fn dropedge_removes_edges_at_train_time() {
+        let g = cornell();
+        let full = Arc::new(g.gcn_adjacency());
+        let mut rng = SplitRng::new(2);
+        let s = Strategy::DropEdge { rate: 0.5 };
+        let adj = s.epoch_adjacency(&g, &full, true, &mut rng);
+        assert!(adj.nnz() < full.nnz(), "{} vs {}", adj.nnz(), full.nnz());
+        // Still symmetric and renormalized.
+        assert!(adj.is_symmetric(1e-6));
+    }
+
+    #[test]
+    fn dropnode_zeroes_dropped_rows() {
+        let g = cornell();
+        let full = Arc::new(g.gcn_adjacency());
+        let mut rng = SplitRng::new(3);
+        let s = Strategy::DropNode { rate: 0.5 };
+        let adj = s.epoch_adjacency(&g, &full, true, &mut rng);
+        let empty_rows = (0..g.num_nodes())
+            .filter(|&r| adj.row_nnz(r) == 0)
+            .count();
+        let frac = empty_rows as f64 / g.num_nodes() as f64;
+        assert!((frac - 0.5).abs() < 0.15, "empty fraction {frac}");
+    }
+
+    #[test]
+    fn non_graph_strategies_reuse_full_adjacency() {
+        let g = cornell();
+        let full = Arc::new(g.gcn_adjacency());
+        let mut rng = SplitRng::new(4);
+        for s in [
+            Strategy::None,
+            Strategy::PairNorm { scale: 1.0 },
+            Strategy::SkipNode(SkipNodeConfig::new(
+                0.5,
+                skipnode_core::Sampling::Uniform,
+            )),
+        ] {
+            let adj = s.epoch_adjacency(&g, &full, true, &mut rng);
+            assert!(Arc::ptr_eq(&adj, &full), "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Strategy::None.label(), "-");
+        assert_eq!(Strategy::DropEdge { rate: 0.3 }.label(), "DropEdge(0.3)");
+        let s = Strategy::SkipNode(SkipNodeConfig::new(0.5, skipnode_core::Sampling::Biased));
+        assert_eq!(s.label(), "SkipNode-B(0.5)");
+    }
+}

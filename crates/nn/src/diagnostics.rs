@@ -1,0 +1,92 @@
+//! Training diagnostics for the Figure 2 "three issues" experiment.
+//!
+//! The paper visualizes, per epoch: (a) MAD of the penultimate features
+//! (over-smoothing), (b) gradient magnitude at the classification layer
+//! (gradient vanishing), and (c) the summed L2 norm of all weights (weight
+//! over-decaying). The trainer fills one [`EpochDiagnostics`] row per
+//! recorded epoch.
+
+/// One epoch's worth of degradation diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochDiagnostics {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training cross-entropy.
+    pub train_loss: f64,
+    /// Validation accuracy.
+    pub val_accuracy: f64,
+    /// Frobenius norm of `∂L/∂Z` at the classification layer (Fig. 2b).
+    pub output_grad_norm: f64,
+    /// `Σ_l ‖W^(l)‖²` over all parameters (Fig. 2c).
+    pub weight_norm_sq: f64,
+    /// MAD of the penultimate representation (Fig. 2a / Fig. 5b); `None`
+    /// when MAD recording is disabled or the model exposes no penultimate.
+    pub mad: Option<f64>,
+}
+
+/// Collects [`EpochDiagnostics`] every `every` epochs.
+#[derive(Debug, Clone)]
+pub struct DiagnosticsRecorder {
+    every: usize,
+    entries: Vec<EpochDiagnostics>,
+}
+
+impl DiagnosticsRecorder {
+    /// Record every `every`-th epoch (`every == 0` disables recording).
+    pub fn new(every: usize) -> Self {
+        Self {
+            every,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Should this epoch be recorded?
+    pub fn wants(&self, epoch: usize) -> bool {
+        self.every > 0 && epoch.is_multiple_of(self.every)
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, row: EpochDiagnostics) {
+        self.entries.push(row);
+    }
+
+    /// Recorded rows.
+    pub fn entries(&self) -> &[EpochDiagnostics] {
+        &self.entries
+    }
+
+    /// Consume into the rows.
+    pub fn into_entries(self) -> Vec<EpochDiagnostics> {
+        self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_cadence() {
+        let r = DiagnosticsRecorder::new(5);
+        assert!(r.wants(0));
+        assert!(!r.wants(3));
+        assert!(r.wants(10));
+        let off = DiagnosticsRecorder::new(0);
+        assert!(!off.wants(0));
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let mut r = DiagnosticsRecorder::new(1);
+        r.push(EpochDiagnostics {
+            epoch: 0,
+            train_loss: 1.0,
+            val_accuracy: 0.5,
+            output_grad_norm: 0.1,
+            weight_norm_sq: 2.0,
+            mad: Some(0.7),
+        });
+        assert_eq!(r.entries().len(), 1);
+        assert_eq!(r.entries()[0].epoch, 0);
+    }
+}

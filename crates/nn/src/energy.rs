@@ -1,0 +1,86 @@
+//! Dirichlet energy — the smoothness functional used by Zhou et al. [49]
+//! (cited in the paper's related work) to regularize deep GCN training.
+//!
+//! `E(X) = ½ Σ_{(i,j) ∈ E} ‖ x_i/√(1+d_i) − x_j/√(1+d_j) ‖²`
+//!
+//! Over-smoothed features drive `E(X) → 0`; it complements MAD as a
+//! diagnostic (MAD is scale-invariant, Dirichlet energy is not).
+
+use skipnode_graph::Graph;
+use skipnode_tensor::Matrix;
+
+/// Degree-normalized Dirichlet energy of node features on a graph.
+pub fn dirichlet_energy(features: &Matrix, graph: &Graph) -> f64 {
+    assert_eq!(
+        features.rows(),
+        graph.num_nodes(),
+        "one feature row per node"
+    );
+    let degrees = graph.degrees();
+    let inv_sqrt: Vec<f64> = degrees
+        .iter()
+        .map(|&d| 1.0 / ((d + 1) as f64).sqrt())
+        .collect();
+    let mut energy = 0.0f64;
+    for &(u, v) in graph.edges() {
+        let xu = features.row(u);
+        let xv = features.row(v);
+        let (su, sv) = (inv_sqrt[u], inv_sqrt[v]);
+        for (&a, &b) in xu.iter().zip(xv) {
+            let diff = a as f64 * su - b as f64 * sv;
+            energy += diff * diff;
+        }
+    }
+    0.5 * energy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skipnode_graph::Graph;
+
+    fn path(features: Matrix) -> Graph {
+        let n = features.rows();
+        let edges = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Graph::new(n, edges, features, vec![0; n], 1)
+    }
+
+    #[test]
+    fn energy_of_degree_scaled_constant_is_zero() {
+        // x_i ∝ √(1+d_i) makes every normalized difference vanish — this is
+        // exactly the over-smoothing subspace M.
+        let feats = Matrix::from_rows(&[
+            &[(2.0f32).sqrt()],
+            &[(3.0f32).sqrt()],
+            &[(2.0f32).sqrt()],
+        ]);
+        let g = path(feats);
+        assert!(dirichlet_energy(g.features(), &g) < 1e-10);
+    }
+
+    #[test]
+    fn energy_positive_for_diverse_features() {
+        let g = path(Matrix::from_rows(&[&[1.0], &[-1.0], &[1.0]]));
+        assert!(dirichlet_energy(g.features(), &g) > 0.1);
+    }
+
+    #[test]
+    fn energy_scales_quadratically() {
+        let g1 = path(Matrix::from_rows(&[&[1.0], &[0.0], &[1.0]]));
+        let g2 = path(Matrix::from_rows(&[&[2.0], &[0.0], &[2.0]]));
+        let e1 = dirichlet_energy(g1.features(), &g1);
+        let e2 = dirichlet_energy(g2.features(), &g2);
+        assert!((e2 / e1 - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn propagation_decreases_energy() {
+        // One application of Ã smooths features, so energy must not grow.
+        let g = path(Matrix::from_rows(&[&[3.0], &[-2.0], &[1.0], &[5.0]]));
+        let adj = g.gcn_adjacency();
+        let before = dirichlet_energy(g.features(), &g);
+        let after_feats = adj.spmm(g.features());
+        let after = dirichlet_energy(&after_feats, &g);
+        assert!(after < before, "energy rose: {after} > {before}");
+    }
+}

@@ -1,0 +1,207 @@
+//! Link prediction (the Table 5 / ogbl-ppa task).
+//!
+//! A GCN encoder produces node embeddings; a dot-product decoder scores
+//! edges; training is BCE over message-graph positives vs per-epoch random
+//! negatives; evaluation is OGB-style Hits@K against a fixed negative set.
+
+use crate::context::{ForwardCtx, Strategy};
+use crate::metrics::hits_at_k;
+use crate::models::{Gcn, Model};
+use crate::optim::{Adam, AdamConfig};
+use skipnode_autograd::{bce_with_logits, Tape};
+use skipnode_graph::{Graph, LinkSplit};
+use skipnode_sparse::gcn_adjacency;
+use skipnode_tensor::{Matrix, SplitRng};
+use std::sync::Arc;
+
+/// Link-prediction training configuration.
+#[derive(Debug, Clone)]
+pub struct LinkPredConfig {
+    /// Training epochs.
+    pub epochs: usize,
+    /// Encoder hidden width (also the embedding width).
+    pub hidden: usize,
+    /// Encoder depth (number of GCN layers).
+    pub layers: usize,
+    /// Encoder dropout.
+    pub dropout: f64,
+    /// Optimizer settings.
+    pub adam: AdamConfig,
+    /// Negatives sampled per positive each epoch.
+    pub neg_per_pos: usize,
+}
+
+impl Default for LinkPredConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 80,
+            hidden: 64,
+            layers: 4,
+            dropout: 0.2,
+            adam: AdamConfig {
+                lr: 0.01,
+                weight_decay: 0.0,
+                ..Default::default()
+            },
+            neg_per_pos: 1,
+        }
+    }
+}
+
+/// Hits@K results on the held-out test edges.
+#[derive(Debug, Clone)]
+pub struct LinkPredResult {
+    /// Hits@10.
+    pub hits_at_10: f64,
+    /// Hits@50.
+    pub hits_at_50: f64,
+    /// Hits@100.
+    pub hits_at_100: f64,
+    /// Final training loss.
+    pub final_loss: f64,
+}
+
+/// Train a GCN link predictor on the split's message graph and evaluate
+/// Hits@K on the held-out test edges.
+pub fn train_link_predictor(
+    graph: &Graph,
+    split: &LinkSplit,
+    strategy: &Strategy,
+    cfg: &LinkPredConfig,
+    rng: &mut SplitRng,
+) -> LinkPredResult {
+    let n = graph.num_nodes();
+    // The encoder must never see held-out edges: build the message graph.
+    let train_graph = Graph::new(
+        n,
+        split.message_edges.clone(),
+        graph.features().clone(),
+        graph.labels().to_vec(),
+        graph.num_classes(),
+    );
+    let full_adj = Arc::new(gcn_adjacency(n, &split.message_edges));
+    let degrees = train_graph.degrees();
+    let mut encoder = Gcn::new(
+        graph.feature_dim(),
+        cfg.hidden,
+        cfg.hidden,
+        cfg.layers,
+        cfg.dropout,
+        rng,
+    );
+    let mut opt = Adam::new(encoder.store(), cfg.adam);
+    let mut final_loss = f64::NAN;
+
+    for _ in 0..cfg.epochs {
+        let adj = strategy.epoch_adjacency(&train_graph, &full_adj, true, rng);
+        let mut tape = Tape::new();
+        let binding = encoder.store().bind(&mut tape);
+        let adj_id = tape.register_adj(adj);
+        let x = tape.constant(graph.features().clone());
+        let mut fwd_rng = rng.split();
+        let mut ctx = ForwardCtx::new(adj_id, x, &degrees, strategy, true, &mut fwd_rng);
+        let h = encoder.forward(&mut tape, &binding, &mut ctx);
+
+        // Batch: all positives + fresh random negatives.
+        let mut batch = split.train_pos.clone();
+        let mut targets = vec![1.0f32; batch.len()];
+        let neg_count = batch.len() * cfg.neg_per_pos;
+        for _ in 0..neg_count {
+            let u = rng.below(n);
+            let v = rng.below(n);
+            if u == v {
+                continue;
+            }
+            batch.push((u, v));
+            targets.push(0.0);
+        }
+        let scores = tape.edge_score(h, &batch);
+        let out = bce_with_logits(tape.value(scores), &targets);
+        final_loss = out.loss;
+        let grads = tape.backward(scores, out.grad);
+        let param_grads: Vec<Option<Matrix>> = {
+            let mut grads = grads;
+            binding.nodes().iter().map(|&nid| grads.take(nid)).collect()
+        };
+        opt.step(encoder.store_mut(), &param_grads);
+    }
+
+    // Evaluation embeddings from the message graph, deterministic.
+    let mut tape = Tape::new();
+    let binding = encoder.store().bind(&mut tape);
+    let adj_id = tape.register_adj(Arc::clone(&full_adj));
+    let x = tape.constant(graph.features().clone());
+    let mut eval_rng = rng.split();
+    let mut ctx = ForwardCtx::new(adj_id, x, &degrees, strategy, false, &mut eval_rng);
+    let h = encoder.forward(&mut tape, &binding, &mut ctx);
+    let emb = tape.value(h);
+
+    let score = |edges: &[(usize, usize)]| -> Vec<f32> {
+        edges
+            .iter()
+            .map(|&(u, v)| {
+                emb.row(u)
+                    .iter()
+                    .zip(emb.row(v))
+                    .map(|(&a, &b)| a * b)
+                    .sum()
+            })
+            .collect()
+    };
+    let pos = score(&split.test_pos);
+    let neg = score(&split.eval_neg);
+    LinkPredResult {
+        hits_at_10: hits_at_k(&pos, &neg, 10),
+        hits_at_50: hits_at_k(&pos, &neg, 50),
+        hits_at_100: hits_at_k(&pos, &neg, 100),
+        final_loss,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skipnode_graph::link_split;
+
+    #[test]
+    fn link_predictor_beats_random_on_community_graph() {
+        // Dot-product decoders latch onto community structure; use a dense
+        // homophilic partition graph rather than the sparse WebKB ones.
+        let mut rng = SplitRng::new(1);
+        let cfg_g = skipnode_graph::PartitionConfig {
+            n: 400,
+            m: 3000,
+            classes: 5,
+            homophily: 0.9,
+            power: 0.2,
+        };
+        let g = skipnode_graph::partition_graph(
+            &cfg_g,
+            64,
+            skipnode_graph::FeatureStyle::BinaryBagOfWords {
+                active: 12,
+                fidelity: 0.9,
+                confusion: 0.0,
+            },
+            &mut rng,
+        );
+        let split = link_split(&g, 500, &mut rng);
+        let cfg = LinkPredConfig {
+            epochs: 40,
+            hidden: 16,
+            layers: 2,
+            ..Default::default()
+        };
+        let result = train_link_predictor(&g, &split, &Strategy::None, &cfg, &mut rng);
+        assert!(result.final_loss.is_finite());
+        // With 500 negatives, random ranking gives Hits@100 ≈ 0.2 in
+        // expectation; the trained model should do much better.
+        assert!(
+            result.hits_at_100 > 0.25,
+            "hits@100 = {}",
+            result.hits_at_100
+        );
+        assert!(result.hits_at_10 <= result.hits_at_50);
+        assert!(result.hits_at_50 <= result.hits_at_100);
+    }
+}

@@ -1,0 +1,157 @@
+//! GAT [42]: graph attention network.
+//!
+//! Each layer transforms features (`h = X W`), scores every edge with a
+//! decomposed additive attention (`e_uv = LeakyReLU(a_srcᵀh_u + a_dstᵀh_v)`),
+//! softmax-normalizes per destination, and aggregates. Not one of the
+//! paper's backbones, but included to demonstrate SkipNode's
+//! model-agnosticism on attention-based message passing.
+
+use super::{dense, Model};
+use crate::context::ForwardCtx;
+use crate::param::{Binding, ParamId, ParamStore};
+use skipnode_autograd::{AttentionGraph, NodeId, Tape};
+use skipnode_tensor::{glorot_uniform, Matrix, SplitRng};
+
+const LEAKY_SLOPE: f32 = 0.2;
+
+struct GatLayer {
+    w: ParamId,
+    a_src: ParamId,
+    a_dst: ParamId,
+}
+
+/// Single-head GAT stack with a linear classifier.
+///
+/// The attention neighborhoods come from the *full* graph (built once at
+/// construction); graph-modifying strategies (DropEdge/DropNode) act on
+/// the propagation used by other models and are not supported here — use
+/// PairNorm or SkipNode, which hook the layer outputs.
+pub struct Gat {
+    store: ParamStore,
+    layers: Vec<GatLayer>,
+    out_w: ParamId,
+    out_b: ParamId,
+    graph: AttentionGraph,
+    dropout: f64,
+}
+
+impl Gat {
+    /// Build a `layers`-deep GAT over the given graph structure.
+    pub fn new(
+        n: usize,
+        edges: &[(usize, usize)],
+        in_dim: usize,
+        hidden: usize,
+        out_dim: usize,
+        layers: usize,
+        dropout: f64,
+        rng: &mut SplitRng,
+    ) -> Self {
+        assert!(layers >= 1, "GAT needs at least one layer");
+        let mut store = ParamStore::new();
+        let mut ls = Vec::with_capacity(layers);
+        for l in 0..layers {
+            let fi = if l == 0 { in_dim } else { hidden };
+            ls.push(GatLayer {
+                w: store.add(format!("w{l}"), glorot_uniform(fi, hidden, rng)),
+                a_src: store.add(format!("a_src{l}"), glorot_uniform(hidden, 1, rng)),
+                a_dst: store.add(format!("a_dst{l}"), glorot_uniform(hidden, 1, rng)),
+            });
+        }
+        let out_w = store.add("out_w", glorot_uniform(hidden, out_dim, rng));
+        let out_b = store.add("out_b", Matrix::zeros(1, out_dim));
+        Self {
+            store,
+            layers: ls,
+            out_w,
+            out_b,
+            graph: AttentionGraph::from_edges(n, edges),
+            dropout,
+        }
+    }
+
+    /// Number of attention layers.
+    pub fn layers(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+impl Model for Gat {
+    fn name(&self) -> &'static str {
+        "gat"
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn forward(&self, tape: &mut Tape, binding: &Binding, ctx: &mut ForwardCtx) -> NodeId {
+        let mut h = ctx.x;
+        for layer in &self.layers {
+            let h_in = ctx.dropout(tape, h, self.dropout);
+            let t = tape.matmul(h_in, binding.node(layer.w));
+            let s_src = tape.matmul(t, binding.node(layer.a_src));
+            let s_dst = tape.matmul(t, binding.node(layer.a_dst));
+            let agg = tape.gat_aggregate(t, s_src, s_dst, &self.graph, LEAKY_SLOPE);
+            let a = tape.relu(agg);
+            h = ctx.post_conv(tape, a, h);
+        }
+        ctx.penultimate = Some(h);
+        let h = ctx.dropout(tape, h, self.dropout);
+        dense(tape, binding, h, self.out_w, self.out_b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Strategy;
+    use skipnode_core::{Sampling, SkipNodeConfig};
+    use skipnode_graph::{load, DatasetName, Scale};
+    use std::sync::Arc;
+
+    fn run(strategy: &Strategy, train: bool) -> Matrix {
+        let g = load(DatasetName::Cornell, Scale::Bench, 7);
+        let mut rng = SplitRng::new(1);
+        let model = Gat::new(
+            g.num_nodes(),
+            g.edges(),
+            g.feature_dim(),
+            8,
+            g.num_classes(),
+            3,
+            0.0,
+            &mut rng,
+        );
+        let mut tape = Tape::new();
+        let binding = model.store().bind(&mut tape);
+        let adj = tape.register_adj(Arc::new(g.gcn_adjacency()));
+        let x = tape.constant(g.features().clone());
+        let degrees = g.degrees();
+        let mut fwd_rng = SplitRng::new(2);
+        let mut ctx = ForwardCtx::new(adj, x, &degrees, strategy, train, &mut fwd_rng);
+        let out = model.forward(&mut tape, &binding, &mut ctx);
+        tape.value(out).clone()
+    }
+
+    #[test]
+    fn forward_produces_finite_logits() {
+        let logits = run(&Strategy::None, false);
+        assert_eq!(logits.shape(), (183, 5));
+        assert!(logits.all_finite());
+    }
+
+    #[test]
+    fn skipnode_hooks_into_attention_layers() {
+        let s = Strategy::SkipNode(SkipNodeConfig::new(0.6, Sampling::Uniform));
+        let with = run(&s, true);
+        let without = run(&Strategy::None, true);
+        assert_ne!(with, without);
+        // ... and stays transparent at eval.
+        assert_eq!(run(&s, false), run(&Strategy::None, false));
+    }
+}

@@ -1,0 +1,209 @@
+//! Vanilla GCN [5] and ResGCN (GCN + skip connections [33]).
+
+use super::{conv, Model};
+use crate::context::ForwardCtx;
+use crate::param::{Binding, ParamId, ParamStore};
+use skipnode_autograd::{NodeId, Tape};
+use skipnode_tensor::{glorot_uniform, Matrix, SplitRng};
+
+/// Multi-layer GCN: `X^(l) = ReLU(Ã X^(l-1) W^(l))` with a linear
+/// classification layer on top, optionally with residual connections
+/// between equal-width middle layers (ResGCN).
+pub struct Gcn {
+    store: ParamStore,
+    weights: Vec<ParamId>,
+    biases: Vec<ParamId>,
+    dropout: f64,
+    residual: bool,
+    name: &'static str,
+}
+
+impl Gcn {
+    /// Plain deep GCN with `layers ≥ 2` convolutions
+    /// (`in_dim → hidden → … → hidden → out_dim`).
+    pub fn new(
+        in_dim: usize,
+        hidden: usize,
+        out_dim: usize,
+        layers: usize,
+        dropout: f64,
+        rng: &mut SplitRng,
+    ) -> Self {
+        Self::build(in_dim, hidden, out_dim, layers, dropout, false, "gcn", rng)
+    }
+
+    /// ResGCN: adds identity skip connections on the equal-width middle
+    /// layers.
+    pub fn residual(
+        in_dim: usize,
+        hidden: usize,
+        out_dim: usize,
+        layers: usize,
+        dropout: f64,
+        rng: &mut SplitRng,
+    ) -> Self {
+        Self::build(
+            in_dim, hidden, out_dim, layers, dropout, true, "resgcn", rng,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        in_dim: usize,
+        hidden: usize,
+        out_dim: usize,
+        layers: usize,
+        dropout: f64,
+        residual: bool,
+        name: &'static str,
+        rng: &mut SplitRng,
+    ) -> Self {
+        assert!(layers >= 2, "GCN needs at least 2 layers, got {layers}");
+        let mut store = ParamStore::new();
+        let mut weights = Vec::with_capacity(layers);
+        let mut biases = Vec::with_capacity(layers);
+        for l in 0..layers {
+            let (fi, fo) = if l == 0 {
+                (in_dim, hidden)
+            } else if l == layers - 1 {
+                (hidden, out_dim)
+            } else {
+                (hidden, hidden)
+            };
+            weights.push(store.add(format!("w{l}"), glorot_uniform(fi, fo, rng)));
+            biases.push(store.add(format!("b{l}"), Matrix::zeros(1, fo)));
+        }
+        Self {
+            store,
+            weights,
+            biases,
+            dropout,
+            residual,
+            name,
+        }
+    }
+
+    /// Number of convolutional layers.
+    pub fn layers(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+impl Model for Gcn {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn forward(&self, tape: &mut Tape, binding: &Binding, ctx: &mut ForwardCtx) -> NodeId {
+        let layers = self.layers();
+        let mut h = ctx.x;
+        for l in 0..layers {
+            let last = l == layers - 1;
+            if last {
+                ctx.penultimate = Some(h);
+            }
+            let h_in = ctx.dropout(tape, h, self.dropout);
+            let z = conv(tape, ctx, binding, h_in, self.weights[l], self.biases[l]);
+            if last {
+                h = z;
+            } else {
+                let mut a = tape.relu(z);
+                if self.residual && tape.value(a).shape() == tape.value(h).shape() {
+                    a = tape.add(a, h);
+                }
+                h = ctx.post_conv(tape, a, h);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Strategy;
+    use skipnode_core::{Sampling, SkipNodeConfig};
+    use skipnode_graph::{load, DatasetName, Scale};
+    use std::sync::Arc;
+
+    fn forward_logits(strategy: &Strategy, train: bool, layers: usize) -> Matrix {
+        let g = load(DatasetName::Cornell, Scale::Bench, 7);
+        let mut rng = SplitRng::new(1);
+        let model = Gcn::new(g.feature_dim(), 16, g.num_classes(), layers, 0.5, &mut rng);
+        let mut tape = Tape::new();
+        let binding = model.store().bind(&mut tape);
+        let adj = tape.register_adj(Arc::new(g.gcn_adjacency()));
+        let x = tape.constant(g.features().clone());
+        let degrees = g.degrees();
+        let mut fwd_rng = rng.split();
+        let mut ctx = ForwardCtx::new(adj, x, &degrees, strategy, train, &mut fwd_rng);
+        let out = model.forward(&mut tape, &binding, &mut ctx);
+        tape.value(out).clone()
+    }
+
+    #[test]
+    fn forward_shapes_are_correct() {
+        let logits = forward_logits(&Strategy::None, false, 3);
+        assert_eq!(logits.shape(), (183, 5));
+        assert!(logits.all_finite());
+    }
+
+    #[test]
+    fn eval_forward_is_deterministic_under_skipnode() {
+        // SkipNode is train-only: eval forwards must agree exactly.
+        let s = Strategy::SkipNode(SkipNodeConfig::new(0.5, Sampling::Uniform));
+        let a = forward_logits(&s, false, 4);
+        let b = forward_logits(&s, false, 4);
+        assert_eq!(a, b);
+        // ... and equal to the plain model's eval output.
+        let c = forward_logits(&Strategy::None, false, 4);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn train_forward_with_skipnode_differs_from_vanilla() {
+        let s = Strategy::SkipNode(SkipNodeConfig::new(0.5, Sampling::Uniform));
+        let with = forward_logits(&s, true, 4);
+        let without = forward_logits(&Strategy::None, true, 4);
+        assert_ne!(with, without);
+    }
+
+    #[test]
+    fn residual_model_differs_from_plain() {
+        let g = load(DatasetName::Cornell, Scale::Bench, 7);
+        let mut rng = SplitRng::new(1);
+        let plain = Gcn::new(g.feature_dim(), 16, g.num_classes(), 4, 0.0, &mut rng);
+        let mut rng2 = SplitRng::new(1);
+        let res = Gcn::residual(g.feature_dim(), 16, g.num_classes(), 4, 0.0, &mut rng2);
+        // Same init (same seed), different wiring → different outputs.
+        let run = |model: &Gcn| {
+            let mut tape = Tape::new();
+            let binding = model.store().bind(&mut tape);
+            let adj = tape.register_adj(Arc::new(g.gcn_adjacency()));
+            let x = tape.constant(g.features().clone());
+            let degrees = g.degrees();
+            let mut rng = SplitRng::new(9);
+            let strategy = Strategy::None;
+            let mut ctx = ForwardCtx::new(adj, x, &degrees, &strategy, false, &mut rng);
+            let out = model.forward(&mut tape, &binding, &mut ctx);
+            tape.value(out).clone()
+        };
+        assert_ne!(run(&plain), run(&res));
+        assert_eq!(res.name(), "resgcn");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 layers")]
+    fn single_layer_rejected() {
+        let mut rng = SplitRng::new(1);
+        let _ = Gcn::new(4, 8, 2, 1, 0.0, &mut rng);
+    }
+}

@@ -1,0 +1,139 @@
+//! GPRGNN [7]: generalized PageRank with *learnable* hop weights.
+
+use super::{dense, Model};
+use crate::context::ForwardCtx;
+use crate::param::{Binding, ParamId, ParamStore};
+use skipnode_autograd::{NodeId, Tape};
+use skipnode_tensor::{glorot_uniform, Matrix, SplitRng};
+
+/// GPRGNN: `Z = Σ_{k=0}^{K} γ_k Ã^k H` where `H` is an MLP's output and the
+/// `γ_k` are trained. Initialized PPR-style: `γ_k = α(1−α)^k`,
+/// `γ_K = (1−α)^K`.
+pub struct GprGnn {
+    store: ParamStore,
+    w1: ParamId,
+    b1: ParamId,
+    w2: ParamId,
+    b2: ParamId,
+    gamma: ParamId,
+    k: usize,
+    dropout: f64,
+}
+
+impl GprGnn {
+    /// New GPRGNN with `k` propagation hops; `alpha` sets the PPR-style
+    /// initialization of the hop weights (paper default 0.1).
+    pub fn new(
+        in_dim: usize,
+        hidden: usize,
+        out_dim: usize,
+        k: usize,
+        alpha: f32,
+        dropout: f64,
+        rng: &mut SplitRng,
+    ) -> Self {
+        assert!(k >= 1, "GPRGNN needs at least one hop");
+        let mut store = ParamStore::new();
+        let w1 = store.add("w1", glorot_uniform(in_dim, hidden, rng));
+        let b1 = store.add("b1", Matrix::zeros(1, hidden));
+        let w2 = store.add("w2", glorot_uniform(hidden, out_dim, rng));
+        let b2 = store.add("b2", Matrix::zeros(1, out_dim));
+        let mut g = Matrix::zeros(1, k + 1);
+        for i in 0..=k {
+            let v = if i == k {
+                (1.0 - alpha).powi(k as i32)
+            } else {
+                alpha * (1.0 - alpha).powi(i as i32)
+            };
+            g.set(0, i, v);
+        }
+        let gamma = store.add("gamma", g);
+        Self {
+            store,
+            w1,
+            b1,
+            w2,
+            b2,
+            gamma,
+            k,
+            dropout,
+        }
+    }
+
+    /// Number of propagation hops `K`.
+    pub fn hops(&self) -> usize {
+        self.k
+    }
+}
+
+impl Model for GprGnn {
+    fn name(&self) -> &'static str {
+        "gprgnn"
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn forward(&self, tape: &mut Tape, binding: &Binding, ctx: &mut ForwardCtx) -> NodeId {
+        let x = ctx.dropout(tape, ctx.x, self.dropout);
+        let h = dense(tape, binding, x, self.w1, self.b1);
+        let h = tape.relu(h);
+        ctx.penultimate = Some(h);
+        let h = ctx.dropout(tape, h, self.dropout);
+        let h0 = dense(tape, binding, h, self.w2, self.b2);
+        let mut hops = Vec::with_capacity(self.k + 1);
+        hops.push(h0);
+        let mut z = h0;
+        for _ in 0..self.k {
+            let z_prev = z;
+            let p = tape.spmm(ctx.adj, z);
+            z = ctx.post_conv(tape, p, z_prev);
+            hops.push(z);
+        }
+        tape.weighted_sum(&hops, binding.node(self.gamma))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Strategy;
+    use skipnode_graph::{load, DatasetName, Scale};
+    use std::sync::Arc;
+
+    #[test]
+    fn gamma_initialization_is_ppr() {
+        let mut rng = SplitRng::new(1);
+        let m = GprGnn::new(8, 4, 2, 3, 0.1, 0.0, &mut rng);
+        let g = m.store().value(m.gamma);
+        assert!((g.get(0, 0) - 0.1).abs() < 1e-6);
+        assert!((g.get(0, 1) - 0.09).abs() < 1e-6);
+        assert!((g.get(0, 3) - 0.729).abs() < 1e-6);
+        // PPR weights sum to 1.
+        let total: f32 = g.as_slice().iter().sum();
+        assert!((total - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn forward_produces_logits() {
+        let g = load(DatasetName::Cornell, Scale::Bench, 7);
+        let mut rng = SplitRng::new(2);
+        let model = GprGnn::new(g.feature_dim(), 16, g.num_classes(), 10, 0.1, 0.0, &mut rng);
+        let mut tape = Tape::new();
+        let binding = model.store().bind(&mut tape);
+        let adj = tape.register_adj(Arc::new(g.gcn_adjacency()));
+        let x = tape.constant(g.features().clone());
+        let degrees = g.degrees();
+        let strategy = Strategy::None;
+        let mut fwd_rng = SplitRng::new(3);
+        let mut ctx = ForwardCtx::new(adj, x, &degrees, &strategy, false, &mut fwd_rng);
+        let out = model.forward(&mut tape, &binding, &mut ctx);
+        assert_eq!(tape.value(out).shape(), (183, 5));
+        assert!(tape.value(out).all_finite());
+    }
+}

@@ -1,0 +1,194 @@
+//! GRAND [10]: random propagation + MLP with consistency regularization.
+//!
+//! Each training step draws `S` stochastic augmentations: node features are
+//! row-dropped (DropNode-as-augmentation), diffused by the mean of the
+//! first `K+1` propagation powers, and classified by a shared MLP. The
+//! trainer adds a consistency penalty pulling the `S` predictive
+//! distributions toward their sharpened mean.
+
+use super::{dense, Consistency, Model};
+use crate::context::ForwardCtx;
+use crate::param::{Binding, ParamId, ParamStore};
+use skipnode_autograd::{NodeId, Tape};
+use skipnode_tensor::{glorot_uniform, Matrix, SplitRng};
+
+/// GRAND with a 2-layer MLP head.
+pub struct Grand {
+    store: ParamStore,
+    w1: ParamId,
+    b1: ParamId,
+    w2: ParamId,
+    b2: ParamId,
+    order: usize,
+    heads: usize,
+    drop_node: f64,
+    dropout: f64,
+    consistency: Consistency,
+}
+
+impl Grand {
+    /// `order` = propagation order `K` (the depth knob), `heads` = number
+    /// of augmentations `S` during training (paper uses 2–4).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        in_dim: usize,
+        hidden: usize,
+        out_dim: usize,
+        order: usize,
+        heads: usize,
+        drop_node: f64,
+        dropout: f64,
+        rng: &mut SplitRng,
+    ) -> Self {
+        assert!(order >= 1, "GRAND needs propagation order >= 1");
+        assert!(heads >= 1, "GRAND needs at least one head");
+        let mut store = ParamStore::new();
+        let w1 = store.add("w1", glorot_uniform(in_dim, hidden, rng));
+        let b1 = store.add("b1", Matrix::zeros(1, hidden));
+        let w2 = store.add("w2", glorot_uniform(hidden, out_dim, rng));
+        let b2 = store.add("b2", Matrix::zeros(1, out_dim));
+        Self {
+            store,
+            w1,
+            b1,
+            w2,
+            b2,
+            order,
+            heads,
+            drop_node,
+            dropout,
+            consistency: Consistency {
+                lambda: 1.0,
+                temperature: 0.5,
+            },
+        }
+    }
+
+    fn one_head(&self, tape: &mut Tape, binding: &Binding, ctx: &mut ForwardCtx) -> NodeId {
+        // Random propagation: x' = row-dropout(x); x̄ = mean_k Ã^k x'.
+        let x = if ctx.train && self.drop_node > 0.0 {
+            tape.dropout_rows(ctx.x, self.drop_node, ctx.rng)
+        } else {
+            ctx.x
+        };
+        let mut powers = Vec::with_capacity(self.order + 1);
+        powers.push(x);
+        let mut z = x;
+        for _ in 0..self.order {
+            let z_prev = z;
+            let p = tape.spmm(ctx.adj, z);
+            z = ctx.post_conv(tape, p, z_prev);
+            powers.push(z);
+        }
+        let coef = 1.0 / (self.order + 1) as f32;
+        let parts: Vec<(NodeId, f32)> = powers.into_iter().map(|p| (p, coef)).collect();
+        let xbar = tape.lin_comb(&parts);
+        // MLP head.
+        let h_in = ctx.dropout(tape, xbar, self.dropout);
+        let h = dense(tape, binding, h_in, self.w1, self.b1);
+        let h = tape.relu(h);
+        ctx.penultimate = Some(h);
+        let h = ctx.dropout(tape, h, self.dropout);
+        dense(tape, binding, h, self.w2, self.b2)
+    }
+}
+
+impl Model for Grand {
+    fn name(&self) -> &'static str {
+        "grand"
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn forward(&self, tape: &mut Tape, binding: &Binding, ctx: &mut ForwardCtx) -> NodeId {
+        self.one_head(tape, binding, ctx)
+    }
+
+    fn forward_heads(
+        &self,
+        tape: &mut Tape,
+        binding: &Binding,
+        ctx: &mut ForwardCtx,
+    ) -> Vec<NodeId> {
+        let s = if ctx.train { self.heads } else { 1 };
+        (0..s).map(|_| self.one_head(tape, binding, ctx)).collect()
+    }
+
+    fn consistency(&self) -> Option<Consistency> {
+        (self.heads > 1).then_some(self.consistency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Strategy;
+    use skipnode_graph::{load, DatasetName, Scale};
+    use std::sync::Arc;
+
+    fn setup() -> (skipnode_graph::Graph, Grand) {
+        let g = load(DatasetName::Cornell, Scale::Bench, 7);
+        let mut rng = SplitRng::new(1);
+        let model = Grand::new(
+            g.feature_dim(),
+            16,
+            g.num_classes(),
+            4,
+            2,
+            0.5,
+            0.2,
+            &mut rng,
+        );
+        (g, model)
+    }
+
+    #[test]
+    fn training_produces_multiple_distinct_heads() {
+        let (g, model) = setup();
+        let mut tape = Tape::new();
+        let binding = model.store().bind(&mut tape);
+        let adj = tape.register_adj(Arc::new(g.gcn_adjacency()));
+        let x = tape.constant(g.features().clone());
+        let degrees = g.degrees();
+        let strategy = Strategy::None;
+        let mut rng = SplitRng::new(2);
+        let mut ctx = ForwardCtx::new(adj, x, &degrees, &strategy, true, &mut rng);
+        let heads = model.forward_heads(&mut tape, &binding, &mut ctx);
+        assert_eq!(heads.len(), 2);
+        assert_ne!(tape.value(heads[0]), tape.value(heads[1]));
+    }
+
+    #[test]
+    fn eval_uses_single_deterministic_head() {
+        let (g, model) = setup();
+        let run = || {
+            let mut tape = Tape::new();
+            let binding = model.store().bind(&mut tape);
+            let adj = tape.register_adj(Arc::new(g.gcn_adjacency()));
+            let x = tape.constant(g.features().clone());
+            let degrees = g.degrees();
+            let strategy = Strategy::None;
+            let mut rng = SplitRng::new(3);
+            let mut ctx = ForwardCtx::new(adj, x, &degrees, &strategy, false, &mut rng);
+            let heads = model.forward_heads(&mut tape, &binding, &mut ctx);
+            assert_eq!(heads.len(), 1);
+            tape.value(heads[0]).clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn consistency_config_present_only_with_multiple_heads() {
+        let (_, model) = setup();
+        assert!(model.consistency().is_some());
+        let mut rng = SplitRng::new(4);
+        let single = Grand::new(8, 4, 2, 2, 1, 0.5, 0.0, &mut rng);
+        assert!(single.consistency().is_none());
+    }
+}

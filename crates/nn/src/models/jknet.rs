@@ -1,0 +1,156 @@
+//! JKNet [6]: jumping-knowledge network aggregating all layer outputs.
+
+use super::{conv, dense, Model};
+use crate::context::ForwardCtx;
+use crate::param::{Binding, ParamId, ParamStore};
+use skipnode_autograd::{NodeId, Tape};
+use skipnode_tensor::{glorot_uniform, Matrix, SplitRng};
+
+/// How JKNet fuses per-layer representations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JkAggregate {
+    /// Concatenate all layer outputs (the paper's default).
+    Concat,
+    /// Elementwise max across layer outputs.
+    MaxPool,
+}
+
+/// JKNet: a stack of GCN layers whose *every* intermediate representation
+/// feeds the classifier, making depth-induced smoothing survivable.
+pub struct JkNet {
+    store: ParamStore,
+    weights: Vec<ParamId>,
+    biases: Vec<ParamId>,
+    out_w: ParamId,
+    out_b: ParamId,
+    dropout: f64,
+    aggregate: JkAggregate,
+}
+
+impl JkNet {
+    /// `layers ≥ 1` convolutions plus a jumping classifier head.
+    pub fn new(
+        in_dim: usize,
+        hidden: usize,
+        out_dim: usize,
+        layers: usize,
+        dropout: f64,
+        aggregate: JkAggregate,
+        rng: &mut SplitRng,
+    ) -> Self {
+        assert!(layers >= 1, "JKNet needs at least 1 layer");
+        let mut store = ParamStore::new();
+        let mut weights = Vec::with_capacity(layers);
+        let mut biases = Vec::with_capacity(layers);
+        for l in 0..layers {
+            let fi = if l == 0 { in_dim } else { hidden };
+            weights.push(store.add(format!("w{l}"), glorot_uniform(fi, hidden, rng)));
+            biases.push(store.add(format!("b{l}"), Matrix::zeros(1, hidden)));
+        }
+        let head_in = match aggregate {
+            JkAggregate::Concat => hidden * layers,
+            JkAggregate::MaxPool => hidden,
+        };
+        let out_w = store.add("out_w", glorot_uniform(head_in, out_dim, rng));
+        let out_b = store.add("out_b", Matrix::zeros(1, out_dim));
+        Self {
+            store,
+            weights,
+            biases,
+            out_w,
+            out_b,
+            dropout,
+            aggregate,
+        }
+    }
+
+    /// Number of convolutional layers.
+    pub fn layers(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+impl Model for JkNet {
+    fn name(&self) -> &'static str {
+        "jknet"
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn forward(&self, tape: &mut Tape, binding: &Binding, ctx: &mut ForwardCtx) -> NodeId {
+        let mut h = ctx.x;
+        let mut collected = Vec::with_capacity(self.layers());
+        for l in 0..self.layers() {
+            let h_in = ctx.dropout(tape, h, self.dropout);
+            let z = conv(tape, ctx, binding, h_in, self.weights[l], self.biases[l]);
+            let a = tape.relu(z);
+            let a = ctx.post_conv(tape, a, h);
+            collected.push(a);
+            h = a;
+        }
+        let rep = match self.aggregate {
+            JkAggregate::Concat => tape.concat_cols(&collected),
+            JkAggregate::MaxPool => tape.max_pool(&collected),
+        };
+        ctx.penultimate = Some(rep);
+        let rep = ctx.dropout(tape, rep, self.dropout);
+        dense(tape, binding, rep, self.out_w, self.out_b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Strategy;
+    use skipnode_graph::{load, DatasetName, Scale};
+    use std::sync::Arc;
+
+    fn run(aggregate: JkAggregate) -> Matrix {
+        let g = load(DatasetName::Cornell, Scale::Bench, 7);
+        let mut rng = SplitRng::new(1);
+        let model = JkNet::new(
+            g.feature_dim(),
+            16,
+            g.num_classes(),
+            4,
+            0.0,
+            aggregate,
+            &mut rng,
+        );
+        let mut tape = Tape::new();
+        let binding = model.store().bind(&mut tape);
+        let adj = tape.register_adj(Arc::new(g.gcn_adjacency()));
+        let x = tape.constant(g.features().clone());
+        let degrees = g.degrees();
+        let strategy = Strategy::None;
+        let mut fwd_rng = SplitRng::new(2);
+        let mut ctx = ForwardCtx::new(adj, x, &degrees, &strategy, false, &mut fwd_rng);
+        let out = model.forward(&mut tape, &binding, &mut ctx);
+        tape.value(out).clone()
+    }
+
+    #[test]
+    fn concat_head_produces_class_logits() {
+        let logits = run(JkAggregate::Concat);
+        assert_eq!(logits.shape(), (183, 5));
+        assert!(logits.all_finite());
+    }
+
+    #[test]
+    fn max_pool_head_produces_class_logits() {
+        let logits = run(JkAggregate::MaxPool);
+        assert_eq!(logits.shape(), (183, 5));
+        assert!(logits.all_finite());
+    }
+
+    #[test]
+    fn aggregators_differ() {
+        assert_ne!(run(JkAggregate::Concat), run(JkAggregate::MaxPool));
+    }
+}

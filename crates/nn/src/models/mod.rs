@@ -1,0 +1,201 @@
+//! The backbone zoo: every model the paper evaluates.
+//!
+//! | Backbone | Paper ref | Depth knob |
+//! |---|---|---|
+//! | [`Gcn`] | Kipf & Welling [5] | stacked convolutions |
+//! | [`Gcn::residual`] (ResGCN) | [5]+[33] | stacked convolutions + skips |
+//! | [`JkNet`] | Xu et al. [6] | convolutions, jumping concat |
+//! | [`InceptGcn`] | Kazi et al. [28] | parallel branches up to depth L |
+//! | [`Gcnii`] | Chen et al. [9] | initial residual + identity map |
+//! | [`Appnp`] | Klicpera et al. [8] | personalized-PageRank steps |
+//! | [`GprGnn`] | Chien et al. [7] | learnable propagation weights |
+//! | [`Grand`] | Feng et al. [10] | random-propagation order |
+//! | [`Sgc`] | Wu et al. [20] | linear propagation hops |
+//! | [`Gat`] | Veličković et al. [42] | attention layers (beyond-paper) |
+
+mod appnp;
+mod gat;
+mod gcn;
+mod gcnii;
+mod gprgnn;
+mod grand;
+mod inceptgcn;
+mod jknet;
+mod sgc;
+
+pub use appnp::Appnp;
+pub use gat::Gat;
+pub use gcn::Gcn;
+pub use gcnii::Gcnii;
+pub use gprgnn::GprGnn;
+pub use grand::Grand;
+pub use inceptgcn::InceptGcn;
+pub use jknet::{JkAggregate, JkNet};
+pub use sgc::Sgc;
+
+use crate::context::ForwardCtx;
+use crate::param::{Binding, ParamStore};
+use skipnode_autograd::{NodeId, Tape};
+
+/// Consistency-regularization settings (GRAND's multi-head objective).
+#[derive(Debug, Clone, Copy)]
+pub struct Consistency {
+    /// Weight of the consistency term.
+    pub lambda: f64,
+    /// Sharpening temperature for the averaged distribution.
+    pub temperature: f64,
+}
+
+/// A trainable node-level model.
+pub trait Model {
+    /// Stable identifier used in result tables.
+    fn name(&self) -> &'static str;
+
+    /// The parameter store.
+    fn store(&self) -> &ParamStore;
+
+    /// Mutable access for the optimizer.
+    fn store_mut(&mut self) -> &mut ParamStore;
+
+    /// Single forward pass producing logits (`n × C`).
+    fn forward(&self, tape: &mut Tape, binding: &Binding, ctx: &mut ForwardCtx) -> NodeId;
+
+    /// Multi-head forward (GRAND trains several stochastic heads). The
+    /// default is the single [`Model::forward`] head.
+    fn forward_heads(
+        &self,
+        tape: &mut Tape,
+        binding: &Binding,
+        ctx: &mut ForwardCtx,
+    ) -> Vec<NodeId> {
+        vec![self.forward(tape, binding, ctx)]
+    }
+
+    /// Consistency-regularization settings, if the model trains with them.
+    fn consistency(&self) -> Option<Consistency> {
+        None
+    }
+}
+
+/// All backbone names accepted by [`build_by_name`].
+pub const BACKBONE_NAMES: [&str; 9] = [
+    "gcn",
+    "resgcn",
+    "jknet",
+    "inceptgcn",
+    "gcnii",
+    "appnp",
+    "gprgnn",
+    "grand",
+    "sgc",
+];
+
+/// Build any backbone by its table name with shared depth semantics
+/// (stacked convolutions for GCN-family models, propagation steps for
+/// APPNP / GPRGNN / GRAND / SGC).
+///
+/// # Panics
+/// Panics on an unknown name — validate against [`BACKBONE_NAMES`] first
+/// if the name is user input you want to reject gracefully.
+pub fn build_by_name(
+    name: &str,
+    in_dim: usize,
+    hidden: usize,
+    out_dim: usize,
+    depth: usize,
+    dropout: f64,
+    rng: &mut skipnode_tensor::SplitRng,
+) -> Box<dyn Model> {
+    match name {
+        "gcn" => Box::new(Gcn::new(in_dim, hidden, out_dim, depth.max(2), dropout, rng)),
+        "resgcn" => Box::new(Gcn::residual(
+            in_dim,
+            hidden,
+            out_dim,
+            depth.max(2),
+            dropout,
+            rng,
+        )),
+        "jknet" => Box::new(JkNet::new(
+            in_dim,
+            hidden,
+            out_dim,
+            depth.max(1),
+            dropout,
+            JkAggregate::Concat,
+            rng,
+        )),
+        "inceptgcn" => Box::new(InceptGcn::new(
+            in_dim,
+            hidden,
+            out_dim,
+            depth.max(1),
+            dropout,
+            rng,
+        )),
+        "gcnii" => Box::new(Gcnii::new(
+            in_dim,
+            hidden,
+            out_dim,
+            depth.max(1),
+            dropout,
+            rng,
+        )),
+        "appnp" => Box::new(Appnp::new(
+            in_dim,
+            hidden,
+            out_dim,
+            depth.max(1),
+            0.1,
+            dropout,
+            rng,
+        )),
+        "gprgnn" => Box::new(GprGnn::new(
+            in_dim,
+            hidden,
+            out_dim,
+            depth.max(1),
+            0.1,
+            dropout,
+            rng,
+        )),
+        "grand" => Box::new(Grand::new(
+            in_dim,
+            hidden,
+            out_dim,
+            depth.max(1),
+            2,
+            0.5,
+            dropout,
+            rng,
+        )),
+        "sgc" => Box::new(Sgc::new(in_dim, out_dim, depth.max(1), dropout, rng)),
+        other => panic!("unknown backbone {other}; expected one of {BACKBONE_NAMES:?}"),
+    }
+}
+
+/// Shared helper: one graph convolution `Ã · h · W + b`.
+pub(crate) fn conv(
+    tape: &mut Tape,
+    ctx: &ForwardCtx,
+    binding: &Binding,
+    h: NodeId,
+    w: crate::param::ParamId,
+    b: crate::param::ParamId,
+) -> NodeId {
+    let p = tape.spmm(ctx.adj, h);
+    let z = tape.matmul(p, binding.node(w));
+    tape.add_bias(z, binding.node(b))
+}
+
+/// Shared helper: dense `h · W + b`.
+pub(crate) fn dense(
+    tape: &mut Tape,
+    binding: &Binding,
+    h: NodeId,
+    w: crate::param::ParamId,
+    b: crate::param::ParamId,
+) -> NodeId {
+    let z = tape.matmul(h, binding.node(w));
+    tape.add_bias(z, binding.node(b))
+}

@@ -1,0 +1,128 @@
+//! SGC [20]: Simplified Graph Convolution.
+//!
+//! SGC removes nonlinearities and collapses the weight stack:
+//! `Z = softmax(Ã^K X W)`. The paper cites it as the "remove nonlinearity"
+//! family of over-smoothing workarounds; it serves here as a cheap extra
+//! baseline whose propagation `Ã^K X` can optionally be precomputed.
+
+use super::{dense, Model};
+use crate::context::ForwardCtx;
+use crate::param::{Binding, ParamId, ParamStore};
+use skipnode_autograd::{NodeId, Tape};
+use skipnode_tensor::{glorot_uniform, Matrix, SplitRng};
+
+/// SGC: `K` linear propagation steps followed by one linear classifier.
+pub struct Sgc {
+    store: ParamStore,
+    w: ParamId,
+    b: ParamId,
+    k: usize,
+    dropout: f64,
+}
+
+impl Sgc {
+    /// New SGC with `k` propagation hops.
+    pub fn new(
+        in_dim: usize,
+        out_dim: usize,
+        k: usize,
+        dropout: f64,
+        rng: &mut SplitRng,
+    ) -> Self {
+        assert!(k >= 1, "SGC needs at least one hop");
+        let mut store = ParamStore::new();
+        let w = store.add("w", glorot_uniform(in_dim, out_dim, rng));
+        let b = store.add("b", Matrix::zeros(1, out_dim));
+        Self {
+            store,
+            w,
+            b,
+            k,
+            dropout,
+        }
+    }
+
+    /// Number of propagation hops.
+    pub fn hops(&self) -> usize {
+        self.k
+    }
+}
+
+impl Model for Sgc {
+    fn name(&self) -> &'static str {
+        "sgc"
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn forward(&self, tape: &mut Tape, binding: &Binding, ctx: &mut ForwardCtx) -> NodeId {
+        let mut h = ctx.x;
+        for _ in 0..self.k {
+            let h_prev = h;
+            let p = tape.spmm(ctx.adj, h);
+            h = ctx.post_conv(tape, p, h_prev);
+        }
+        ctx.penultimate = Some(h);
+        let h = ctx.dropout(tape, h, self.dropout);
+        dense(tape, binding, h, self.w, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Strategy;
+    use skipnode_graph::{load, DatasetName, Scale};
+    use std::sync::Arc;
+
+    #[test]
+    fn forward_produces_logits_with_two_params_only() {
+        let g = load(DatasetName::Cornell, Scale::Bench, 7);
+        let mut rng = SplitRng::new(1);
+        let model = Sgc::new(g.feature_dim(), g.num_classes(), 4, 0.0, &mut rng);
+        assert_eq!(model.store().len(), 2);
+        let mut tape = Tape::new();
+        let binding = model.store().bind(&mut tape);
+        let adj = tape.register_adj(Arc::new(g.gcn_adjacency()));
+        let x = tape.constant(g.features().clone());
+        let degrees = g.degrees();
+        let strategy = Strategy::None;
+        let mut fwd_rng = SplitRng::new(2);
+        let mut ctx = ForwardCtx::new(adj, x, &degrees, &strategy, false, &mut fwd_rng);
+        let out = model.forward(&mut tape, &binding, &mut ctx);
+        assert_eq!(tape.value(out).shape(), (183, 5));
+        assert!(tape.value(out).all_finite());
+    }
+
+    #[test]
+    fn sgc_propagation_matches_manual_powers() {
+        // With SkipNode inactive, SGC's penultimate is exactly Ã^K X.
+        let g = load(DatasetName::Cornell, Scale::Bench, 7);
+        let adj = g.gcn_adjacency();
+        let mut want = g.features().clone();
+        for _ in 0..3 {
+            want = adj.spmm(&want);
+        }
+        let mut rng = SplitRng::new(1);
+        let model = Sgc::new(g.feature_dim(), g.num_classes(), 3, 0.0, &mut rng);
+        let mut tape = Tape::new();
+        let binding = model.store().bind(&mut tape);
+        let adj_id = tape.register_adj(Arc::new(adj));
+        let x = tape.constant(g.features().clone());
+        let degrees = g.degrees();
+        let strategy = Strategy::None;
+        let mut fwd_rng = SplitRng::new(2);
+        let mut ctx = ForwardCtx::new(adj_id, x, &degrees, &strategy, false, &mut fwd_rng);
+        let _ = model.forward(&mut tape, &binding, &mut ctx);
+        let got = tape.value(ctx.penultimate.expect("penultimate set"));
+        for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+}

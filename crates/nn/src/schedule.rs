@@ -1,0 +1,155 @@
+//! Learning-rate schedules and gradient clipping.
+//!
+//! Deep GCN training is sensitive to the optimization trajectory —
+//! especially in the collapse regime the paper studies — so the trainer
+//! exposes standard stabilizers: step/cosine decay with warmup, and
+//! global-norm gradient clipping.
+
+use skipnode_tensor::Matrix;
+
+/// Learning-rate schedule evaluated per epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Multiply by `gamma` every `every` epochs.
+    Step {
+        /// Epoch interval between decays.
+        every: usize,
+        /// Multiplicative decay factor.
+        gamma: f64,
+    },
+    /// Cosine decay from the base lr to `floor` over `total` epochs.
+    Cosine {
+        /// Total epochs in the schedule.
+        total: usize,
+        /// Final learning-rate fraction (of base).
+        floor: f64,
+    },
+    /// Linear warmup over `warmup` epochs, then constant.
+    Warmup {
+        /// Warmup length in epochs.
+        warmup: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The learning-rate multiplier at `epoch` (applied to the base lr).
+    pub fn factor(&self, epoch: usize) -> f64 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::Step { every, gamma } => {
+                assert!(every > 0, "step interval must be positive");
+                gamma.powi((epoch / every) as i32)
+            }
+            LrSchedule::Cosine { total, floor } => {
+                if total == 0 {
+                    return 1.0;
+                }
+                let t = (epoch.min(total)) as f64 / total as f64;
+                let cos = 0.5 * (1.0 + (std::f64::consts::PI * t).cos());
+                floor + (1.0 - floor) * cos
+            }
+            LrSchedule::Warmup { warmup } => {
+                if warmup == 0 || epoch >= warmup {
+                    1.0
+                } else {
+                    (epoch + 1) as f64 / warmup as f64
+                }
+            }
+        }
+    }
+}
+
+/// Scale all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+pub fn clip_global_norm(grads: &mut [Option<Matrix>], max_norm: f64) -> f64 {
+    assert!(max_norm > 0.0, "clip threshold must be positive");
+    let total_sq: f64 = grads
+        .iter()
+        .flatten()
+        .map(skipnode_tensor::l2_norm_sq)
+        .sum();
+    let norm = total_sq.sqrt();
+    if norm > max_norm {
+        let scale = (max_norm / norm) as f32;
+        for g in grads.iter_mut().flatten() {
+            g.scale_in_place(scale);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one() {
+        assert_eq!(LrSchedule::Constant.factor(0), 1.0);
+        assert_eq!(LrSchedule::Constant.factor(1000), 1.0);
+    }
+
+    #[test]
+    fn step_decays_at_boundaries() {
+        let s = LrSchedule::Step {
+            every: 10,
+            gamma: 0.5,
+        };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(9), 1.0);
+        assert_eq!(s.factor(10), 0.5);
+        assert_eq!(s.factor(25), 0.25);
+    }
+
+    #[test]
+    fn cosine_hits_endpoints() {
+        let s = LrSchedule::Cosine {
+            total: 100,
+            floor: 0.1,
+        };
+        assert!((s.factor(0) - 1.0).abs() < 1e-12);
+        assert!((s.factor(100) - 0.1).abs() < 1e-12);
+        assert!((s.factor(200) - 0.1).abs() < 1e-12); // clamped past total
+        let mid = s.factor(50);
+        assert!(mid > 0.1 && mid < 1.0);
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::Warmup { warmup: 4 };
+        assert_eq!(s.factor(0), 0.25);
+        assert_eq!(s.factor(1), 0.5);
+        assert_eq!(s.factor(3), 1.0);
+        assert_eq!(s.factor(10), 1.0);
+    }
+
+    #[test]
+    fn clipping_preserves_direction_and_caps_norm() {
+        let mut grads = vec![
+            Some(Matrix::from_rows(&[&[3.0, 0.0]])),
+            None,
+            Some(Matrix::from_rows(&[&[0.0, 4.0]])),
+        ];
+        let pre = clip_global_norm(&mut grads, 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        let post_sq: f64 = grads
+            .iter()
+            .flatten()
+            .map(skipnode_tensor::l2_norm_sq)
+            .sum();
+        assert!((post_sq.sqrt() - 1.0).abs() < 1e-5);
+        // Direction preserved: components stay proportional (3:4).
+        let a = grads[0].as_ref().unwrap().get(0, 0);
+        let b = grads[2].as_ref().unwrap().get(0, 1);
+        assert!((a / b - 0.75).abs() < 1e-5);
+    }
+
+    #[test]
+    fn small_gradients_untouched() {
+        let mut grads = vec![Some(Matrix::from_rows(&[&[0.1, 0.1]]))];
+        let before = grads[0].clone().unwrap();
+        clip_global_norm(&mut grads, 10.0);
+        assert_eq!(grads[0].as_ref().unwrap(), &before);
+    }
+}

@@ -1,0 +1,363 @@
+//! Compressed-sparse-row matrix with threaded SpMM.
+
+use skipnode_tensor::Matrix;
+use std::thread;
+
+/// A CSR sparse matrix of `f32` values.
+///
+/// Invariants (checked in [`CsrMatrix::new`]):
+/// - `indptr.len() == rows + 1`, `indptr[0] == 0`, non-decreasing;
+/// - `indices.len() == values.len() == indptr[rows]`;
+/// - column indices within each row are strictly increasing and `< cols`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Construct from raw CSR arrays, validating all invariants.
+    ///
+    /// # Panics
+    /// Panics if any CSR invariant is violated.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
+        assert_eq!(indptr.len(), rows + 1, "indptr length");
+        assert_eq!(indptr[0], 0, "indptr must start at 0");
+        assert_eq!(indices.len(), values.len(), "indices/values length");
+        assert_eq!(*indptr.last().unwrap(), indices.len(), "indptr end");
+        for r in 0..rows {
+            assert!(indptr[r] <= indptr[r + 1], "indptr non-decreasing");
+            let row = &indices[indptr[r]..indptr[r + 1]];
+            for w in row.windows(2) {
+                assert!(w[0] < w[1], "row {r}: columns must be strictly increasing");
+            }
+            if let Some(&last) = row.last() {
+                assert!((last as usize) < cols, "row {r}: column out of range");
+            }
+        }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Empty (all-zero) matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Identity matrix in CSR form.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally nonzero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column indices and values of one row.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[u32], &[f32]) {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        (&self.indices[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of stored entries in one row.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.indptr[r + 1] - self.indptr[r]
+    }
+
+    /// Look up a single entry (binary search within the row).
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        let (cols, vals) = self.row(r);
+        match cols.binary_search(&(c as u32)) {
+            Ok(i) => vals[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Dense copy (test/debug helper; avoid on large matrices).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                m.set(r, c as usize, v);
+            }
+        }
+        m
+    }
+
+    /// Sparse × dense product `self * x`, threaded over row blocks.
+    ///
+    /// # Panics
+    /// Panics on an inner-dimension mismatch.
+    pub fn spmm(&self, x: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols,
+            x.rows(),
+            "spmm shape mismatch: {}x{} * {}x{}",
+            self.rows,
+            self.cols,
+            x.rows(),
+            x.cols()
+        );
+        let d = x.cols();
+        let mut out = Matrix::zeros(self.rows, d);
+        let work = self.nnz() * d;
+        if work < 1 << 18 {
+            self.spmm_rows(x, out.as_mut_slice(), 0, self.rows);
+            return out;
+        }
+        let workers = thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(self.rows.max(1));
+        let chunk = self.rows.div_ceil(workers);
+        let out_slice = out.as_mut_slice();
+        crossbeam_scope(self, x, out_slice, chunk, d);
+        out
+    }
+
+    fn spmm_rows(&self, x: &Matrix, out: &mut [f32], row_begin: usize, row_end: usize) {
+        let d = x.cols();
+        for (local, r) in (row_begin..row_end).enumerate() {
+            let (cols, vals) = self.row(r);
+            let out_row = &mut out[local * d..(local + 1) * d];
+            for (&c, &v) in cols.iter().zip(vals) {
+                let x_row = x.row(c as usize);
+                for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                    *o += v * xv;
+                }
+            }
+        }
+    }
+
+    /// Sparse × dense-vector product into a caller buffer (used by the
+    /// spectral power iteration to avoid per-step allocation).
+    pub fn spmv_into(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "spmv input length");
+        assert_eq!(out.len(), self.rows, "spmv output length");
+        for (r, o) in out.iter_mut().enumerate() {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0f32;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += v * x[c as usize];
+            }
+            *o = acc;
+        }
+    }
+
+    /// Transpose (needed to backpropagate through `Ã X` when `Ã` is not
+    /// symmetric, e.g. row-normalized propagation).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.indices {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let indptr = counts.clone();
+        let mut cursor = counts;
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values = vec![0.0f32; self.nnz()];
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let slot = cursor[c as usize];
+                indices[slot] = r as u32;
+                values[slot] = v;
+                cursor[c as usize] += 1;
+            }
+        }
+        CsrMatrix::new(self.cols, self.rows, indptr, indices, values)
+    }
+
+    /// True if the matrix equals its transpose (within `tol`).
+    pub fn is_symmetric(&self, tol: f32) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let t = self.transpose();
+        if t.indptr != self.indptr || t.indices != self.indices {
+            return false;
+        }
+        self.values
+            .iter()
+            .zip(&t.values)
+            .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Out-degree-style row sums (for symmetric adjacency: node degrees).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|r| self.row(r).1.iter().map(|&v| v as f64).sum())
+            .collect()
+    }
+}
+
+fn crossbeam_scope(a: &CsrMatrix, x: &Matrix, out_slice: &mut [f32], chunk: usize, d: usize) {
+    crossbeam::scope(|s| {
+        let mut rest = out_slice;
+        let mut start = 0;
+        while start < a.rows {
+            let rows = chunk.min(a.rows - start);
+            let (head, tail) = rest.split_at_mut(rows * d);
+            rest = tail;
+            let begin = start;
+            s.spawn(move |_| a.spmm_rows(x, head, begin, begin + rows));
+            start += rows;
+        }
+    })
+    .expect("spmm worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [[1, 0, 2],
+        //  [0, 3, 0],
+        //  [4, 0, 0]]
+        CsrMatrix::new(
+            3,
+            3,
+            vec![0, 2, 3, 4],
+            vec![0, 2, 1, 0],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+    }
+
+    #[test]
+    fn get_reads_stored_and_missing_entries() {
+        let m = sample();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(2, 0), 4.0);
+    }
+
+    #[test]
+    fn spmm_matches_dense_product() {
+        let m = sample();
+        let x = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 0.0], &[0.0, 3.0]]);
+        let got = m.spmm(&x);
+        let want = m.to_dense().matmul(&x);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn identity_spmm_is_identity() {
+        let i = CsrMatrix::identity(4);
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]]);
+        assert_eq!(i.spmm(&x), x);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().to_dense(), m.to_dense().transpose());
+    }
+
+    #[test]
+    fn spmv_matches_spmm() {
+        let m = sample();
+        let x = [1.0f32, -1.0, 0.5];
+        let mut out = [0.0f32; 3];
+        m.spmv_into(&x, &mut out);
+        let xm = Matrix::from_vec(3, 1, x.to_vec());
+        let want = m.spmm(&xm);
+        for (o, w) in out.iter().zip(want.as_slice()) {
+            assert!((o - w).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn symmetric_detection() {
+        assert!(CsrMatrix::identity(3).is_symmetric(0.0));
+        assert!(!sample().is_symmetric(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "columns must be strictly increasing")]
+    fn unsorted_columns_rejected() {
+        let _ = CsrMatrix::new(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column out of range")]
+    fn out_of_range_column_rejected() {
+        let _ = CsrMatrix::new(1, 2, vec![0, 1], vec![5], vec![1.0]);
+    }
+
+    #[test]
+    fn large_spmm_threaded_path_matches_serial() {
+        // Build a banded 600x600 matrix, wide enough feature dim to cross
+        // the threading threshold.
+        let n: usize = 600;
+        let mut indptr = vec![0usize];
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..n {
+            for c in r.saturating_sub(1)..(r + 2).min(n) {
+                indices.push(c as u32);
+                values.push((r + c) as f32 * 0.01 + 1.0);
+            }
+            indptr.push(indices.len());
+        }
+        let m = CsrMatrix::new(n, n, indptr, indices, values);
+        let mut x = Matrix::zeros(n, 200);
+        for r in 0..n {
+            for c in 0..200 {
+                x.set(r, c, ((r * 7 + c * 3) % 13) as f32 - 6.0);
+            }
+        }
+        let got = m.spmm(&x);
+        // serial reference
+        let mut want = Matrix::zeros(n, 200);
+        m.spmm_rows(&x, want.as_mut_slice(), 0, n);
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Sparse matrix substrate for the SkipNode reproduction.
+//!
+//! Provides:
+//! - [`CsrMatrix`]: compressed-sparse-row matrices with threaded
+//!   sparse×dense products (the `Ã X` in every GCN layer);
+//! - GCN symmetric normalization `Ã = (D+I)^{-1/2}(A+I)(D+I)^{-1/2}`
+//!   including the masked variants DropEdge / DropNode need for per-epoch
+//!   renormalization;
+//! - spectral instruments: the over-smoothing subspace `M` of Oono & Suzuki
+//!   (per-component `sqrt(deg+1)` eigenvectors of `Ã` at eigenvalue 1), the
+//!   distance `d_M(X)`, and `λ` — the second-largest eigenvalue magnitude
+//!   that drives the paper's `(sλ)^L` convergence bound.
+
+mod build;
+mod csr;
+mod normalize;
+mod spectral;
+
+pub use build::{dedup_undirected_edges, CooBuilder};
+pub use csr::CsrMatrix;
+pub use normalize::{
+    gcn_adjacency, gcn_adjacency_filtered, gcn_adjacency_with_node_mask, row_normalized_adjacency,
+};
+pub use spectral::{connected_components, second_largest_eigen_magnitude, SmoothingSubspace};

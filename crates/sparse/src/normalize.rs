@@ -1,0 +1,200 @@
+//! GCN adjacency normalization, including the masked variants that
+//! DropEdge and DropNode re-run every epoch.
+
+use crate::build::CooBuilder;
+use crate::csr::CsrMatrix;
+
+/// Symmetrically normalized GCN propagation matrix with the
+/// re-normalization trick of Kipf & Welling:
+/// `Ã = (D+I)^{-1/2} (A+I) (D+I)^{-1/2}`.
+///
+/// `edges` are canonical undirected pairs (`u != v`; duplicates tolerated —
+/// they are deduplicated). Self-loops are always added for all `n` nodes.
+pub fn gcn_adjacency(n: usize, edges: &[(usize, usize)]) -> CsrMatrix {
+    gcn_adjacency_filtered(n, edges.iter().copied())
+}
+
+/// Same as [`gcn_adjacency`] but consuming an arbitrary edge iterator —
+/// this is the entry point DropEdge uses after subsampling edges.
+pub fn gcn_adjacency_filtered(
+    n: usize,
+    edges: impl IntoIterator<Item = (usize, usize)>,
+) -> CsrMatrix {
+    let mut adj = CooBuilder::new(n, n);
+    let mut deg = vec![0usize; n];
+    let mut seen: Vec<(usize, usize)> = edges
+        .into_iter()
+        .filter(|(u, v)| u != v)
+        .map(|(u, v)| if u < v { (u, v) } else { (v, u) })
+        .collect();
+    seen.sort_unstable();
+    seen.dedup();
+    for &(u, v) in &seen {
+        deg[u] += 1;
+        deg[v] += 1;
+    }
+    // inv_sqrt[i] = 1 / sqrt(deg_i + 1)  (the +1 is the self-loop)
+    let inv_sqrt: Vec<f32> = deg
+        .iter()
+        .map(|&d| 1.0 / ((d + 1) as f32).sqrt())
+        .collect();
+    adj.reserve(seen.len() * 2 + n);
+    for &(u, v) in &seen {
+        let w = inv_sqrt[u] * inv_sqrt[v];
+        adj.push_symmetric(u, v, w);
+    }
+    for (i, inv) in inv_sqrt.iter().enumerate() {
+        adj.push(i, i, inv * inv);
+    }
+    adj.build()
+}
+
+/// DropNode-style normalization: nodes with `keep[i] == false` are removed
+/// from the propagation graph entirely — they keep no self-loop and no
+/// incident edges, so a GCN convolution zeroes their output rows. Kept
+/// nodes are renormalized over the induced subgraph.
+pub fn gcn_adjacency_with_node_mask(
+    n: usize,
+    edges: &[(usize, usize)],
+    keep: &[bool],
+) -> CsrMatrix {
+    assert_eq!(keep.len(), n, "mask length");
+    let filtered = edges
+        .iter()
+        .copied()
+        .filter(|&(u, v)| keep[u] && keep[v]);
+    // Build over kept-node degrees, then blank the dropped self-loops.
+    let mut adj = CooBuilder::new(n, n);
+    let mut deg = vec![0usize; n];
+    let mut seen: Vec<(usize, usize)> = filtered
+        .filter(|(u, v)| u != v)
+        .map(|(u, v)| if u < v { (u, v) } else { (v, u) })
+        .collect();
+    seen.sort_unstable();
+    seen.dedup();
+    for &(u, v) in &seen {
+        deg[u] += 1;
+        deg[v] += 1;
+    }
+    let inv_sqrt: Vec<f32> = deg
+        .iter()
+        .map(|&d| 1.0 / ((d + 1) as f32).sqrt())
+        .collect();
+    for &(u, v) in &seen {
+        adj.push_symmetric(u, v, inv_sqrt[u] * inv_sqrt[v]);
+    }
+    for i in 0..n {
+        if keep[i] {
+            adj.push(i, i, inv_sqrt[i] * inv_sqrt[i]);
+        }
+    }
+    adj.build()
+}
+
+/// Row-normalized propagation `D^{-1}(A+I)` (random-walk matrix; used by
+/// GRAND's random propagation).
+pub fn row_normalized_adjacency(n: usize, edges: &[(usize, usize)]) -> CsrMatrix {
+    let mut seen: Vec<(usize, usize)> = edges
+        .iter()
+        .copied()
+        .filter(|(u, v)| u != v)
+        .map(|(u, v)| if u < v { (u, v) } else { (v, u) })
+        .collect();
+    seen.sort_unstable();
+    seen.dedup();
+    let mut deg = vec![1usize; n]; // self-loop
+    for &(u, v) in &seen {
+        deg[u] += 1;
+        deg[v] += 1;
+    }
+    let mut adj = CooBuilder::new(n, n);
+    for &(u, v) in &seen {
+        adj.push(u, v, 1.0 / deg[u] as f32);
+        adj.push(v, u, 1.0 / deg[v] as f32);
+    }
+    for (i, &d) in deg.iter().enumerate() {
+        adj.push(i, i, 1.0 / d as f32);
+    }
+    adj.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path graph 0-1-2.
+    fn path_edges() -> Vec<(usize, usize)> {
+        vec![(0, 1), (1, 2)]
+    }
+
+    #[test]
+    fn gcn_adjacency_is_symmetric() {
+        let a = gcn_adjacency(3, &path_edges());
+        assert!(a.is_symmetric(1e-7));
+    }
+
+    #[test]
+    fn gcn_adjacency_known_values() {
+        // Node degrees (with self-loop): 2, 3, 2.
+        let a = gcn_adjacency(3, &path_edges());
+        assert!((a.get(0, 0) - 0.5).abs() < 1e-6);
+        assert!((a.get(1, 1) - 1.0 / 3.0).abs() < 1e-6);
+        assert!((a.get(0, 1) - 1.0 / (2.0f32 * 3.0).sqrt()).abs() < 1e-6);
+        assert_eq!(a.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn gcn_adjacency_row_spectrum_bounded() {
+        // Ã has eigenvalues in (-1, 1]; row sums of |entries| ≤ 1 is not
+        // generally true, but the constant-degree case makes Ã doubly
+        // stochastic-ish: the all-sqrt(deg+1) vector is eigenvalue 1.
+        let a = gcn_adjacency(3, &path_edges());
+        let e = [(2.0f32).sqrt(), (3.0f32).sqrt(), (2.0f32).sqrt()];
+        let mut out = [0.0f32; 3];
+        a.spmv_into(&e, &mut out);
+        for (o, x) in out.iter().zip(&e) {
+            assert!((o - x).abs() < 1e-5, "{o} vs {x}");
+        }
+    }
+
+    #[test]
+    fn self_loops_and_duplicate_edges_tolerated() {
+        let a = gcn_adjacency(2, &[(0, 1), (1, 0), (0, 0)]);
+        assert!((a.get(0, 1) - 0.5).abs() < 1e-6);
+        assert!((a.get(0, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn isolated_node_keeps_unit_self_loop() {
+        let a = gcn_adjacency(3, &[(0, 1)]);
+        assert!((a.get(2, 2) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_mask_zeroes_dropped_rows_and_cols() {
+        let a = gcn_adjacency_with_node_mask(3, &path_edges(), &[true, false, true]);
+        // Node 1 dropped: no self loop, no edges; 0 and 2 now isolated.
+        assert_eq!(a.row_nnz(1), 0);
+        assert_eq!(a.get(0, 1), 0.0);
+        assert_eq!(a.get(2, 1), 0.0);
+        assert!((a.get(0, 0) - 1.0).abs() < 1e-6);
+        assert!((a.get(2, 2) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_mask_keep_all_matches_plain() {
+        let full = gcn_adjacency(3, &path_edges());
+        let masked = gcn_adjacency_with_node_mask(3, &path_edges(), &[true; 3]);
+        assert_eq!(full, masked);
+    }
+
+    #[test]
+    fn row_normalized_rows_sum_to_one() {
+        let a = row_normalized_adjacency(3, &path_edges());
+        for r in 0..3 {
+            let (_, vals) = a.row(r);
+            let s: f32 = vals.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6, "row {r} sums to {s}");
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Spectral instruments for the over-smoothing theory.
+//!
+//! Oono & Suzuki characterize over-smoothing as exponential convergence of
+//! the feature matrix onto a subspace `M = U ⊗ R^d`, where `U` is the
+//! eigenvalue-1 eigenspace of `Ã` — spanned, per connected component, by the
+//! vector with entries `sqrt(deg_i + 1)` on that component. This module
+//! constructs that basis, measures `d_M(X) = ||X − Π_U X||_F`, and computes
+//! `λ = max_{n ≤ N−M} |λ_n|`, the second-largest eigenvalue magnitude, by
+//! deflated power iteration.
+
+use crate::csr::CsrMatrix;
+use skipnode_tensor::{power_iteration, Matrix, PowerIterOptions};
+
+/// Connected components of an undirected graph given as an edge list.
+/// Returns `(component_id_per_node, component_count)`.
+pub fn connected_components(n: usize, edges: &[(usize, usize)]) -> (Vec<usize>, usize) {
+    // Union-find with path halving.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for &(u, v) in edges {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            parent[ru] = rv;
+        }
+    }
+    let mut remap = vec![usize::MAX; n];
+    let mut count = 0;
+    let mut ids = vec![0usize; n];
+    for (i, id) in ids.iter_mut().enumerate() {
+        let r = find(&mut parent, i);
+        if remap[r] == usize::MAX {
+            remap[r] = count;
+            count += 1;
+        }
+        *id = remap[r];
+    }
+    (ids, count)
+}
+
+/// The over-smoothing subspace `M`: an orthonormal basis of the
+/// eigenvalue-1 eigenspace of `Ã`, one vector per connected component.
+#[derive(Debug, Clone)]
+pub struct SmoothingSubspace {
+    /// Orthonormal basis vectors `e_m` (each length `n`); disjoint supports.
+    basis: Vec<Vec<f32>>,
+    n: usize,
+}
+
+impl SmoothingSubspace {
+    /// Build from the graph's size and undirected edge list.
+    ///
+    /// For each connected component `C`, the basis vector has entries
+    /// `sqrt(deg_i + 1)` for `i ∈ C` (0 elsewhere), normalized to unit
+    /// length. These are exactly the non-negative orthonormal vectors of
+    /// Assumption 1 in the paper.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let (comp, count) = connected_components(n, edges);
+        let mut deg = vec![0usize; n];
+        for &(u, v) in edges {
+            if u != v {
+                deg[u] += 1;
+                deg[v] += 1;
+            }
+        }
+        let mut basis = vec![vec![0.0f32; n]; count];
+        for i in 0..n {
+            basis[comp[i]][i] = ((deg[i] + 1) as f32).sqrt();
+        }
+        for b in &mut basis {
+            let norm: f64 = b.iter().map(|&x| (x as f64).powi(2)).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                let inv = (1.0 / norm) as f32;
+                for x in b.iter_mut() {
+                    *x *= inv;
+                }
+            }
+        }
+        Self { basis, n }
+    }
+
+    /// Number of basis vectors `M` (one per connected component).
+    pub fn dim(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Number of graph nodes.
+    pub fn nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Borrow the orthonormal basis (used to deflate the power iteration).
+    pub fn basis(&self) -> &[Vec<f32>] {
+        &self.basis
+    }
+
+    /// The residual `X − Π_M X`, i.e. the component of `X` orthogonal to
+    /// the subspace.
+    pub fn residual(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.rows(), self.n, "feature rows must equal node count");
+        let mut r = x.clone();
+        let d = x.cols();
+        for e in &self.basis {
+            // coeff_c = e ᵀ X[:, c]; subtract e * coeff per column.
+            let mut coeff = vec![0.0f64; d];
+            for (i, &ei) in e.iter().enumerate() {
+                if ei == 0.0 {
+                    continue;
+                }
+                let row = x.row(i);
+                for (c, coef) in coeff.iter_mut().enumerate() {
+                    *coef += ei as f64 * row[c] as f64;
+                }
+            }
+            for (i, &ei) in e.iter().enumerate() {
+                if ei == 0.0 {
+                    continue;
+                }
+                let row = r.row_mut(i);
+                for (c, coef) in coeff.iter().enumerate() {
+                    row[c] -= (ei as f64 * coef) as f32;
+                }
+            }
+        }
+        r
+    }
+
+    /// `d_M(X)`: Frobenius distance from `X` to the subspace.
+    pub fn distance(&self, x: &Matrix) -> f64 {
+        skipnode_tensor::frobenius_norm(&self.residual(x))
+    }
+}
+
+/// `λ`: the second-largest eigenvalue *magnitude* of a symmetric propagation
+/// matrix `adj` — i.e. the largest magnitude after deflating the
+/// eigenvalue-1 eigenspace described by `subspace`.
+///
+/// This is the `λ` of the paper's `(sλ)^L` convergence coefficient; for
+/// connected graphs with the GCN re-normalization trick it lies in `(0, 1)`.
+pub fn second_largest_eigen_magnitude(
+    adj: &CsrMatrix,
+    subspace: &SmoothingSubspace,
+    max_iters: usize,
+) -> f64 {
+    assert_eq!(adj.rows(), adj.cols(), "adjacency must be square");
+    assert_eq!(adj.rows(), subspace.nodes(), "subspace/adjacency mismatch");
+    let n = adj.rows();
+    let apply = |x: &[f32], out: &mut [f32]| adj.spmv_into(x, out);
+    let opts = PowerIterOptions {
+        max_iters,
+        ..Default::default()
+    };
+    let (rq, _) = power_iteration(n, apply, subspace.basis(), opts);
+    rq.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::gcn_adjacency;
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let (ids, count) = connected_components(5, &[(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(count, 2);
+        assert_eq!(ids[0], ids[1]);
+        assert_eq!(ids[1], ids[2]);
+        assert_eq!(ids[3], ids[4]);
+        assert_ne!(ids[0], ids[3]);
+    }
+
+    #[test]
+    fn singleton_nodes_are_their_own_components() {
+        let (_, count) = connected_components(4, &[(0, 1)]);
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn subspace_dim_equals_component_count() {
+        let s = SmoothingSubspace::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(s.dim(), 2);
+    }
+
+    #[test]
+    fn basis_is_orthonormal() {
+        let s = SmoothingSubspace::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        for (i, a) in s.basis().iter().enumerate() {
+            for (j, b) in s.basis().iter().enumerate() {
+                let dot: f64 = a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum();
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - want).abs() < 1e-6, "basis[{i}]·basis[{j}] = {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn basis_vectors_are_eigenvectors_of_adjacency_at_one() {
+        let edges = vec![(0, 1), (1, 2), (2, 3)];
+        let adj = gcn_adjacency(4, &edges);
+        let s = SmoothingSubspace::from_edges(4, &edges);
+        for e in s.basis() {
+            let mut out = vec![0.0f32; 4];
+            adj.spmv_into(e, &mut out);
+            for (o, x) in out.iter().zip(e) {
+                assert!((o - x).abs() < 1e-5, "Ã e != e: {o} vs {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn distance_of_subspace_element_is_zero() {
+        let edges = vec![(0, 1), (1, 2)];
+        let s = SmoothingSubspace::from_edges(3, &edges);
+        // X = e1 ⊗ w for some w: lies exactly in M.
+        let e = &s.basis()[0];
+        let mut x = Matrix::zeros(3, 2);
+        for (i, &ei) in e.iter().enumerate() {
+            x.set(i, 0, ei * 2.0);
+            x.set(i, 1, ei * -3.0);
+        }
+        assert!(s.distance(&x) < 1e-6);
+    }
+
+    #[test]
+    fn distance_is_frobenius_for_orthogonal_matrix() {
+        let edges = vec![(0, 1), (1, 2)];
+        let s = SmoothingSubspace::from_edges(3, &edges);
+        // Construct X orthogonal to e (single component): rows differ from
+        // scaled-e pattern. Project and compare with manual residual norm.
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[-1.0, 2.0], &[0.5, -2.0]]);
+        let r = s.residual(&x);
+        // residual must be orthogonal to basis
+        let e = &s.basis()[0];
+        for c in 0..2 {
+            let dot: f64 = (0..3).map(|i| e[i] as f64 * r.get(i, c) as f64).sum();
+            assert!(dot.abs() < 1e-6, "residual not orthogonal: {dot}");
+        }
+        // Pythagoras: ||X||² = ||ΠX||² + ||X − ΠX||²
+        let full = skipnode_tensor::l2_norm_sq(&x);
+        let res = skipnode_tensor::l2_norm_sq(&r);
+        let proj = full - res;
+        assert!(proj >= -1e-6);
+        assert!(s.distance(&x) <= full.sqrt() + 1e-9);
+    }
+
+    #[test]
+    fn repeated_propagation_contracts_distance_exponentially() {
+        // The core over-smoothing fact: d_M(Ã^k X) ≤ λ^k d_M(X).
+        let edges = vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)];
+        let adj = gcn_adjacency(4, &edges);
+        let s = SmoothingSubspace::from_edges(4, &edges);
+        let lambda = second_largest_eigen_magnitude(&adj, &s, 500);
+        assert!(lambda < 1.0 && lambda > 0.0, "lambda = {lambda}");
+        let x = Matrix::from_rows(&[&[1.0], &[-1.0], &[2.0], &[0.0]]);
+        let d0 = s.distance(&x);
+        let mut xk = x;
+        for _ in 0..5 {
+            xk = adj.spmm(&xk);
+        }
+        let d5 = s.distance(&xk);
+        assert!(
+            d5 <= lambda.powi(5) * d0 * 1.01 + 1e-9,
+            "d5 = {d5}, bound = {}",
+            lambda.powi(5) * d0
+        );
+    }
+
+    #[test]
+    fn lambda_for_two_node_graph_is_known() {
+        // K2 with self-loops: Ã = [[1/2, 1/2], [1/2, 1/2]];
+        // eigenvalues {1, 0} so second-largest magnitude is 0.
+        let adj = gcn_adjacency(2, &[(0, 1)]);
+        let s = SmoothingSubspace::from_edges(2, &[(0, 1)]);
+        let lambda = second_largest_eigen_magnitude(&adj, &s, 300);
+        assert!(lambda.abs() < 1e-4, "lambda = {lambda}");
+    }
+}

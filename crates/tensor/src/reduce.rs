@@ -1,0 +1,110 @@
+//! Reductions and normalizations used by losses, metrics, and PairNorm.
+
+use crate::matrix::Matrix;
+
+/// Squared Frobenius norm with f64 accumulation.
+pub fn l2_norm_sq(m: &Matrix) -> f64 {
+    m.as_slice().iter().map(|&x| (x as f64) * (x as f64)).sum()
+}
+
+/// Frobenius norm.
+pub fn frobenius_norm(m: &Matrix) -> f64 {
+    l2_norm_sq(m).sqrt()
+}
+
+/// In-place, numerically stable row-wise softmax.
+pub fn row_softmax_in_place(m: &mut Matrix) {
+    let cols = m.cols();
+    if cols == 0 {
+        return;
+    }
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let mut sum = 0.0f64;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v as f64;
+        }
+        let inv = (1.0 / sum) as f32;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Cosine distance `1 - cos(a, b)` between two rows of (possibly different)
+/// matrices. Zero vectors are defined to have distance 0 from anything —
+/// this matches the MAD metric's treatment of fully-smoothed (all-zero)
+/// features as "indistinguishable".
+pub fn cosine_distance_rows(a: &Matrix, ra: usize, b: &Matrix, rb: usize) -> f64 {
+    let x = a.row(ra);
+    let y = b.row(rb);
+    debug_assert_eq!(x.len(), y.len());
+    let mut dot = 0.0f64;
+    let mut nx = 0.0f64;
+    let mut ny = 0.0f64;
+    for (&xi, &yi) in x.iter().zip(y) {
+        dot += xi as f64 * yi as f64;
+        nx += (xi as f64).powi(2);
+        ny += (yi as f64).powi(2);
+    }
+    if nx == 0.0 || ny == 0.0 {
+        return 0.0;
+    }
+    let c = (dot / (nx.sqrt() * ny.sqrt())).clamp(-1.0, 1.0);
+    1.0 - c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frobenius_of_unit_rows() {
+        let m = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(frobenius_norm(&m), 5.0);
+        assert_eq!(l2_norm_sq(&m), 25.0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]]);
+        row_softmax_in_place(&mut m);
+        for r in 0..2 {
+            let s: f32 = m.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(m.row(r).iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let mut a = Matrix::from_rows(&[&[1000.0, 1001.0]]);
+        row_softmax_in_place(&mut a);
+        assert!(a.all_finite());
+        let mut b = Matrix::from_rows(&[&[0.0, 1.0]]);
+        row_softmax_in_place(&mut b);
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cosine_distance_of_identical_rows_is_zero() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[1.0, 2.0]]);
+        assert!(cosine_distance_rows(&m, 0, &m, 1).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cosine_distance_of_orthogonal_rows_is_one() {
+        let m = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        assert!((cosine_distance_rows(&m, 0, &m, 1) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cosine_distance_with_zero_vector_is_zero() {
+        let m = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
+        assert_eq!(cosine_distance_rows(&m, 0, &m, 1), 0.0);
+    }
+}

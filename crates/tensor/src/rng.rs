@@ -1,0 +1,222 @@
+//! Seeded randomness helpers.
+//!
+//! Every stochastic component in the workspace draws from a [`SplitRng`] so
+//! experiments are reproducible end-to-end from a single `--seed`.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded RNG that can deterministically `split` child RNGs, so
+/// independent subsystems (graph generation, weight init, per-epoch masks)
+/// do not perturb each other's streams when one of them changes.
+pub struct SplitRng {
+    inner: StdRng,
+}
+
+impl SplitRng {
+    /// New RNG from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child RNG. Advances this RNG by one draw.
+    pub fn split(&mut self) -> SplitRng {
+        SplitRng::new(self.inner.gen::<u64>())
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        uniform_f32(&mut self.inner, lo, hi)
+    }
+
+    /// Standard normal via Box–Muller (avoids a rand_distr dependency).
+    pub fn normal(&mut self) -> f32 {
+        normal_f32(&mut self.inner)
+    }
+
+    /// Bernoulli draw.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Raw u64 draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Uniform f64 in [0,1).
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen()
+    }
+
+    /// Matrix with i.i.d. uniform entries.
+    pub fn uniform_matrix(&mut self, rows: usize, cols: usize, lo: f32, hi: f32) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for v in m.as_mut_slice() {
+            *v = self.uniform(lo, hi);
+        }
+        m
+    }
+
+    /// Matrix with i.i.d. `N(0, std²)` entries.
+    pub fn normal_matrix(&mut self, rows: usize, cols: usize, std: f32) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for v in m.as_mut_slice() {
+            *v = self.normal() * std;
+        }
+        m
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Sample `k` distinct indices from `[0, n)` (k ≤ n), uniform without
+    /// replacement, order unspecified.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} of {n}");
+        // Partial Fisher-Yates over an index array; O(n) setup is fine at
+        // the graph sizes used here.
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = self.inner.gen_range(i..n);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+
+    /// Weighted sample of `k` distinct indices, probability proportional to
+    /// `weights` (the paper's biased / degree-proportional sampler).
+    ///
+    /// Uses the Efraimidis–Spirakis exponential-key trick: key_i =
+    /// u_i^(1/w_i); take the k largest keys. Zero-weight items are never
+    /// selected unless fewer than `k` positive-weight items exist.
+    pub fn weighted_sample_indices(&mut self, weights: &[f64], k: usize) -> Vec<usize> {
+        let n = weights.len();
+        assert!(k <= n, "cannot sample {k} of {n}");
+        let mut keyed: Vec<(f64, usize)> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                let key = if w > 0.0 {
+                    // ln(u)/w is a monotone transform of u^(1/w); avoids
+                    // underflow for large weights.
+                    let u: f64 = self.inner.gen::<f64>().max(f64::MIN_POSITIVE);
+                    u.ln() / w
+                } else {
+                    f64::NEG_INFINITY
+                };
+                (key, i)
+            })
+            .collect();
+        keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN sampling key"));
+        keyed.into_iter().take(k).map(|(_, i)| i).collect()
+    }
+}
+
+/// Uniform `f32` in `[lo, hi)` from any rand RNG.
+pub fn uniform_f32<R: Rng>(rng: &mut R, lo: f32, hi: f32) -> f32 {
+    lo + (hi - lo) * rng.gen::<f32>()
+}
+
+/// Standard-normal `f32` via Box–Muller.
+pub fn normal_f32<R: Rng>(rng: &mut R) -> f32 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SplitRng::new(42);
+        let mut b = SplitRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn split_streams_are_independent_of_parent_usage() {
+        let mut a = SplitRng::new(9);
+        let child_seed_first = a.split().next_u64();
+        let mut b = SplitRng::new(9);
+        let child_seed_second = b.split().next_u64();
+        assert_eq!(child_seed_first, child_seed_second);
+    }
+
+    #[test]
+    fn normal_mean_and_variance_are_sane() {
+        let mut rng = SplitRng::new(1);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean: f64 = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        let var: f64 =
+            samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = SplitRng::new(2);
+        let s = rng.sample_indices(50, 20);
+        assert_eq!(s.len(), 20);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20);
+        assert!(s.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn weighted_sampling_never_picks_zero_weight() {
+        let mut rng = SplitRng::new(3);
+        let weights = [0.0, 5.0, 0.0, 1.0, 3.0];
+        for _ in 0..50 {
+            let s = rng.weighted_sample_indices(&weights, 3);
+            assert!(!s.contains(&0) && !s.contains(&2), "picked zero weight: {s:?}");
+        }
+    }
+
+    #[test]
+    fn weighted_sampling_prefers_heavy_items() {
+        let mut rng = SplitRng::new(4);
+        let weights = [1.0, 100.0, 1.0, 1.0];
+        let mut hits = 0;
+        let trials = 500;
+        for _ in 0..trials {
+            if rng.weighted_sample_indices(&weights, 1)[0] == 1 {
+                hits += 1;
+            }
+        }
+        assert!(hits > trials * 8 / 10, "heavy item picked only {hits}/{trials}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitRng::new(5);
+        let mut v: Vec<usize> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+}

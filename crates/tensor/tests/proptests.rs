@@ -1,0 +1,122 @@
+//! Property-based tests for the dense matrix algebra.
+
+use proptest::prelude::*;
+use skipnode_tensor::{Matrix, SplitRng};
+
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+fn assert_close(a: &Matrix, b: &Matrix, tol: f32) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.shape(), b.shape());
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        prop_assert!(
+            (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+            "{x} vs {y}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (AB)C = A(BC) within float tolerance.
+    #[test]
+    fn matmul_is_associative(
+        a in matrix_strategy(4, 3),
+        b in matrix_strategy(3, 5),
+        c in matrix_strategy(5, 2),
+    ) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        assert_close(&left, &right, 1e-3)?;
+    }
+
+    /// A(B + C) = AB + AC.
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in matrix_strategy(3, 4),
+        b in matrix_strategy(4, 3),
+        c in matrix_strategy(4, 3),
+    ) {
+        let left = a.matmul(&(&b + &c));
+        let right = &a.matmul(&b) + &a.matmul(&c);
+        assert_close(&left, &right, 1e-3)?;
+    }
+
+    /// (AB)ᵀ = Bᵀ Aᵀ.
+    #[test]
+    fn transpose_reverses_products(
+        a in matrix_strategy(3, 4),
+        b in matrix_strategy(4, 2),
+    ) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        assert_close(&left, &right, 1e-4)?;
+    }
+
+    /// The fused kernels agree with explicit transposition.
+    #[test]
+    fn fused_transpose_kernels_agree(
+        a in matrix_strategy(5, 3),
+        b in matrix_strategy(5, 4),
+    ) {
+        assert_close(&a.t_matmul(&b), &a.transpose().matmul(&b), 1e-4)?;
+        let c = Matrix::from_vec(4, 3, b.as_slice()[..12].to_vec());
+        assert_close(&a.matmul_t(&c), &a.matmul(&c.transpose()), 1e-4)?;
+    }
+
+    /// hcat then select recovers column blocks; select_rows of all rows is
+    /// the identity.
+    #[test]
+    fn hcat_and_select_round_trip(
+        a in matrix_strategy(4, 2),
+        b in matrix_strategy(4, 3),
+    ) {
+        let cat = Matrix::hcat(&[&a, &b]);
+        prop_assert_eq!(cat.cols(), 5);
+        for r in 0..4 {
+            prop_assert_eq!(&cat.row(r)[..2], a.row(r));
+            prop_assert_eq!(&cat.row(r)[2..], b.row(r));
+        }
+        let all: Vec<usize> = (0..4).collect();
+        prop_assert_eq!(cat.select_rows(&all), cat);
+    }
+
+    /// ReLU is idempotent and non-expansive in Frobenius norm.
+    #[test]
+    fn relu_properties(a in matrix_strategy(4, 4)) {
+        let r = a.relu();
+        prop_assert_eq!(r.relu(), r.clone());
+        prop_assert!(
+            skipnode_tensor::frobenius_norm(&r) <= skipnode_tensor::frobenius_norm(&a) + 1e-9
+        );
+        prop_assert!(r.as_slice().iter().all(|&x| x >= 0.0));
+    }
+
+    /// Softmax rows are a probability simplex for arbitrary inputs.
+    #[test]
+    fn softmax_simplex(a in matrix_strategy(3, 6)) {
+        let mut s = a.clone();
+        skipnode_tensor::row_softmax_in_place(&mut s);
+        for r in 0..3 {
+            let total: f32 = s.row(r).iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    /// max_singular_value is sub-multiplicative: s(AB) ≤ s(A)s(B).
+    #[test]
+    fn singular_value_submultiplicative(seed in 0u64..500) {
+        let mut rng = SplitRng::new(seed);
+        let a = rng.uniform_matrix(4, 4, -1.0, 1.0);
+        let b = rng.uniform_matrix(4, 4, -1.0, 1.0);
+        let sa = skipnode_tensor::max_singular_value(&a, 300);
+        let sb = skipnode_tensor::max_singular_value(&b, 300);
+        let sab = skipnode_tensor::max_singular_value(&a.matmul(&b), 300);
+        prop_assert!(sab <= sa * sb * 1.001 + 1e-6, "{sab} > {sa}*{sb}");
+    }
+}

@@ -1,0 +1,53 @@
+//! The paper's motivating scenario: what happens to a citation-graph GCN
+//! as it gets deeper?
+//!
+//! Sweeps depth L ∈ {2, 4, 8, 16, 32} on the Cora substitute, printing
+//! test accuracy and the MAD over-smoothing metric for the plain backbone
+//! vs SkipNode. The plain GCN collapses toward the class prior as MAD
+//! pins to ~0; SkipNode keeps the deep models trainable.
+//!
+//! Run: `cargo run --release --example deep_citation`
+
+use skipnode::prelude::*;
+
+fn main() {
+    let seed = 7;
+    let graph = load(DatasetName::Cora, Scale::Bench, seed);
+    let cfg = TrainConfig {
+        epochs: 200,
+        record_mad: true,
+        ..Default::default()
+    };
+    println!("depth  | vanilla acc  MAD    | skipnode acc  MAD");
+    println!("-------+---------------------+------------------");
+    for depth in [2usize, 4, 8, 16, 32] {
+        let mut cells = Vec::new();
+        for strategy in [
+            Strategy::None,
+            Strategy::SkipNode(SkipNodeConfig::new(0.5, Sampling::Uniform)),
+        ] {
+            let mut rng = SplitRng::new(seed);
+            let split = semi_supervised_split(&graph, &mut rng);
+            let mut model = Gcn::new(
+                graph.feature_dim(),
+                64,
+                graph.num_classes(),
+                depth.max(2),
+                0.5,
+                &mut rng,
+            );
+            let result =
+                train_node_classifier(&mut model, &graph, &split, &strategy, &cfg, &mut rng);
+            cells.push((
+                result.test_accuracy * 100.0,
+                result.final_mad.unwrap_or(f64::NAN),
+            ));
+        }
+        println!(
+            "L = {depth:3} | {:10.1}% {:.3}  | {:11.1}% {:.3}",
+            cells[0].0, cells[0].1, cells[1].0, cells[1].1
+        );
+    }
+    println!("\nExpected: the vanilla column degrades sharply past L = 8 while the");
+    println!("SkipNode column stays high; vanilla MAD collapses toward 0 first.");
+}

@@ -1,0 +1,47 @@
+//! Link prediction on the ogbl-ppa substitute (the Table 5 task):
+//! deep GCN encoders with a dot-product decoder, evaluated with Hits@K.
+//!
+//! Run: `cargo run --release --example link_prediction`
+
+use skipnode::prelude::*;
+
+fn main() {
+    let seed = 7;
+    let graph = load(DatasetName::OgblPpa, Scale::Bench, seed);
+    let mut rng = SplitRng::new(seed);
+    let split = link_split(&graph, 5000, &mut rng);
+    println!(
+        "ogbl-ppa substitute: {} nodes, {} edges ({} message / {} val / {} test positives)",
+        graph.num_nodes(),
+        graph.num_edges(),
+        split.message_edges.len(),
+        split.val_pos.len(),
+        split.test_pos.len()
+    );
+    println!("\nstrategy          depth  Hits@10  Hits@50  Hits@100");
+    for depth in [4usize, 8] {
+        for (label, strategy) in [
+            ("vanilla", Strategy::None),
+            (
+                "skipnode-u(0.5)",
+                Strategy::SkipNode(SkipNodeConfig::new(0.5, Sampling::Uniform)),
+            ),
+        ] {
+            let cfg = LinkPredConfig {
+                epochs: 60,
+                layers: depth,
+                ..Default::default()
+            };
+            let mut run_rng = SplitRng::new(seed ^ depth as u64);
+            let result = train_link_predictor(&graph, &split, &strategy, &cfg, &mut run_rng);
+            println!(
+                "{label:16}  {depth:5}  {:6.2}%  {:6.2}%  {:7.2}%",
+                result.hits_at_10 * 100.0,
+                result.hits_at_50 * 100.0,
+                result.hits_at_100 * 100.0
+            );
+        }
+    }
+    println!("\nExpected: at depth 8 the SkipNode encoder retains (or improves) its");
+    println!("ranking quality while the vanilla encoder regresses.");
+}

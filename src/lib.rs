@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+
+//! # skipnode
+//!
+//! A from-scratch Rust reproduction of **"SkipNode: On Alleviating
+//! Performance Degradation for Deep Graph Convolutional Networks"**
+//! (Lu et al.), including the entire substrate the paper depends on:
+//! dense tensor math with reverse-mode autodiff, sparse graph propagation,
+//! synthetic dataset generators matched to the paper's benchmarks, eight
+//! GNN backbones, four plug-and-play strategies, and the theory
+//! instruments behind the `(sλ)^L` over-smoothing analysis.
+//!
+//! This façade crate re-exports the workspace's sub-crates under stable
+//! module names so applications can depend on one crate:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`core`] | SkipNode samplers + over-smoothing theory |
+//! | [`nn`] | backbones, strategies, Adam, training harnesses |
+//! | [`graph`] | datasets, generators, splits |
+//! | [`sparse`] | CSR matrices, GCN normalization, spectral tools |
+//! | [`autograd`] | the tape engine |
+//! | [`tensor`] | dense matrices and RNG |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use skipnode::prelude::*;
+//!
+//! let mut rng = SplitRng::new(7);
+//! let graph = load(DatasetName::Cora, Scale::Bench, 7);
+//! let split = semi_supervised_split(&graph, &mut rng);
+//! let mut model = Gcn::new(graph.feature_dim(), 64, graph.num_classes(), 8, 0.5, &mut rng);
+//! let strategy = Strategy::SkipNode(SkipNodeConfig::new(0.5, Sampling::Uniform));
+//! let result = train_node_classifier(
+//!     &mut model, &graph, &split, &strategy, &TrainConfig::default(), &mut rng);
+//! println!("test accuracy: {:.1}%", result.test_accuracy * 100.0);
+//! ```
+
+pub use skipnode_autograd as autograd;
+pub use skipnode_core as core;
+pub use skipnode_graph as graph;
+pub use skipnode_nn as nn;
+pub use skipnode_sparse as sparse;
+pub use skipnode_tensor as tensor;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use skipnode_core::{Sampling, SkipNodeConfig};
+    pub use skipnode_graph::{
+        full_supervised_split, link_split, load, semi_supervised_split, DatasetName, Graph,
+        Scale, Split,
+    };
+    pub use skipnode_nn::models::{
+        Appnp, Gat, Gcn, Gcnii, GprGnn, Grand, InceptGcn, JkAggregate, JkNet, Model, Sgc,
+    };
+    pub use skipnode_nn::{
+        accuracy, dirichlet_energy, hits_at_k, load_checkpoint, mean_average_distance,
+        save_checkpoint, train_link_predictor, train_node_classifier, LinkPredConfig,
+        LrSchedule, Strategy, TrainConfig,
+    };
+    pub use skipnode_tensor::{Matrix, SplitRng};
+}

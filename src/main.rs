@@ -1,0 +1,289 @@
+//! `skipnode` — the command-line interface to the reproduction.
+//!
+//! ```text
+//! skipnode datasets                            # audit the dataset substitutes
+//! skipnode train --dataset cora --backbone gcn --depth 8 \
+//!     --strategy skipnode-u --rho 0.5 --epochs 200 --save model.skpn
+//! skipnode linkpred --dataset ogbl-ppa --depth 6 --strategy skipnode-u
+//! skipnode theory --nodes 500 --edge-prob 0.5
+//! ```
+//!
+//! Every subcommand accepts `--seed N` (default 7) and `--scale paper|bench`
+//! (default bench).
+
+use skipnode::core::theory::{
+    depth_log_ratio_series, random_nonneg_features, theorem2_coefficient, theorem3_min_rho,
+    TheoryGraph,
+};
+use skipnode::graph::ALL_DATASETS;
+use skipnode::nn::models::{build_by_name, BACKBONE_NAMES};
+use skipnode::nn::{
+    save_checkpoint, train_node_classifier_minibatch, MiniBatchConfig,
+};
+use skipnode::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "datasets" => cmd_datasets(rest),
+        "train" => cmd_train(rest),
+        "linkpred" => cmd_linkpred(rest),
+        "theory" => cmd_theory(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+skipnode — deep GCN training with the SkipNode plug-and-play module
+
+USAGE:
+  skipnode datasets [--seed N] [--scale paper|bench]
+  skipnode train    --dataset NAME [--backbone NAME] [--depth N]
+                    [--strategy none|dropedge|dropnode|pairnorm|skipnode-u|skipnode-b]
+                    [--rho F] [--epochs N] [--hidden N] [--dropout F]
+                    [--protocol semi|full] [--minibatch PARTS] [--save PATH]
+                    [--seed N] [--scale S]
+  skipnode linkpred --dataset NAME [--depth N] [--strategy ...] [--rho F]
+                    [--epochs N] [--seed N] [--scale S]
+  skipnode theory   [--nodes N] [--edge-prob F] [--layers N] [--s F] [--seed N]
+
+Backbones: gcn resgcn jknet inceptgcn gcnii appnp gprgnn grand sgc
+Datasets:  cora citeseer pubmed chameleon cornell texas wisconsin
+           ogbn-arxiv ogbl-ppa";
+
+/// Tiny flag parser: `--key value` pairs after the subcommand.
+struct Flags<'a>(&'a [String]);
+
+impl<'a> Flags<'a> {
+    fn get(&self, key: &str) -> Option<&'a str> {
+        self.0
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.0.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    fn parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("{key} got an unparsable value `{v}`")),
+        }
+    }
+
+    fn scale(&self) -> Result<Scale, String> {
+        match self.get("--scale") {
+            None | Some("bench") => Ok(Scale::Bench),
+            Some("paper") => Ok(Scale::Paper),
+            Some(other) => Err(format!("unknown scale `{other}`")),
+        }
+    }
+
+    fn dataset(&self) -> Result<DatasetName, String> {
+        let name = self.get("--dataset").ok_or("--dataset is required")?;
+        DatasetName::parse(name).ok_or_else(|| format!("unknown dataset `{name}`"))
+    }
+
+    fn strategy(&self) -> Result<Strategy, String> {
+        let rho: f64 = self.parse("--rho", 0.5)?;
+        Ok(match self.get("--strategy").unwrap_or("none") {
+            "none" | "-" => Strategy::None,
+            "dropedge" => Strategy::DropEdge { rate: rho.min(0.9) },
+            "dropnode" => Strategy::DropNode { rate: rho.min(0.9) },
+            "pairnorm" => Strategy::PairNorm { scale: 1.0 },
+            "skipnode-u" => Strategy::SkipNode(SkipNodeConfig::new(rho, Sampling::Uniform)),
+            "skipnode-b" => Strategy::SkipNode(SkipNodeConfig::new(rho, Sampling::Biased)),
+            other => return Err(format!("unknown strategy `{other}`")),
+        })
+    }
+}
+
+fn cmd_datasets(rest: &[String]) -> Result<(), String> {
+    let flags = Flags(rest);
+    let seed: u64 = flags.parse("--seed", 7)?;
+    let scale = flags.scale()?;
+    println!(
+        "{:<12} {:>8} {:>9} {:>9} {:>8} {:>9}",
+        "dataset", "nodes", "edges", "features", "classes", "homophily"
+    );
+    for name in ALL_DATASETS {
+        let g = load(name, scale, seed);
+        println!(
+            "{:<12} {:>8} {:>9} {:>9} {:>8} {:>9.2}",
+            name.as_str(),
+            g.num_nodes(),
+            g.num_edges(),
+            g.feature_dim(),
+            g.num_classes(),
+            g.edge_homophily()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_train(rest: &[String]) -> Result<(), String> {
+    let flags = Flags(rest);
+    let seed: u64 = flags.parse("--seed", 7)?;
+    let dataset = flags.dataset()?;
+    let backbone = flags.get("--backbone").unwrap_or("gcn");
+    if !BACKBONE_NAMES.contains(&backbone) {
+        return Err(format!(
+            "unknown backbone `{backbone}`; expected one of {BACKBONE_NAMES:?}"
+        ));
+    }
+    let depth: usize = flags.parse("--depth", 4)?;
+    let epochs: usize = flags.parse("--epochs", 200)?;
+    let hidden: usize = flags.parse("--hidden", 64)?;
+    let dropout: f64 = flags.parse("--dropout", 0.5)?;
+    let strategy = flags.strategy()?;
+    let scale = flags.scale()?;
+
+    let graph = load(dataset, scale, seed);
+    let mut rng = SplitRng::new(seed);
+    let split = match flags.get("--protocol").unwrap_or("semi") {
+        "semi" => semi_supervised_split(&graph, &mut rng),
+        "full" => full_supervised_split(&graph, &mut rng),
+        other => return Err(format!("unknown protocol `{other}` (semi|full)")),
+    };
+    println!(
+        "training {backbone} (depth {depth}, hidden {hidden}) on {} ({} nodes), strategy {}",
+        dataset.as_str(),
+        graph.num_nodes(),
+        strategy.label()
+    );
+    let mut model = build_by_name(
+        backbone,
+        graph.feature_dim(),
+        hidden,
+        graph.num_classes(),
+        depth,
+        dropout,
+        &mut rng,
+    );
+    let cfg = TrainConfig {
+        epochs,
+        record_mad: true,
+        ..Default::default()
+    };
+    let parts: usize = flags.parse("--minibatch", 0)?;
+    let result = if parts > 1 {
+        train_node_classifier_minibatch(
+            model.as_mut(),
+            &graph,
+            &split,
+            &strategy,
+            &cfg,
+            &MiniBatchConfig { parts },
+            &mut rng,
+        )
+    } else {
+        train_node_classifier(model.as_mut(), &graph, &split, &strategy, &cfg, &mut rng)
+    };
+    println!(
+        "test accuracy {:.2}%  (best val {:.2}% @ epoch {}, {} epochs run{})",
+        result.test_accuracy * 100.0,
+        result.val_accuracy * 100.0,
+        result.best_epoch,
+        result.epochs_run,
+        result
+            .final_mad
+            .map(|m| format!(", MAD {m:.3}"))
+            .unwrap_or_default()
+    );
+    if let Some(path) = flags.get("--save") {
+        save_checkpoint(model.store(), path).map_err(|e| format!("saving {path}: {e}"))?;
+        println!("saved parameters to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_linkpred(rest: &[String]) -> Result<(), String> {
+    let flags = Flags(rest);
+    let seed: u64 = flags.parse("--seed", 7)?;
+    let dataset = flags.dataset()?;
+    let depth: usize = flags.parse("--depth", 4)?;
+    let epochs: usize = flags.parse("--epochs", 80)?;
+    let strategy = flags.strategy()?;
+    let scale = flags.scale()?;
+    let graph = load(dataset, scale, seed);
+    let mut rng = SplitRng::new(seed);
+    let split = link_split(&graph, 5000, &mut rng);
+    println!(
+        "link prediction on {} ({} nodes, {} message edges), encoder depth {depth}, strategy {}",
+        dataset.as_str(),
+        graph.num_nodes(),
+        split.message_edges.len(),
+        strategy.label()
+    );
+    let cfg = LinkPredConfig {
+        epochs,
+        layers: depth,
+        ..Default::default()
+    };
+    let result = train_link_predictor(&graph, &split, &strategy, &cfg, &mut rng);
+    println!(
+        "Hits@10 {:.2}%   Hits@50 {:.2}%   Hits@100 {:.2}%",
+        result.hits_at_10 * 100.0,
+        result.hits_at_50 * 100.0,
+        result.hits_at_100 * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_theory(rest: &[String]) -> Result<(), String> {
+    let flags = Flags(rest);
+    let seed: u64 = flags.parse("--seed", 7)?;
+    let n: usize = flags.parse("--nodes", 500)?;
+    let p: f64 = flags.parse("--edge-prob", 0.5)?;
+    let layers: usize = flags.parse("--layers", 10)?;
+    let s: f64 = flags.parse("--s", 0.5)?;
+    let mut rng = SplitRng::new(seed);
+    let g = TheoryGraph::erdos_renyi(n, p, &mut rng);
+    println!("ER n={n} p={p}: λ = {:.4}, sλ = {:.4}", g.lambda(), s * g.lambda());
+    println!(
+        "Theorem 3 critical ρ: {:.3}",
+        theorem3_min_rho(s * g.lambda())
+    );
+    let x0 = random_nonneg_features(g.nodes(), 16, &mut rng);
+    println!("\nlayer  vanilla log d_M ratio  skipnode(ρ=0.5)  Thm2 bound");
+    let runs = 20;
+    let mut v = vec![0.0f64; layers];
+    let mut sk = vec![0.0f64; layers];
+    for _ in 0..runs {
+        for (acc, rho) in [(&mut v, 0.0f64), (&mut sk, 0.5)] {
+            let series = depth_log_ratio_series(&g, &x0, s, rho, layers, &mut rng);
+            for (a, val) in acc.iter_mut().zip(series) {
+                *a += val;
+            }
+        }
+    }
+    let coef = theorem2_coefficient(s * g.lambda(), 0.5).ln();
+    for l in 0..layers {
+        println!(
+            "{:5}  {:+21.3}  {:+15.3}  {:+9.3}",
+            l + 1,
+            v[l] / runs as f64,
+            sk[l] / runs as f64,
+            coef * (l + 1) as f64
+        );
+    }
+    Ok(())
+}

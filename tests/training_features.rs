@@ -1,0 +1,145 @@
+//! Integration tests for the training-infrastructure extensions:
+//! checkpointing, LR schedules, gradient clipping, and Dirichlet energy.
+
+use skipnode::nn::{
+    dirichlet_energy, evaluate, load_checkpoint, save_checkpoint, LrSchedule,
+};
+use skipnode::prelude::*;
+use std::sync::Arc;
+
+fn graph() -> Graph {
+    skipnode::graph::partition_graph(
+        &skipnode::graph::PartitionConfig {
+            n: 250,
+            m: 900,
+            classes: 4,
+            homophily: 0.85,
+            power: 0.2,
+        },
+        64,
+        skipnode::graph::FeatureStyle::BinaryBagOfWords {
+            active: 10,
+            fidelity: 0.9,
+            confusion: 0.1,
+        },
+        &mut SplitRng::new(31),
+    )
+}
+
+#[test]
+fn checkpoint_round_trip_preserves_predictions() {
+    let g = graph();
+    let mut rng = SplitRng::new(1);
+    let split = full_supervised_split(&g, &mut rng);
+    let mut model = Gcn::new(g.feature_dim(), 16, g.num_classes(), 3, 0.2, &mut rng);
+    let cfg = TrainConfig {
+        epochs: 20,
+        patience: 0,
+        eval_every: 5,
+        ..Default::default()
+    };
+    let _ = train_node_classifier(&mut model, &g, &split, &Strategy::None, &cfg, &mut rng);
+
+    let path = std::env::temp_dir().join("skipnode_trained.skpn");
+    save_checkpoint(model.store(), &path).unwrap();
+    let restored = load_checkpoint(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    // Predictions from the restored parameters must match exactly.
+    assert_eq!(restored.len(), model.store().len());
+    for (a, b) in model.store().ids().into_iter().zip(restored.ids()) {
+        assert_eq!(model.store().value(a), restored.value(b));
+    }
+}
+
+#[test]
+fn cosine_schedule_trains_and_ends_with_small_lr() {
+    let g = graph();
+    let mut rng = SplitRng::new(2);
+    let split = full_supervised_split(&g, &mut rng);
+    let mut model = Gcn::new(g.feature_dim(), 16, g.num_classes(), 2, 0.2, &mut rng);
+    let cfg = TrainConfig {
+        epochs: 40,
+        patience: 0,
+        eval_every: 5,
+        lr_schedule: LrSchedule::Cosine {
+            total: 40,
+            floor: 0.01,
+        },
+        ..Default::default()
+    };
+    let r = train_node_classifier(&mut model, &g, &split, &Strategy::None, &cfg, &mut rng);
+    assert!(r.test_accuracy > 0.5, "accuracy {}", r.test_accuracy);
+}
+
+#[test]
+fn clipping_keeps_training_stable_with_huge_lr() {
+    let g = graph();
+    let mut rng = SplitRng::new(3);
+    let split = full_supervised_split(&g, &mut rng);
+    let mut model = Gcn::new(g.feature_dim(), 16, g.num_classes(), 2, 0.2, &mut rng);
+    let adam = skipnode::nn::AdamConfig {
+        lr: 0.5, // deliberately too hot
+        ..Default::default()
+    };
+    let cfg = TrainConfig {
+        epochs: 30,
+        patience: 0,
+        eval_every: 5,
+        adam,
+        clip_norm: Some(1.0),
+        ..Default::default()
+    };
+    let r = train_node_classifier(&mut model, &g, &split, &Strategy::None, &cfg, &mut rng);
+    // The run must remain finite and usable (no NaN collapse).
+    assert!(r.test_accuracy.is_finite());
+    assert!(r.val_accuracy > 0.2, "val {}", r.val_accuracy);
+}
+
+#[test]
+fn dirichlet_energy_tracks_oversmoothing() {
+    // Energy of raw features vs features propagated many times: repeated
+    // propagation must crush the energy, matching the MAD story.
+    let g = graph();
+    let adj = g.gcn_adjacency();
+    let raw = dirichlet_energy(g.features(), &g);
+    let mut smoothed = g.features().clone();
+    for _ in 0..20 {
+        smoothed = adj.spmm(&smoothed);
+    }
+    let after = dirichlet_energy(&smoothed, &g);
+    assert!(
+        after < raw * 0.05,
+        "energy barely moved: {after} vs {raw}"
+    );
+}
+
+#[test]
+fn trained_deep_vanilla_has_lower_energy_than_skipnode() {
+    let g = graph();
+    let full_adj = Arc::new(g.gcn_adjacency());
+    let run = |strategy: &Strategy| -> f64 {
+        let mut rng = SplitRng::new(4);
+        let split = full_supervised_split(&g, &mut rng);
+        let mut model = Gcn::new(g.feature_dim(), 16, g.num_classes(), 12, 0.2, &mut rng);
+        let cfg = TrainConfig {
+            epochs: 60,
+            patience: 0,
+            eval_every: 10,
+            ..Default::default()
+        };
+        let _ = train_node_classifier(&mut model, &g, &split, strategy, &cfg, &mut rng);
+        let mut eval_rng = SplitRng::new(5);
+        let (_, penultimate) = evaluate(&model, &g, &full_adj, strategy, &mut eval_rng);
+        dirichlet_energy(&penultimate.expect("penultimate"), &g)
+    };
+    let vanilla = run(&Strategy::None);
+    let skip = run(&Strategy::SkipNode(SkipNodeConfig::new(
+        0.6,
+        Sampling::Uniform,
+    )));
+    assert!(
+        skip > vanilla,
+        "SkipNode energy {skip:.4} should exceed vanilla {vanilla:.4} at depth 12"
+    );
+}
