@@ -80,7 +80,11 @@ pub(crate) fn gat_forward(
         let mut max = f32::NEG_INFINITY;
         for &u in srcs {
             let raw = s_src.get(u as usize, 0) + sv;
-            let (e, g) = if raw >= 0.0 { (raw, 1.0) } else { (slope * raw, slope) };
+            let (e, g) = if raw >= 0.0 {
+                (raw, 1.0)
+            } else {
+                (slope * raw, slope)
+            };
             max = max.max(e);
             scores.push(e);
             lg.push(g);
@@ -106,11 +110,7 @@ pub(crate) fn gat_forward(
 }
 
 /// Backward for the fused attention op. Returns `(dh, ds_src, ds_dst)`.
-pub(crate) fn gat_backward(
-    h: &Matrix,
-    cache: &GatCache,
-    g: &Matrix,
-) -> (Matrix, Matrix, Matrix) {
+pub(crate) fn gat_backward(h: &Matrix, cache: &GatCache, g: &Matrix) -> (Matrix, Matrix, Matrix) {
     let n = cache.graph.nodes();
     let d = h.cols();
     let mut dh = Matrix::zeros(n, d);
@@ -130,8 +130,8 @@ pub(crate) fn gat_backward(
             weighted_sum += (alphas[i] * dot) as f64;
             // dh_u += α_uv g_v
             let a = alphas[i];
-            for c in 0..d {
-                dh.set(u as usize, c, dh.get(u as usize, c) + a * gv[c]);
+            for (c, &gvc) in gv.iter().enumerate() {
+                dh.set(u as usize, c, dh.get(u as usize, c) + a * gvc);
             }
         }
         let mut de_total = 0.0f32;
@@ -164,9 +164,7 @@ impl Tape {
             graph,
             slope,
         );
-        let rg = self.requires_grad(h)
-            || self.requires_grad(s_src)
-            || self.requires_grad(s_dst);
+        let rg = self.requires_grad(h) || self.requires_grad(s_src) || self.requires_grad(s_dst);
         self.push(
             value,
             Op::GatAggregate {

@@ -1,7 +1,7 @@
 //! Forward op constructors on [`Tape`].
 
 use crate::tape::{pairnorm_forward, AdjId, NodeId, Op, Tape};
-use skipnode_tensor::{Matrix, SplitRng};
+use skipnode_tensor::{workspace, Matrix, SplitRng};
 
 impl Tape {
     fn rg(&self, id: NodeId) -> bool {
@@ -34,7 +34,7 @@ impl Tape {
             self.value(b).shape(),
             "add_scaled shape mismatch"
         );
-        let mut value = self.value(a).clone();
+        let mut value = workspace::take_copy(self.value(a));
         value.add_scaled(self.value(b), c);
         let rg = self.rg(a) || self.rg(b);
         self.push(value, Op::AddScaled(a, b, c), rg)
@@ -52,7 +52,7 @@ impl Tape {
         let b = self.value(bias);
         assert_eq!(b.rows(), 1, "bias must be a row vector");
         assert_eq!(b.cols(), self.value(x).cols(), "bias width mismatch");
-        let mut value = self.value(x).clone();
+        let mut value = workspace::take_copy(self.value(x));
         for r in 0..value.rows() {
             let row = value.row_mut(r);
             for (v, &bv) in row.iter_mut().zip(self.nodes[bias.0].value.row(0)) {
@@ -81,7 +81,7 @@ impl Tape {
         let mask: Vec<f32> = (0..len)
             .map(|_| if rng.bernoulli(p) { 0.0 } else { scale })
             .collect();
-        let mut value = self.value(x).clone();
+        let mut value = workspace::take_copy(self.value(x));
         for (v, &m) in value.as_mut_slice().iter_mut().zip(&mask) {
             *v *= m;
         }
@@ -101,7 +101,7 @@ impl Tape {
         let factors: Vec<f32> = (0..rows)
             .map(|_| if rng.bernoulli(p) { 0.0 } else { scale })
             .collect();
-        let mut value = self.value(x).clone();
+        let mut value = workspace::take_copy(self.value(x));
         for (r, &f) in factors.iter().enumerate() {
             for v in value.row_mut(r) {
                 *v *= f;
@@ -126,7 +126,7 @@ impl Tape {
             self.value(conv).rows(),
             "row_combine mask length"
         );
-        let mut value = self.value(conv).clone();
+        let mut value = workspace::take_copy(self.value(conv));
         for (r, &take) in take_skip.iter().enumerate() {
             if take {
                 let src = self.nodes[skip.0].value.row(r).to_vec();
@@ -162,7 +162,7 @@ impl Tape {
             assert_eq!(self.value(p).shape(), shape, "max_pool shape mismatch");
         }
         let len = self.value(parts[0]).len();
-        let mut value = self.value(parts[0]).clone();
+        let mut value = workspace::take_copy(self.value(parts[0]));
         let mut argmax = vec![0u8; len];
         for (k, &p) in parts.iter().enumerate().skip(1) {
             let pv = self.value(p).as_slice().to_vec();
@@ -202,7 +202,7 @@ impl Tape {
     pub fn lin_comb(&mut self, parts: &[(NodeId, f32)]) -> NodeId {
         assert!(!parts.is_empty(), "lin_comb of zero parts");
         let shape = self.value(parts[0].0).shape();
-        let mut value = Matrix::zeros(shape.0, shape.1);
+        let mut value = workspace::take(shape.0, shape.1);
         for &(p, c) in parts {
             assert_eq!(self.value(p).shape(), shape, "lin_comb shape mismatch");
             value.add_scaled(self.value(p), c);
@@ -220,35 +220,23 @@ impl Tape {
         assert_eq!(wv.cols(), xs.len(), "one weight per input");
         let shape = self.value(xs[0]).shape();
         let coef: Vec<f32> = (0..xs.len()).map(|k| self.value(w).get(0, k)).collect();
-        let mut value = Matrix::zeros(shape.0, shape.1);
+        let mut value = workspace::take(shape.0, shape.1);
         for (&x, &c) in xs.iter().zip(&coef) {
             assert_eq!(self.value(x).shape(), shape, "weighted_sum shape mismatch");
             value.add_scaled(self.value(x), c);
         }
         let rg = xs.iter().any(|&p| self.rg(p)) || self.rg(w);
-        self.push(
-            value,
-            Op::WeightedSum {
-                xs: xs.to_vec(),
-                w,
-            },
-            rg,
-        )
+        self.push(value, Op::WeightedSum { xs: xs.to_vec(), w }, rg)
     }
 
     /// Per-edge dot-product scores `h_u · h_v` as an `m×1` column (the
     /// link-prediction decoder).
     pub fn edge_score(&mut self, h: NodeId, edges: &[(usize, usize)]) -> NodeId {
         let hv = self.value(h);
-        let mut value = Matrix::zeros(edges.len(), 1);
+        let mut value = workspace::take(edges.len(), 1);
         for (e, &(u, v)) in edges.iter().enumerate() {
             assert!(u < hv.rows() && v < hv.rows(), "edge endpoint out of range");
-            let dot: f32 = hv
-                .row(u)
-                .iter()
-                .zip(hv.row(v))
-                .map(|(&a, &b)| a * b)
-                .sum();
+            let dot: f32 = hv.row(u).iter().zip(hv.row(v)).map(|(&a, &b)| a * b).sum();
             value.set(e, 0, dot);
         }
         let rg = self.rg(h);

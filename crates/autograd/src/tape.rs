@@ -1,7 +1,7 @@
 //! The tape: node storage, adjacency registry, and the backward pass.
 
 use skipnode_sparse::CsrMatrix;
-use skipnode_tensor::Matrix;
+use skipnode_tensor::{workspace, Matrix};
 use std::ops::Index;
 use std::sync::Arc;
 
@@ -119,7 +119,29 @@ impl Index<&NodeId> for Grads {
     }
 }
 
+impl Drop for Grads {
+    fn drop(&mut self) {
+        for slot in self.0.iter_mut() {
+            if let Some(g) = slot.take() {
+                workspace::give(g);
+            }
+        }
+    }
+}
+
+impl Drop for Tape {
+    fn drop(&mut self) {
+        for node in self.nodes.drain(..) {
+            workspace::give(node.value);
+        }
+    }
+}
+
 /// A single-use computation tape.
+///
+/// Dropping a tape returns every node's value buffer to the
+/// [`workspace`] free-list, so the next epoch's forward pass reuses the
+/// same allocations.
 #[derive(Default)]
 pub struct Tape {
     pub(crate) nodes: Vec<Node>,
@@ -210,8 +232,8 @@ impl Tape {
                 self.nodes[root.0].value.shape(),
                 "seed gradient shape mismatch"
             );
-            accum(&mut grads, root, &seed);
             max_id = max_id.max(root.0);
+            accum(&mut grads, root, seed);
         }
         for idx in (0..=max_id).rev() {
             let Some(g) = grads[idx].take() else {
@@ -234,11 +256,11 @@ impl Tape {
             Op::MatMul(a, b) => {
                 if self.nodes[a.0].requires_grad {
                     let da = g.matmul_t(&self.nodes[b.0].value);
-                    accum(grads, *a, &da);
+                    accum(grads, *a, da);
                 }
                 if self.nodes[b.0].requires_grad {
                     let db = self.nodes[a.0].value.t_matmul(g);
-                    accum(grads, *b, &db);
+                    accum(grads, *b, db);
                 }
             }
             Op::Spmm { adj, x } => {
@@ -248,31 +270,31 @@ impl Tape {
                         Some(t) => t.spmm(g),
                         None => entry.mat.spmm(g),
                     };
-                    accum(grads, *x, &dx);
+                    accum(grads, *x, dx);
                 }
             }
             Op::AddScaled(a, b, c) => {
                 if self.nodes[a.0].requires_grad {
-                    accum(grads, *a, g);
+                    accum_ref(grads, *a, g);
                 }
                 if self.nodes[b.0].requires_grad {
                     let db = g * *c;
-                    accum(grads, *b, &db);
+                    accum(grads, *b, db);
                 }
             }
             Op::Scale(x, c) => {
                 if self.nodes[x.0].requires_grad {
                     let dx = g * *c;
-                    accum(grads, *x, &dx);
+                    accum(grads, *x, dx);
                 }
             }
             Op::AddBias(x, b) => {
                 if self.nodes[x.0].requires_grad {
-                    accum(grads, *x, g);
+                    accum_ref(grads, *x, g);
                 }
                 if self.nodes[b.0].requires_grad {
                     // Sum over rows.
-                    let mut db = Matrix::zeros(1, g.cols());
+                    let mut db = workspace::take(1, g.cols());
                     for r in 0..g.rows() {
                         let row = g.row(r);
                         let dst = db.row_mut(0);
@@ -280,34 +302,34 @@ impl Tape {
                             *d += v;
                         }
                     }
-                    accum(grads, *b, &db);
+                    accum(grads, *b, db);
                 }
             }
             Op::Relu(x) => {
                 if self.nodes[x.0].requires_grad {
                     let out = &self.nodes[idx].value;
                     let dx = g.zip(out, |gv, ov| if ov > 0.0 { gv } else { 0.0 });
-                    accum(grads, *x, &dx);
+                    accum(grads, *x, dx);
                 }
             }
             Op::Mask { x, mask } => {
                 if self.nodes[x.0].requires_grad {
-                    let mut dx = g.clone();
+                    let mut dx = workspace::take_copy(g);
                     for (v, &m) in dx.as_mut_slice().iter_mut().zip(mask) {
                         *v *= m;
                     }
-                    accum(grads, *x, &dx);
+                    accum(grads, *x, dx);
                 }
             }
             Op::RowMask { x, factors } => {
                 if self.nodes[x.0].requires_grad {
-                    let mut dx = g.clone();
+                    let mut dx = workspace::take_copy(g);
                     for (r, &f) in factors.iter().enumerate() {
                         for v in dx.row_mut(r) {
                             *v *= f;
                         }
                     }
-                    accum(grads, *x, &dx);
+                    accum(grads, *x, dx);
                 }
             }
             Op::RowCombine {
@@ -316,7 +338,7 @@ impl Tape {
                 take_skip,
             } => {
                 let route = |take: bool| -> Matrix {
-                    let mut d = g.clone();
+                    let mut d = workspace::take_copy(g);
                     for (r, &ts) in take_skip.iter().enumerate() {
                         if ts != take {
                             for v in d.row_mut(r) {
@@ -327,10 +349,10 @@ impl Tape {
                     d
                 };
                 if self.nodes[conv.0].requires_grad {
-                    accum(grads, *conv, &route(false));
+                    accum(grads, *conv, route(false));
                 }
                 if self.nodes[skip.0].requires_grad {
-                    accum(grads, *skip, &route(true));
+                    accum(grads, *skip, route(true));
                 }
             }
             Op::ConcatCols(parts) => {
@@ -338,11 +360,11 @@ impl Tape {
                 for p in parts {
                     let pc = self.nodes[p.0].value.cols();
                     if self.nodes[p.0].requires_grad {
-                        let mut dp = Matrix::zeros(g.rows(), pc);
+                        let mut dp = workspace::take(g.rows(), pc);
                         for r in 0..g.rows() {
                             dp.row_mut(r).copy_from_slice(&g.row(r)[off..off + pc]);
                         }
-                        accum(grads, *p, &dp);
+                        accum(grads, *p, dp);
                     }
                     off += pc;
                 }
@@ -352,36 +374,36 @@ impl Tape {
                     if !self.nodes[x.0].requires_grad {
                         continue;
                     }
-                    let mut dx = Matrix::zeros(g.rows(), g.cols());
+                    let mut dx = workspace::take(g.rows(), g.cols());
                     for (i, (&a, &gv)) in argmax.iter().zip(g.as_slice()).enumerate() {
                         if a as usize == k {
                             dx.as_mut_slice()[i] = gv;
                         }
                     }
-                    accum(grads, *x, &dx);
+                    accum(grads, *x, dx);
                 }
             }
             Op::PairNorm { x, s } => {
                 if self.nodes[x.0].requires_grad {
                     let dx = pairnorm_backward(&self.nodes[x.0].value, g, *s);
-                    accum(grads, *x, &dx);
+                    accum(grads, *x, dx);
                 }
             }
             Op::Hadamard(a, b) => {
                 if self.nodes[a.0].requires_grad {
                     let da = g.zip(&self.nodes[b.0].value, |gv, bv| gv * bv);
-                    accum(grads, *a, &da);
+                    accum(grads, *a, da);
                 }
                 if self.nodes[b.0].requires_grad {
                     let db = g.zip(&self.nodes[a.0].value, |gv, av| gv * av);
-                    accum(grads, *b, &db);
+                    accum(grads, *b, db);
                 }
             }
             Op::LinComb(parts) => {
                 for (p, c) in parts {
                     if self.nodes[p.0].requires_grad {
                         let dp = g * *c;
-                        accum(grads, *p, &dp);
+                        accum(grads, *p, dp);
                     }
                 }
             }
@@ -390,11 +412,11 @@ impl Tape {
                 for (k, x) in xs.iter().enumerate() {
                     if self.nodes[x.0].requires_grad {
                         let dx = g * wv.get(0, k);
-                        accum(grads, *x, &dx);
+                        accum(grads, *x, dx);
                     }
                 }
                 if self.nodes[w.0].requires_grad {
-                    let mut dw = Matrix::zeros(1, xs.len());
+                    let mut dw = workspace::take(1, xs.len());
                     for (k, x) in xs.iter().enumerate() {
                         let xv = &self.nodes[x.0].value;
                         let dot: f64 = g
@@ -405,7 +427,7 @@ impl Tape {
                             .sum();
                         dw.set(0, k, dot as f32);
                     }
-                    accum(grads, *w, &dw);
+                    accum(grads, *w, dw);
                 }
             }
             Op::GatAggregate {
@@ -416,20 +438,18 @@ impl Tape {
             } => {
                 let (dh, dsrc, ddst) =
                     crate::attention::gat_backward(&self.nodes[h.0].value, cache, g);
-                if self.nodes[h.0].requires_grad {
-                    accum(grads, *h, &dh);
-                }
-                if self.nodes[s_src.0].requires_grad {
-                    accum(grads, *s_src, &dsrc);
-                }
-                if self.nodes[s_dst.0].requires_grad {
-                    accum(grads, *s_dst, &ddst);
+                for (target, delta) in [(*h, dh), (*s_src, dsrc), (*s_dst, ddst)] {
+                    if self.nodes[target.0].requires_grad {
+                        accum(grads, target, delta);
+                    } else {
+                        workspace::give(delta);
+                    }
                 }
             }
             Op::EdgeScore { h, edges } => {
                 if self.nodes[h.0].requires_grad {
                     let hv = &self.nodes[h.0].value;
-                    let mut dh = Matrix::zeros(hv.rows(), hv.cols());
+                    let mut dh = workspace::take(hv.rows(), hv.cols());
                     for (e, &(u, v)) in edges.iter().enumerate() {
                         let ge = g.get(e, 0);
                         // dh_u += ge * h_v ; dh_v += ge * h_u — split the
@@ -441,7 +461,7 @@ impl Tape {
                             dh.set(v, c, dh.get(v, c) + ge * hu);
                         }
                     }
-                    accum(grads, *h, &dh);
+                    accum(grads, *h, dh);
                 }
             }
         }
@@ -452,7 +472,7 @@ impl Tape {
 /// backward stay in one place.
 pub(crate) fn pairnorm_forward(x: &Matrix, s: f32) -> Matrix {
     let mean = x.col_mean();
-    let mut xc = x.clone();
+    let mut xc = workspace::take_copy(x);
     for r in 0..xc.rows() {
         let row = xc.row_mut(r);
         for (v, &m) in row.iter_mut().zip(mean.row(0)) {
@@ -469,7 +489,7 @@ fn pairnorm_backward(x: &Matrix, g: &Matrix, s: f32) -> Matrix {
     // y = α Xc / r with α = s·sqrt(n), Xc = X − 1·mean, r = ||Xc||_F.
     // dXc = α/r · G − α ⟨G, Xc⟩ / r³ · Xc ; dX = dXc − colmean(dXc).
     let mean = x.col_mean();
-    let mut xc = x.clone();
+    let mut xc = workspace::take_copy(x);
     for r in 0..xc.rows() {
         let row = xc.row_mut(r);
         for (v, &m) in row.iter_mut().zip(mean.row(0)) {
@@ -487,6 +507,7 @@ fn pairnorm_backward(x: &Matrix, g: &Matrix, s: f32) -> Matrix {
     let c1 = (alpha / r) as f32;
     let c2 = (alpha * dot / (r * r * r)) as f32;
     let mut dxc = g.zip(&xc, |gv, xcv| c1 * gv - c2 * xcv);
+    workspace::give(xc);
     let dmean = dxc.col_mean();
     for rr in 0..dxc.rows() {
         let row = dxc.row_mut(rr);
@@ -497,9 +518,23 @@ fn pairnorm_backward(x: &Matrix, g: &Matrix, s: f32) -> Matrix {
     dxc
 }
 
-fn accum(grads: &mut [Option<Matrix>], id: NodeId, delta: &Matrix) {
+/// Accumulate an owned delta. On first touch the buffer is stored as the
+/// gradient (no copy); otherwise it is added and recycled to the workspace.
+fn accum(grads: &mut [Option<Matrix>], id: NodeId, delta: Matrix) {
+    match &mut grads[id.0] {
+        Some(g) => {
+            g.add_scaled(&delta, 1.0);
+            workspace::give(delta);
+        }
+        slot @ None => *slot = Some(delta),
+    }
+}
+
+/// Accumulate a borrowed delta; first touch copies it into a recycled
+/// workspace buffer.
+fn accum_ref(grads: &mut [Option<Matrix>], id: NodeId, delta: &Matrix) {
     match &mut grads[id.0] {
         Some(g) => g.add_scaled(delta, 1.0),
-        slot @ None => *slot = Some(delta.clone()),
+        slot @ None => *slot = Some(workspace::take_copy(delta)),
     }
 }

@@ -37,7 +37,10 @@ fn constants_block_gradient_flow() {
     let w = tape.param(Matrix::from_rows(&[&[2.0]]));
     let y = tape.matmul(c, w);
     let grads = tape.backward(y, Matrix::from_rows(&[&[1.0]]));
-    assert!(grads.get(c).is_none(), "constant must not receive gradients");
+    assert!(
+        grads.get(c).is_none(),
+        "constant must not receive gradients"
+    );
     assert_eq!(grads[w].get(0, 0), 4.0);
 }
 

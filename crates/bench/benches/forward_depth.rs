@@ -1,23 +1,20 @@
 //! Forward-pass cost vs depth: quantifies SkipNode's claimed O(diag-mask)
 //! overhead against the vanilla forward as L grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use skipnode_autograd::Tape;
+use skipnode_bench::timing::Bencher;
 use skipnode_core::{Sampling, SkipNodeConfig};
 use skipnode_graph::{load, DatasetName, Scale};
 use skipnode_nn::models::{Gcn, Model};
 use skipnode_nn::{ForwardCtx, Strategy};
-use skipnode_tensor::SplitRng;
+use skipnode_tensor::{workspace, SplitRng};
 use std::sync::Arc;
 
-fn bench_forward_depth(c: &mut Criterion) {
+fn main() {
     let g = load(DatasetName::Cora, Scale::Bench, 7);
     let full_adj = Arc::new(g.gcn_adjacency());
     let degrees = g.degrees();
-    let mut group = c.benchmark_group("forward_depth");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(8));
-    group.warm_up_time(std::time::Duration::from_secs(1));
+    let mut bench = Bencher::from_env();
     for &depth in &[4usize, 16, 64] {
         for (label, strategy) in [
             ("vanilla", Strategy::None),
@@ -28,27 +25,15 @@ fn bench_forward_depth(c: &mut Criterion) {
         ] {
             let mut rng = SplitRng::new(1);
             let model = Gcn::new(g.feature_dim(), 64, g.num_classes(), depth, 0.0, &mut rng);
-            group.bench_with_input(
-                BenchmarkId::new(label, depth),
-                &(),
-                |b, _| {
-                    b.iter(|| {
-                        let mut tape = Tape::new();
-                        let binding = model.store().bind(&mut tape);
-                        let adj_id = tape.register_adj(Arc::clone(&full_adj));
-                        let x = tape.constant(g.features().clone());
-                        let mut fwd_rng = SplitRng::new(2);
-                        let mut ctx = ForwardCtx::new(
-                            adj_id, x, &degrees, &strategy, true, &mut fwd_rng,
-                        );
-                        std::hint::black_box(model.forward(&mut tape, &binding, &mut ctx))
-                    })
-                },
-            );
+            bench.run("forward_depth", &format!("{label}/{depth}"), || {
+                let mut tape = Tape::new();
+                let binding = model.store().bind(&mut tape);
+                let adj_id = tape.register_adj(Arc::clone(&full_adj));
+                let x = tape.constant(workspace::take_copy(g.features()));
+                let mut fwd_rng = SplitRng::new(2);
+                let mut ctx = ForwardCtx::new(adj_id, x, &degrees, &strategy, true, &mut fwd_rng);
+                model.forward(&mut tape, &binding, &mut ctx)
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_forward_depth);
-criterion_main!(benches);

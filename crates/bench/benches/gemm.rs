@@ -1,26 +1,19 @@
 //! Dense GEMM microbenchmark: the per-layer transform cost `H W` at the
 //! shapes GCN training actually uses.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skipnode_bench::timing::Bencher;
 use skipnode_tensor::SplitRng;
 
-fn bench_gemm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gemm");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(6));
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    for &(n, k, m) in &[(2708usize, 1433usize, 64usize), (2708, 64, 64), (6000, 64, 64)] {
+fn main() {
+    let mut bench = Bencher::from_env();
+    for &(n, k, m) in &[
+        (2708usize, 1433usize, 64usize),
+        (2708, 64, 64),
+        (6000, 64, 64),
+    ] {
         let mut rng = SplitRng::new(1);
         let a = rng.uniform_matrix(n, k, -1.0, 1.0);
         let b = rng.uniform_matrix(k, m, -1.0, 1.0);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{n}x{k}x{m}")),
-            &(),
-            |bch, _| bch.iter(|| std::hint::black_box(a.matmul(&b))),
-        );
+        bench.run("gemm", &format!("{n}x{k}x{m}"), || a.matmul(&b));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_gemm);
-criterion_main!(benches);

@@ -2,31 +2,24 @@
 //! without-replacement (biased) vs deterministic top-degree, at Cora and
 //! arxiv-substitute scale.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skipnode_bench::timing::Bencher;
 use skipnode_core::{Sampling, SkipNodeConfig};
 use skipnode_graph::{load, DatasetName, Scale};
 use skipnode_tensor::SplitRng;
 
-fn bench_sampling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mask_sampling");
-    group.sample_size(30);
-    group.measurement_time(std::time::Duration::from_secs(4));
-    group.warm_up_time(std::time::Duration::from_secs(1));
+fn main() {
+    let mut bench = Bencher::from_env();
     for name in [DatasetName::Cora, DatasetName::OgbnArxiv] {
         let g = load(name, Scale::Bench, 7);
         let degrees = g.degrees();
         for sampling in [Sampling::Uniform, Sampling::Biased, Sampling::TopDegree] {
             let cfg = SkipNodeConfig::new(0.5, sampling);
             let mut rng = SplitRng::new(1);
-            group.bench_with_input(
-                BenchmarkId::new(sampling.as_str(), name.as_str()),
-                &(),
-                |b, _| b.iter(|| std::hint::black_box(cfg.sample_mask(&degrees, &mut rng))),
+            bench.run(
+                "mask_sampling",
+                &format!("{}/{}", sampling.as_str(), name.as_str()),
+                || cfg.sample_mask(&degrees, &mut rng),
             );
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_sampling);
-criterion_main!(benches);

@@ -1,26 +1,21 @@
 //! SpMM microbenchmark: the per-layer propagation cost `Ã X` across the
 //! dataset substitutes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skipnode_bench::timing::Bencher;
 use skipnode_graph::{load, DatasetName, Scale};
 use skipnode_tensor::SplitRng;
 
-fn bench_spmm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spmm");
-    group.sample_size(20);
-    group.measurement_time(std::time::Duration::from_secs(5));
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    for name in [DatasetName::Cora, DatasetName::Chameleon, DatasetName::Pubmed] {
+fn main() {
+    let mut bench = Bencher::from_env();
+    for name in [
+        DatasetName::Cora,
+        DatasetName::Chameleon,
+        DatasetName::Pubmed,
+    ] {
         let g = load(name, Scale::Bench, 7);
         let adj = g.gcn_adjacency();
         let mut rng = SplitRng::new(1);
         let x = rng.uniform_matrix(g.num_nodes(), 64, -1.0, 1.0);
-        group.bench_with_input(BenchmarkId::from_parameter(name.as_str()), &(), |b, _| {
-            b.iter(|| std::hint::black_box(adj.spmm(&x)))
-        });
+        bench.run("spmm", name.as_str(), || adj.spmm(&x));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_spmm);
-criterion_main!(benches);

@@ -4,13 +4,13 @@
 //! DropEdge/DropNode pay per-epoch adjacency renormalization; SkipNode and
 //! PairNorm should stay within a small factor of the plain backbone.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use skipnode_autograd::{softmax_cross_entropy, Tape};
+use skipnode_bench::timing::Bencher;
 use skipnode_core::{Sampling, SkipNodeConfig};
 use skipnode_graph::{load, semi_supervised_split, DatasetName, Scale};
 use skipnode_nn::models::{Gcn, Model};
 use skipnode_nn::{Adam, AdamConfig, ForwardCtx, Strategy};
-use skipnode_tensor::{Matrix, SplitRng};
+use skipnode_tensor::{workspace, Matrix, SplitRng};
 use std::sync::Arc;
 
 #[allow(clippy::too_many_arguments)]
@@ -28,18 +28,20 @@ fn one_epoch(
     let mut tape = Tape::new();
     let binding = model.store().bind(&mut tape);
     let adj_id = tape.register_adj(adj);
-    let x = tape.constant(g.features().clone());
+    let x = tape.constant(workspace::take_copy(g.features()));
     let mut fwd_rng = rng.split();
     let mut ctx = ForwardCtx::new(adj_id, x, degrees, strategy, true, &mut fwd_rng);
     let logits = model.forward(&mut tape, &binding, &mut ctx);
     let out = softmax_cross_entropy(tape.value(logits), g.labels(), train_idx);
     let mut grads = tape.backward(logits, out.grad);
-    let param_grads: Vec<Option<Matrix>> =
-        binding.nodes().iter().map(|&n| grads.take(n)).collect();
+    let param_grads: Vec<Option<Matrix>> = binding.nodes().iter().map(|&n| grads.take(n)).collect();
     opt.step(model.store_mut(), &param_grads);
+    for g in param_grads.into_iter().flatten() {
+        workspace::give(g);
+    }
 }
 
-fn bench_strategy_epoch(c: &mut Criterion) {
+fn main() {
     let g = load(DatasetName::Cora, Scale::Bench, 7);
     let mut rng = SplitRng::new(1);
     let split = semi_supervised_split(&g, &mut rng);
@@ -59,31 +61,22 @@ fn bench_strategy_epoch(c: &mut Criterion) {
             Strategy::SkipNode(SkipNodeConfig::new(0.5, Sampling::Biased)),
         ),
     ];
-    let mut group = c.benchmark_group("strategy_epoch_L5");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(8));
-    group.warm_up_time(std::time::Duration::from_secs(1));
+    let mut bench = Bencher::from_env();
     for (label, strategy) in strategies {
         let mut model = Gcn::new(g.feature_dim(), 64, g.num_classes(), 5, 0.5, &mut rng);
         let mut opt = Adam::new(model.store(), AdamConfig::default());
         let mut bench_rng = rng.split();
-        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
-            b.iter(|| {
-                one_epoch(
-                    &mut model,
-                    &mut opt,
-                    &g,
-                    &split.train,
-                    &strategy,
-                    &full_adj,
-                    &degrees,
-                    &mut bench_rng,
-                )
-            })
+        bench.run("strategy_epoch_L5", label, || {
+            one_epoch(
+                &mut model,
+                &mut opt,
+                &g,
+                &split.train,
+                &strategy,
+                &full_adj,
+                &degrees,
+                &mut bench_rng,
+            )
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_strategy_epoch);
-criterion_main!(benches);

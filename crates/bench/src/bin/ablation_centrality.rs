@@ -53,13 +53,8 @@ fn train_with_importance(
         opt.step(model.store_mut(), &param_grads);
         if epoch % 5 == 0 || epoch + 1 == epochs {
             let mut eval_rng = rng.split();
-            let (logits, _) = skipnode_nn::evaluate(
-                &model,
-                g,
-                &full_adj,
-                &eval_strategy,
-                &mut eval_rng,
-            );
+            let (logits, _) =
+                skipnode_nn::evaluate(&model, g, &full_adj, &eval_strategy, &mut eval_rng);
             let val = accuracy(&logits, g.labels(), &split.val);
             if val >= best_val {
                 best_val = val;

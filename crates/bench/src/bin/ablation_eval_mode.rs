@@ -23,7 +23,10 @@ fn main() {
     );
     let cfg = args.train_config();
     let variants: Vec<(&str, Strategy)> = vec![
-        ("train-only (paper)", Strategy::SkipNode(SkipNodeConfig::new(rho, Sampling::Uniform))),
+        (
+            "train-only (paper)",
+            Strategy::SkipNode(SkipNodeConfig::new(rho, Sampling::Uniform)),
+        ),
         (
             "train+eval",
             Strategy::SkipNodeTrainEval(SkipNodeConfig::new(rho, Sampling::Uniform)),

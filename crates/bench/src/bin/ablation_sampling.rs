@@ -15,8 +15,7 @@ use skipnode_nn::Strategy;
 
 fn main() {
     let args = ExpArgs::parse(150, 2);
-    let depths: Vec<usize> =
-        args.slice_depths(if args.quick { vec![8] } else { vec![8, 16, 32] });
+    let depths: Vec<usize> = args.slice_depths(if args.quick { vec![8] } else { vec![8, 16, 32] });
     let samplers = [
         Sampling::Uniform,
         Sampling::Biased,

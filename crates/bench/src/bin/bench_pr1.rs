@@ -1,0 +1,180 @@
+//! PR 1 performance record: pooled/blocked kernels + workspace reuse.
+//!
+//! Runs the hot-path sweep the perf PR targets — dense GEMM and `AᵀB` at
+//! N ∈ {2708, 20000} with widths {64, 3703}, SpMM on banded adjacencies at
+//! the same node counts, one full training epoch per strategy, and the
+//! forward-vs-depth scan — in a single process, then writes everything to
+//! `results/BENCH_PR1.json` so later PRs can diff against it.
+//!
+//! Run with `cargo run --release -p skipnode-bench --bin bench_pr1`.
+//! `SKIPNODE_BENCH_FAST=1` shrinks the budgets for smoke testing.
+
+use skipnode_autograd::{softmax_cross_entropy, Tape};
+use skipnode_bench::timing::Bencher;
+use skipnode_core::{Sampling, SkipNodeConfig};
+use skipnode_graph::{load, semi_supervised_split, DatasetName, Scale};
+use skipnode_nn::models::{Gcn, Model};
+use skipnode_nn::{Adam, AdamConfig, ForwardCtx, Strategy};
+use skipnode_sparse::CsrMatrix;
+use skipnode_tensor::{pool, workspace, Matrix, SplitRng};
+use std::sync::Arc;
+
+/// Symmetric-ish banded adjacency with ~5 nnz per row (degree-normalized
+/// weights), standing in for a sparse graph at arbitrary node counts.
+fn banded_adjacency(n: usize) -> CsrMatrix {
+    let mut indptr = vec![0usize];
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    for r in 0..n {
+        let lo = r.saturating_sub(2);
+        let hi = (r + 3).min(n);
+        for c in lo..hi {
+            indices.push(c as u32);
+            values.push(1.0 / (hi - lo) as f32);
+        }
+        indptr.push(indices.len());
+    }
+    CsrMatrix::new(n, n, indptr, indices, values)
+}
+
+fn gemm_sweep(bench: &mut Bencher) {
+    // Feature-width transform (k = 3703, Citeseer-scale) and hidden-width
+    // transform (k = 64) at both node counts.
+    for &n in &[2708usize, 20_000] {
+        for &k in &[64usize, 3703] {
+            let m = 64usize;
+            let mut rng = SplitRng::new(11);
+            let a = rng.uniform_matrix(n, k, -1.0, 1.0);
+            let b = rng.uniform_matrix(k, m, -1.0, 1.0);
+            bench.run("gemm", &format!("{n}x{k}x{m}"), || a.matmul(&b));
+            // Backward-pass shape: dW = Hᵀ dOut, an (k x m) output from
+            // two tall skinny operands.
+            let g = rng.uniform_matrix(n, m, -1.0, 1.0);
+            bench.run("gemm_at_b", &format!("{n}x{k}x{m}"), || a.t_matmul(&g));
+        }
+    }
+}
+
+fn spmm_sweep(bench: &mut Bencher) {
+    for &n in &[2708usize, 20_000] {
+        let adj = banded_adjacency(n);
+        for &d in &[64usize, 3703] {
+            // The wide-feature case at 20k nodes would need a ~300 MB dense
+            // operand; keep it to the realistic Cora-size graph.
+            if n > 10_000 && d > 1000 {
+                continue;
+            }
+            let mut rng = SplitRng::new(13);
+            let x = rng.uniform_matrix(n, d, -1.0, 1.0);
+            let mut out = Matrix::zeros(n, d);
+            bench.run("spmm", &format!("{n}x{d}"), || adj.spmm_into(&x, &mut out));
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn one_epoch(
+    model: &mut Gcn,
+    opt: &mut Adam,
+    g: &skipnode_graph::Graph,
+    train_idx: &[usize],
+    strategy: &Strategy,
+    full_adj: &Arc<CsrMatrix>,
+    degrees: &[usize],
+    rng: &mut SplitRng,
+) {
+    let adj = strategy.epoch_adjacency(g, full_adj, true, rng);
+    let mut tape = Tape::new();
+    let binding = model.store().bind(&mut tape);
+    let adj_id = tape.register_adj(adj);
+    let x = tape.constant(workspace::take_copy(g.features()));
+    let mut fwd_rng = rng.split();
+    let mut ctx = ForwardCtx::new(adj_id, x, degrees, strategy, true, &mut fwd_rng);
+    let logits = model.forward(&mut tape, &binding, &mut ctx);
+    let out = softmax_cross_entropy(tape.value(logits), g.labels(), train_idx);
+    let mut grads = tape.backward(logits, out.grad);
+    let param_grads: Vec<Option<Matrix>> = binding.nodes().iter().map(|&n| grads.take(n)).collect();
+    opt.step(model.store_mut(), &param_grads);
+    for g in param_grads.into_iter().flatten() {
+        workspace::give(g);
+    }
+}
+
+fn strategy_epoch(bench: &mut Bencher) {
+    let g = load(DatasetName::Cora, Scale::Bench, 7);
+    let mut rng = SplitRng::new(1);
+    let split = semi_supervised_split(&g, &mut rng);
+    let full_adj = Arc::new(g.gcn_adjacency());
+    let degrees = g.degrees();
+    let strategies: Vec<(&str, Strategy)> = vec![
+        ("none", Strategy::None),
+        ("dropedge", Strategy::DropEdge { rate: 0.3 }),
+        ("pairnorm", Strategy::PairNorm { scale: 1.0 }),
+        (
+            "skipnode-u",
+            Strategy::SkipNode(SkipNodeConfig::new(0.5, Sampling::Uniform)),
+        ),
+    ];
+    for (label, strategy) in strategies {
+        let mut model = Gcn::new(g.feature_dim(), 64, g.num_classes(), 5, 0.5, &mut rng);
+        let mut opt = Adam::new(model.store(), AdamConfig::default());
+        let mut bench_rng = rng.split();
+        bench.run("strategy_epoch_L5", label, || {
+            one_epoch(
+                &mut model,
+                &mut opt,
+                &g,
+                &split.train,
+                &strategy,
+                &full_adj,
+                &degrees,
+                &mut bench_rng,
+            )
+        });
+    }
+}
+
+fn forward_depth(bench: &mut Bencher) {
+    let g = load(DatasetName::Cora, Scale::Bench, 7);
+    let full_adj = Arc::new(g.gcn_adjacency());
+    let degrees = g.degrees();
+    for &depth in &[4usize, 16, 64] {
+        for (label, strategy) in [
+            ("vanilla", Strategy::None),
+            (
+                "skipnode",
+                Strategy::SkipNode(SkipNodeConfig::new(0.5, Sampling::Uniform)),
+            ),
+        ] {
+            let mut rng = SplitRng::new(1);
+            let model = Gcn::new(g.feature_dim(), 64, g.num_classes(), depth, 0.0, &mut rng);
+            bench.run("forward_depth", &format!("{label}/{depth}"), || {
+                let mut tape = Tape::new();
+                let binding = model.store().bind(&mut tape);
+                let adj_id = tape.register_adj(Arc::clone(&full_adj));
+                let x = tape.constant(workspace::take_copy(g.features()));
+                let mut fwd_rng = SplitRng::new(2);
+                let mut ctx = ForwardCtx::new(adj_id, x, &degrees, &strategy, true, &mut fwd_rng);
+                model.forward(&mut tape, &binding, &mut ctx)
+            });
+        }
+    }
+}
+
+fn main() {
+    let mut bench = Bencher::from_env();
+    gemm_sweep(&mut bench);
+    spmm_sweep(&mut bench);
+    strategy_epoch(&mut bench);
+    forward_depth(&mut bench);
+    let ws = workspace::stats();
+    bench.write_json(
+        "results/BENCH_PR1.json",
+        &[
+            ("pr", "1".to_string()),
+            ("threads", pool::num_threads().to_string()),
+            ("workspace_hits", ws.hits.to_string()),
+            ("workspace_misses", ws.misses.to_string()),
+        ],
+    );
+}

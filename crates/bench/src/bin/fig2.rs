@@ -54,10 +54,7 @@ fn main() {
             ..Default::default()
         };
         let result = train_node_classifier(&mut model, &g, &split, &strategy, &cfg, &mut rng);
-        println!(
-            "{label}: final val acc {:.3}",
-            result.val_accuracy
-        );
+        println!("{label}: final val acc {:.3}", result.val_accuracy);
         all.push((label, result.diagnostics));
     }
 
@@ -94,7 +91,12 @@ fn main() {
     println!("\nTable 1 (empirical verdicts vs vanilla GCN)");
     let last = |diags: &[EpochDiagnostics]| diags.last().expect("diagnostics recorded").clone();
     let base = last(&all[0].1);
-    let mut t = TablePrinter::new(&["strategy", "OS (MAD up?)", "GV (grad up?)", "WD (||W|| kept?)"]);
+    let mut t = TablePrinter::new(&[
+        "strategy",
+        "OS (MAD up?)",
+        "GV (grad up?)",
+        "WD (||W|| kept?)",
+    ]);
     for (label, diags) in all.iter().skip(1) {
         let d = last(diags);
         let os = d.mad.unwrap_or(0.0) > base.mad.unwrap_or(0.0) * 2.0 + 1e-6;

@@ -18,7 +18,11 @@ fn main() {
     let datasets: Vec<DatasetName> = if args.quick {
         vec![DatasetName::Cora]
     } else {
-        vec![DatasetName::Cora, DatasetName::Citeseer, DatasetName::Pubmed]
+        vec![
+            DatasetName::Cora,
+            DatasetName::Citeseer,
+            DatasetName::Pubmed,
+        ]
     };
     let rhos: Vec<f64> = if args.quick {
         vec![0.3, 0.6, 0.9]
@@ -39,7 +43,8 @@ fn main() {
     };
     for &d in &datasets {
         let g = load(d, args.scale, args.seed);
-        let mut t = TablePrinter::new(&["rho", "accuracy (U)", "MAD (U)", "accuracy (B)", "MAD (B)"]);
+        let mut t =
+            TablePrinter::new(&["rho", "accuracy (U)", "MAD (U)", "accuracy (B)", "MAD (B)"]);
         // Baseline: vanilla 32-layer GCN.
         let base = run_classification(
             &g,
@@ -69,10 +74,7 @@ fn main() {
                     args.seed,
                 );
                 cells.push(format!("{:.1}", out.mean));
-                cells.push(
-                    out.mad
-                        .map_or("-".to_string(), |m| format!("{m:.3}")),
-                );
+                cells.push(out.mad.map_or("-".to_string(), |m| format!("{m:.3}")));
             }
             t.row(cells);
         }

@@ -28,12 +28,25 @@ fn main() {
     let backbones: Vec<String> = args.slice_backbones(if args.quick {
         vec!["gcn", "gcnii"]
     } else {
-        vec!["gcn", "jknet", "inceptgcn", "gcnii", "grand", "gprgnn", "appnp"]
+        vec![
+            "gcn",
+            "jknet",
+            "inceptgcn",
+            "gcnii",
+            "grand",
+            "gprgnn",
+            "appnp",
+        ]
     });
     // Depth per backbone: the paper tunes per benchmark; we fix a moderate
     // depth where degradation is present but not total (override: --depth).
     let depth = args.depth.unwrap_or(6);
-    let strategies = [("-", 0.0), ("dropedge", 0.3), ("skipnode-u", 0.5), ("skipnode-b", 0.5)];
+    let strategies = [
+        ("-", 0.0),
+        ("dropedge", 0.3),
+        ("skipnode-u", 0.5),
+        ("skipnode-b", 0.5),
+    ];
 
     println!(
         "Table 3 — full-supervised accuracy (%), depth {depth}, {} splits, {} epochs\n",

@@ -4,7 +4,9 @@
 //! Usage: `cargo run -p skipnode-bench --release --bin table4
 //!         [--quick] [--epochs N] [--seed N]`
 
-use skipnode_bench::{run_classification, strategy_by_name, tuned_rho, ExpArgs, Protocol, TablePrinter};
+use skipnode_bench::{
+    run_classification, strategy_by_name, tuned_rho, ExpArgs, Protocol, TablePrinter,
+};
 use skipnode_graph::{load, DatasetName};
 
 fn main() {
@@ -22,7 +24,12 @@ fn main() {
         args.epochs
     );
     let cfg = args.train_config();
-    let strategies = [("-", 0.0), ("dropedge", 0.3), ("skipnode-u", 0.5), ("skipnode-b", 0.5)];
+    let strategies = [
+        ("-", 0.0),
+        ("dropedge", 0.3),
+        ("skipnode-u", 0.5),
+        ("skipnode-b", 0.5),
+    ];
     let mut header = vec!["strategy".to_string()];
     header.extend(depths.iter().map(|d| format!("L = {d}")));
     let mut t = TablePrinter::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());

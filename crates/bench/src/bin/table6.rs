@@ -10,30 +10,36 @@
 //! Usage: `cargo run -p skipnode-bench --release --bin table6
 //!         [--quick] [--epochs N] [--seed N]`
 
-use skipnode_bench::{run_classification, strategy_by_name, tuned_rho, ExpArgs, Protocol, TablePrinter};
+use skipnode_bench::{
+    run_classification, strategy_by_name, tuned_rho, ExpArgs, Protocol, TablePrinter,
+};
 use skipnode_graph::{load, DatasetName};
 
 fn main() {
     let args = ExpArgs::parse(150, 1);
-    let (datasets, backbones, depths): (Vec<DatasetName>, Vec<String>, Vec<usize>) =
-        if args.quick {
-            (
-                args.slice_datasets(vec![DatasetName::Cora]),
-                args.slice_backbones(vec!["gcn", "gcnii"]),
-                args.slice_depths(vec![4, 8]),
-            )
-        } else {
-            (
-                args.slice_datasets(vec![
-                    DatasetName::Cora,
-                    DatasetName::Citeseer,
-                    DatasetName::Pubmed,
-                ]),
-                args.slice_backbones(vec!["gcn", "resgcn", "jknet", "inceptgcn", "gcnii"]),
-                args.slice_depths(vec![4, 8, 16, 32, 64]),
-            )
-        };
-    let strategies = [("-", 0.0), ("dropedge", 0.3), ("skipnode-u", 0.5), ("skipnode-b", 0.5)];
+    let (datasets, backbones, depths): (Vec<DatasetName>, Vec<String>, Vec<usize>) = if args.quick {
+        (
+            args.slice_datasets(vec![DatasetName::Cora]),
+            args.slice_backbones(vec!["gcn", "gcnii"]),
+            args.slice_depths(vec![4, 8]),
+        )
+    } else {
+        (
+            args.slice_datasets(vec![
+                DatasetName::Cora,
+                DatasetName::Citeseer,
+                DatasetName::Pubmed,
+            ]),
+            args.slice_backbones(vec!["gcn", "resgcn", "jknet", "inceptgcn", "gcnii"]),
+            args.slice_depths(vec![4, 8, 16, 32, 64]),
+        )
+    };
+    let strategies = [
+        ("-", 0.0),
+        ("dropedge", 0.3),
+        ("skipnode-u", 0.5),
+        ("skipnode-b", 0.5),
+    ];
     println!(
         "Table 6 — semi-supervised accuracy (%) vs depth, {} epochs\n",
         args.epochs

@@ -9,8 +9,11 @@ use skipnode_graph::{load, DatasetName};
 
 fn main() {
     let args = ExpArgs::parse(150, 1);
-    let depths: Vec<usize> =
-        args.slice_depths(if args.quick { vec![3, 5] } else { vec![3, 5, 7, 9] });
+    let depths: Vec<usize> = args.slice_depths(if args.quick {
+        vec![3, 5]
+    } else {
+        vec![3, 5, 7, 9]
+    });
     let backbones: Vec<String> = args.slice_backbones(if args.quick {
         vec!["gcn"]
     } else {

@@ -2,7 +2,7 @@
 //! each strategy at L ∈ {3, 5, 7, 9}.
 //!
 //! Wall-clock timing of real training epochs (forward + backward + Adam),
-//! averaged after a warmup. The criterion bench `strategy_epoch` measures
+//! averaged after a warmup. The in-tree timing bench `strategy_epoch` measures
 //! the same quantity with statistical rigor; this binary prints the
 //! paper-shaped table.
 //!
@@ -18,7 +18,11 @@ use std::time::Instant;
 
 fn main() {
     let args = ExpArgs::parse(30, 1);
-    let depths: Vec<usize> = if args.quick { vec![3, 5] } else { vec![3, 5, 7, 9] };
+    let depths: Vec<usize> = if args.quick {
+        vec![3, 5]
+    } else {
+        vec![3, 5, 7, 9]
+    };
     let strategies = [
         ("-", 0.0),
         ("dropedge", 0.3),

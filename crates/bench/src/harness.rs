@@ -289,7 +289,15 @@ mod tests {
     fn factories_cover_all_backbones() {
         let mut rng = SplitRng::new(1);
         for name in [
-            "gcn", "resgcn", "jknet", "inceptgcn", "gcnii", "appnp", "gprgnn", "grand", "sgc",
+            "gcn",
+            "resgcn",
+            "jknet",
+            "inceptgcn",
+            "gcnii",
+            "appnp",
+            "gprgnn",
+            "grand",
+            "sgc",
         ] {
             let m = build_model(name, 8, 4, 3, 3, 0.1, &mut rng);
             assert!(!m.store().is_empty(), "{name} has no params");

@@ -10,6 +10,7 @@
 pub mod harness;
 pub mod sweep;
 pub mod table;
+pub mod timing;
 
 pub use harness::{
     build_model, mean_std, run_classification, strategy_by_name, tuned_rho, ExpArgs, Protocol,

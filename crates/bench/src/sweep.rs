@@ -86,14 +86,8 @@ pub fn sweep_backbone(
                     eval_every: 2,
                     ..Default::default()
                 };
-                let r = train_node_classifier(
-                    model.as_mut(),
-                    graph,
-                    &split,
-                    strategy,
-                    &cfg,
-                    &mut rng,
-                );
+                let r =
+                    train_node_classifier(model.as_mut(), graph, &split, strategy, &cfg, &mut rng);
                 let candidate = SweepResult {
                     dropout,
                     weight_decay,

@@ -1,0 +1,223 @@
+//! Minimal in-tree timing harness for the microbenchmarks.
+//!
+//! Replaces the external benchmark framework with a dependency-free
+//! warmup-then-measure loop: each benchmark runs until a wall-clock budget
+//! is spent, and we report mean/min/median nanoseconds per iteration. The
+//! collected samples can be printed as an aligned table or serialized to a
+//! small hand-rolled JSON file (no serde in the container).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// One benchmark's timing summary.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Benchmark group (e.g. `"gemm"`).
+    pub group: String,
+    /// Case label within the group (e.g. `"2708x1433x64"`).
+    pub name: String,
+    /// Iterations actually measured.
+    pub iters: u64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest iteration in nanoseconds.
+    pub min_ns: f64,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+}
+
+impl Sample {
+    /// Human-readable `mean ± spread` line.
+    pub fn pretty(&self) -> String {
+        format!(
+            "{:<28} {:>12}  (min {:>12}, median {:>12}, {} iters)",
+            format!("{}/{}", self.group, self.name),
+            fmt_ns(self.mean_ns),
+            fmt_ns(self.min_ns),
+            fmt_ns(self.median_ns),
+            self.iters,
+        )
+    }
+}
+
+/// Format nanoseconds with an adaptive unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Benchmark runner with a per-case wall-clock budget.
+pub struct Bencher {
+    warmup: Duration,
+    budget: Duration,
+    max_iters: u64,
+    results: Vec<Sample>,
+}
+
+impl Default for Bencher {
+    fn default() -> Self {
+        Self::new(Duration::from_millis(300), Duration::from_secs(2))
+    }
+}
+
+impl Bencher {
+    /// Runner with explicit warmup and measurement budgets.
+    pub fn new(warmup: Duration, budget: Duration) -> Self {
+        Self {
+            warmup,
+            budget,
+            max_iters: 10_000,
+            results: Vec::new(),
+        }
+    }
+
+    /// Honor `SKIPNODE_BENCH_FAST=1` for smoke runs (CI, tests).
+    pub fn from_env() -> Self {
+        if std::env::var("SKIPNODE_BENCH_FAST").is_ok_and(|v| v == "1") {
+            Self::new(Duration::from_millis(10), Duration::from_millis(50))
+        } else {
+            Self::default()
+        }
+    }
+
+    /// Run one benchmark case; the routine's result is black-boxed.
+    pub fn run<T, F: FnMut() -> T>(&mut self, group: &str, name: &str, mut f: F) -> &Sample {
+        // Warmup until the budget is spent (at least once).
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            if start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        // Measure individual iterations until the budget is spent.
+        let mut times_ns: Vec<f64> = Vec::new();
+        let start = Instant::now();
+        while start.elapsed() < self.budget && (times_ns.len() as u64) < self.max_iters {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            times_ns.push(t.elapsed().as_nanos() as f64);
+        }
+        let iters = times_ns.len() as u64;
+        let mean = times_ns.iter().sum::<f64>() / iters as f64;
+        let min = times_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        times_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = times_ns[times_ns.len() / 2];
+        let sample = Sample {
+            group: group.to_string(),
+            name: name.to_string(),
+            iters,
+            mean_ns: mean,
+            min_ns: min,
+            median_ns: median,
+        };
+        println!("{}", sample.pretty());
+        self.results.push(sample);
+        self.results.last().unwrap()
+    }
+
+    /// All samples collected so far.
+    pub fn results(&self) -> &[Sample] {
+        &self.results
+    }
+
+    /// Serialize every collected sample to a JSON file, with free-form
+    /// metadata key/value pairs recorded alongside.
+    ///
+    /// # Panics
+    /// Panics if the parent directory cannot be created or the file cannot
+    /// be written (benchmarks want loud failures).
+    pub fn write_json(&self, path: &str, metadata: &[(&str, String)]) {
+        let json = render_json(&self.results, metadata);
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(parent).expect("create results dir");
+        }
+        std::fs::write(path, json).expect("write bench json");
+        println!("wrote {path}");
+    }
+}
+
+/// Render samples + metadata as a pretty-printed JSON document.
+fn render_json(samples: &[Sample], metadata: &[(&str, String)]) -> String {
+    let mut out = String::from("{\n");
+    for (k, v) in metadata {
+        let _ = writeln!(out, "  {}: {},", quote(k), quote(v));
+    }
+    out.push_str("  \"benchmarks\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"group\": {}, \"name\": {}, \"iters\": {}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"median_ns\": {:.1}}}",
+            quote(&s.group),
+            quote(&s.name),
+            s.iters,
+            s.mean_ns,
+            s.min_ns,
+            s.median_ns,
+        );
+        out.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// JSON string escaping for keys/values (quotes, backslashes, control chars).
+fn quote(s: &str) -> String {
+    let mut q = String::with_capacity(s.len() + 2);
+    q.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => q.push_str("\\\""),
+            '\\' => q.push_str("\\\\"),
+            '\n' => q.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(q, "\\u{:04x}", c as u32);
+            }
+            c => q.push(c),
+        }
+    }
+    q.push('"');
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_collects_samples_and_renders_json() {
+        let mut b = Bencher::new(Duration::from_millis(1), Duration::from_millis(5));
+        let mut x = 0u64;
+        b.run("smoke", "incr", || {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.results().len(), 1);
+        let s = &b.results()[0];
+        assert!(s.iters > 0);
+        assert!(s.mean_ns >= 0.0 && s.min_ns <= s.mean_ns);
+        let json = render_json(b.results(), &[("threads", "4".to_string())]);
+        assert!(json.contains("\"threads\": \"4\""));
+        assert!(json.contains("\"group\": \"smoke\""));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn ns_formatting_picks_units() {
+        assert_eq!(fmt_ns(500.0), "500 ns");
+        assert_eq!(fmt_ns(1.5e3), "1.500 µs");
+        assert_eq!(fmt_ns(2.5e6), "2.500 ms");
+        assert_eq!(fmt_ns(3.0e9), "3.000 s");
+    }
+}

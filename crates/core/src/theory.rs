@@ -262,7 +262,10 @@ mod tests {
         let s = 0.2; // sλ small → condition easy to satisfy
         let rho = 0.6;
         let sl = s * g.lambda();
-        assert!(rho * (1.0 / sl + 1.0) > 2.0, "test setup violates condition");
+        assert!(
+            rho * (1.0 / sl + 1.0) > 2.0,
+            "test setup violates condition"
+        );
         let w = random_weight_with_singular_value(8, s, &mut rng);
         let x1 = vanilla_layer(&g, &x, &w);
         let ex2 = x1.zip(&x, |a, b| (1.0 - rho as f32) * a + rho as f32 * b);

@@ -95,13 +95,7 @@ mod tests {
 
     #[test]
     fn isolated_nodes_keep_teleport_mass() {
-        let g = Graph::new(
-            3,
-            vec![(0, 1)],
-            Matrix::zeros(3, 1),
-            vec![0; 3],
-            1,
-        );
+        let g = Graph::new(3, vec![(0, 1)], Matrix::zeros(3, 1), vec![0; 3], 1);
         let pr = pagerank(&g, 0.85, 60);
         assert!(pr[2] > 0.0);
         assert!(pr[2] < pr[0]);

@@ -49,7 +49,10 @@ pub struct PartitionConfig {
 /// the chosen blocks proportional to per-node propensities
 /// `θ_i = u_i^{-power}` (heavy-tailed for `power > 0`). Duplicate edges are
 /// retried, so the realized edge count matches `m` (up to a retry cap).
-pub fn planted_partition(cfg: &PartitionConfig, rng: &mut SplitRng) -> (Vec<(usize, usize)>, Vec<usize>) {
+pub fn planted_partition(
+    cfg: &PartitionConfig,
+    rng: &mut SplitRng,
+) -> (Vec<(usize, usize)>, Vec<usize>) {
     assert!(cfg.classes >= 1, "need at least one class");
     assert!(cfg.n >= 2, "need at least two nodes");
     let labels: Vec<usize> = (0..cfg.n).map(|i| i % cfg.classes).collect();
@@ -150,7 +153,10 @@ pub struct RingConfig {
 pub fn ring_of_blocks(cfg: &RingConfig, rng: &mut SplitRng) -> (Vec<(usize, usize)>, Vec<usize>) {
     assert!(cfg.n >= 4, "ring too small");
     assert!(cfg.block >= 1, "block must be positive");
-    assert!((0.0..=1.0).contains(&cfg.rewire), "rewire fraction in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&cfg.rewire),
+        "rewire fraction in [0,1]"
+    );
     let labels: Vec<usize> = (0..cfg.n).map(|i| (i / cfg.block) % cfg.classes).collect();
     let mean_degree = 2.0 * cfg.m as f64 / cfg.n as f64;
     let k = (mean_degree / 2.0).floor() as usize; // full lattice distances
@@ -193,7 +199,10 @@ pub fn barabasi_albert_with_classes(
     homophily: f64,
     rng: &mut SplitRng,
 ) -> (Vec<(usize, usize)>, Vec<usize>) {
-    assert!(n > m_attach + classes, "graph too small for attachment count");
+    assert!(
+        n > m_attach + classes,
+        "graph too small for attachment count"
+    );
     let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
     let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n * m_attach);
     let mut degree = vec![0usize; n];

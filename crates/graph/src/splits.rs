@@ -98,8 +98,7 @@ pub fn link_split(g: &Graph, neg_count: usize, rng: &mut SplitRng) -> LinkSplit 
     let val_pos = edges[test_n..test_n + val_n].to_vec();
     let message_edges = edges[test_n + val_n..].to_vec();
 
-    let existing: std::collections::HashSet<(usize, usize)> =
-        g.edges().iter().copied().collect();
+    let existing: std::collections::HashSet<(usize, usize)> = g.edges().iter().copied().collect();
     let n = g.num_nodes();
     let mut eval_neg = Vec::with_capacity(neg_count);
     let mut guard = 0;

@@ -59,13 +59,13 @@ pub fn read_checkpoint<R: Read>(mut r: R) -> io::Result<ParamStore> {
         }
         let mut name = vec![0u8; name_len];
         r.read_exact(&mut name)?;
-        let name = String::from_utf8(name)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let name =
+            String::from_utf8(name).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         let rows = read_u32(&mut r)? as usize;
         let cols = read_u32(&mut r)? as usize;
-        let len = rows.checked_mul(cols).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, "shape overflow")
-        })?;
+        let len = rows
+            .checked_mul(cols)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "shape overflow"))?;
         let mut data = vec![0.0f32; len];
         let mut buf = [0u8; 4];
         for v in &mut data {

@@ -211,9 +211,7 @@ mod tests {
         let mut rng = SplitRng::new(3);
         let s = Strategy::DropNode { rate: 0.5 };
         let adj = s.epoch_adjacency(&g, &full, true, &mut rng);
-        let empty_rows = (0..g.num_nodes())
-            .filter(|&r| adj.row_nnz(r) == 0)
-            .count();
+        let empty_rows = (0..g.num_nodes()).filter(|&r| adj.row_nnz(r) == 0).count();
         let frac = empty_rows as f64 / g.num_nodes() as f64;
         assert!((frac - 0.5).abs() < 0.15, "empty fraction {frac}");
     }
@@ -226,10 +224,7 @@ mod tests {
         for s in [
             Strategy::None,
             Strategy::PairNorm { scale: 1.0 },
-            Strategy::SkipNode(SkipNodeConfig::new(
-                0.5,
-                skipnode_core::Sampling::Uniform,
-            )),
+            Strategy::SkipNode(SkipNodeConfig::new(0.5, skipnode_core::Sampling::Uniform)),
         ] {
             let adj = s.epoch_adjacency(&g, &full, true, &mut rng);
             assert!(Arc::ptr_eq(&adj, &full), "{}", s.label());

@@ -49,11 +49,8 @@ mod tests {
     fn energy_of_degree_scaled_constant_is_zero() {
         // x_i ∝ √(1+d_i) makes every normalized difference vanish — this is
         // exactly the over-smoothing subspace M.
-        let feats = Matrix::from_rows(&[
-            &[(2.0f32).sqrt()],
-            &[(3.0f32).sqrt()],
-            &[(2.0f32).sqrt()],
-        ]);
+        let feats =
+            Matrix::from_rows(&[&[(2.0f32).sqrt()], &[(3.0f32).sqrt()], &[(2.0f32).sqrt()]]);
         let g = path(feats);
         assert!(dirichlet_energy(g.features(), &g) < 1e-10);
     }

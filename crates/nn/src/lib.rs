@@ -40,8 +40,8 @@ mod trainer;
 
 pub use checkpoint::{load_checkpoint, read_checkpoint, save_checkpoint, write_checkpoint};
 pub use context::{ForwardCtx, Strategy};
-pub use energy::dirichlet_energy;
 pub use diagnostics::{DiagnosticsRecorder, EpochDiagnostics};
+pub use energy::dirichlet_energy;
 pub use linkpred::{train_link_predictor, LinkPredConfig, LinkPredResult};
 pub use metrics::{accuracy, hits_at_k, mean_average_distance};
 pub use minibatch::{train_node_classifier_minibatch, MiniBatchConfig};

@@ -25,7 +25,11 @@ pub fn accuracy(logits: &Matrix, labels: &[usize], idx: &[usize]) -> f64 {
 /// node to its neighbors. Zero means fully over-smoothed features (paper
 /// Figures 2(a) and 5(b)). Nodes without neighbors are skipped.
 pub fn mean_average_distance(features: &Matrix, adjacency: &[Vec<usize>]) -> f64 {
-    assert_eq!(features.rows(), adjacency.len(), "one adjacency row per node");
+    assert_eq!(
+        features.rows(),
+        adjacency.len(),
+        "one adjacency row per node"
+    );
     let mut total = 0.0f64;
     let mut counted = 0usize;
     for (i, neigh) in adjacency.iter().enumerate() {

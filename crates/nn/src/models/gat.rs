@@ -37,6 +37,7 @@ pub struct Gat {
 
 impl Gat {
     /// Build a `layers`-deep GAT over the given graph structure.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         n: usize,
         edges: &[(usize, usize)],

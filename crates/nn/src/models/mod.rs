@@ -107,7 +107,14 @@ pub fn build_by_name(
     rng: &mut skipnode_tensor::SplitRng,
 ) -> Box<dyn Model> {
     match name {
-        "gcn" => Box::new(Gcn::new(in_dim, hidden, out_dim, depth.max(2), dropout, rng)),
+        "gcn" => Box::new(Gcn::new(
+            in_dim,
+            hidden,
+            out_dim,
+            depth.max(2),
+            dropout,
+            rng,
+        )),
         "resgcn" => Box::new(Gcn::residual(
             in_dim,
             hidden,

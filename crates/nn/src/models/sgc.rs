@@ -22,13 +22,7 @@ pub struct Sgc {
 
 impl Sgc {
     /// New SGC with `k` propagation hops.
-    pub fn new(
-        in_dim: usize,
-        out_dim: usize,
-        k: usize,
-        dropout: f64,
-        rng: &mut SplitRng,
-    ) -> Self {
+    pub fn new(in_dim: usize, out_dim: usize, k: usize, dropout: f64, rng: &mut SplitRng) -> Self {
         assert!(k >= 1, "SGC needs at least one hop");
         let mut store = ParamStore::new();
         let w = store.add("w", glorot_uniform(in_dim, out_dim, rng));

@@ -93,10 +93,8 @@ impl Adam {
             let b2 = self.cfg.beta2 as f32;
             let wd = self.cfg.weight_decay as f32;
             for j in 0..n {
-                let g = grads[i]
-                    .as_ref()
-                    .map_or(0.0, |g| g.as_slice()[j])
-                    + wd * value.as_slice()[j];
+                let g =
+                    grads[i].as_ref().map_or(0.0, |g| g.as_slice()[j]) + wd * value.as_slice()[j];
                 let m = &mut slot.m.as_mut_slice()[j];
                 *m = b1 * *m + (1.0 - b1) * g;
                 let v = &mut slot.v.as_mut_slice()[j];

@@ -9,8 +9,7 @@ use crate::schedule::{clip_global_norm, LrSchedule};
 use skipnode_autograd::{softmax_cross_entropy, Tape};
 use skipnode_graph::{Graph, Split};
 use skipnode_sparse::CsrMatrix;
-use skipnode_tensor::Matrix;
-use skipnode_tensor::SplitRng;
+use skipnode_tensor::{workspace, Matrix, SplitRng};
 use std::sync::Arc;
 
 /// Training-loop configuration.
@@ -78,7 +77,7 @@ pub fn evaluate(
     let mut tape = Tape::new();
     let binding = model.store().bind(&mut tape);
     let adj = tape.register_adj(Arc::clone(full_adj));
-    let x = tape.constant(graph.features().clone());
+    let x = tape.constant(workspace::take_copy(graph.features()));
     let degrees = graph.degrees();
     let mut ctx = ForwardCtx::new(adj, x, &degrees, strategy, false, rng);
     let out = model.forward(&mut tape, &binding, &mut ctx);
@@ -99,8 +98,7 @@ pub fn train_node_classifier(
     split.validate(graph.num_nodes());
     let full_adj = Arc::new(graph.gcn_adjacency());
     let degrees = graph.degrees();
-    let adj_list = (cfg.record_mad || cfg.diagnostics_every > 0)
-        .then(|| graph.adjacency_list());
+    let adj_list = (cfg.record_mad || cfg.diagnostics_every > 0).then(|| graph.adjacency_list());
     let mut opt = Adam::new(model.store(), cfg.adam);
     let mut recorder = DiagnosticsRecorder::new(cfg.diagnostics_every);
 
@@ -118,7 +116,7 @@ pub fn train_node_classifier(
         let mut tape = Tape::new();
         let binding = model.store().bind(&mut tape);
         let adj_id = tape.register_adj(adj);
-        let x = tape.constant(graph.features().clone());
+        let x = tape.constant(workspace::take_copy(graph.features()));
         let mut fwd_rng = rng.split();
         let mut ctx = ForwardCtx::new(adj_id, x, &degrees, strategy, true, &mut fwd_rng);
         let heads = model.forward_heads(&mut tape, &binding, &mut ctx);
@@ -143,13 +141,7 @@ pub fn train_node_classifier(
         if let (Some(cons), true) = (model.consistency(), s > 1) {
             add_consistency_seeds(&mut seeds, &head_probs, cons.lambda, cons.temperature);
         }
-        let grads = tape.backward_multi(
-            heads
-                .iter()
-                .zip(seeds)
-                .map(|(&h, s)| (h, s))
-                .collect(),
-        );
+        let grads = tape.backward_multi(heads.iter().zip(seeds).map(|(&h, s)| (h, s)).collect());
         let mut param_grads: Vec<Option<Matrix>> = {
             let mut grads = grads;
             binding.nodes().iter().map(|&n| grads.take(n)).collect()
@@ -159,14 +151,17 @@ pub fn train_node_classifier(
         }
         opt.set_lr(cfg.adam.lr * cfg.lr_schedule.factor(epoch));
         opt.step(model.store_mut(), &param_grads);
+        // Recycle the gradient buffers for the next epoch's backward pass.
+        for g in param_grads.drain(..).flatten() {
+            workspace::give(g);
+        }
 
         // ---- evaluation ----
         let should_eval = epoch % cfg.eval_every == 0 || epoch + 1 == cfg.epochs;
         let wants_diag = recorder.wants(epoch);
         if should_eval || wants_diag {
             let mut eval_rng = rng.split();
-            let (logits, penultimate) =
-                evaluate(model, graph, &full_adj, strategy, &mut eval_rng);
+            let (logits, penultimate) = evaluate(model, graph, &full_adj, strategy, &mut eval_rng);
             let val_acc = if split.val.is_empty() {
                 accuracy(&logits, graph.labels(), &split.train)
             } else {
@@ -339,14 +334,8 @@ mod tests {
         let split = full_supervised_split(&g, &mut rng);
         let mut model = Gcn::new(g.feature_dim(), 16, g.num_classes(), 4, 0.2, &mut rng);
         let strategy = Strategy::SkipNode(SkipNodeConfig::new(0.5, Sampling::Uniform));
-        let result = train_node_classifier(
-            &mut model,
-            &g,
-            &split,
-            &strategy,
-            &quick_cfg(30),
-            &mut rng,
-        );
+        let result =
+            train_node_classifier(&mut model, &g, &split, &strategy, &quick_cfg(30), &mut rng);
         assert!(result.test_accuracy > 0.2, "{}", result.test_accuracy);
         assert!(result.epochs_run == 30);
     }
@@ -364,8 +353,7 @@ mod tests {
             record_mad: true,
             ..Default::default()
         };
-        let result =
-            train_node_classifier(&mut model, &g, &split, &Strategy::None, &cfg, &mut rng);
+        let result = train_node_classifier(&mut model, &g, &split, &Strategy::None, &cfg, &mut rng);
         assert_eq!(result.diagnostics.len(), 5);
         assert!(result.diagnostics.iter().all(|d| d.weight_norm_sq > 0.0));
         assert!(result.diagnostics.iter().all(|d| d.mad.is_some()));
@@ -409,8 +397,7 @@ mod tests {
             eval_every: 1,
             ..Default::default()
         };
-        let result =
-            train_node_classifier(&mut model, &g, &split, &Strategy::None, &cfg, &mut rng);
+        let result = train_node_classifier(&mut model, &g, &split, &Strategy::None, &cfg, &mut rng);
         assert!(result.epochs_run < 500, "ran {}", result.epochs_run);
     }
 }

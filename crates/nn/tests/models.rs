@@ -61,12 +61,7 @@ fn skipnode_is_transparent_at_eval_for_every_model() {
     for model in all_models(&g, 4, &mut rng) {
         let plain = eval_forward(model.as_ref(), &g, &Strategy::None, 5);
         let with = eval_forward(model.as_ref(), &g, &skip, 5);
-        assert_eq!(
-            plain,
-            with,
-            "{}: SkipNode must be train-only",
-            model.name()
-        );
+        assert_eq!(plain, with, "{}: SkipNode must be train-only", model.name());
     }
 }
 
@@ -133,7 +128,12 @@ fn pairnorm_changes_training_forward_for_every_conv_model() {
         // (except models without middle conv hooks — none here).
         let plain = eval_forward(model.as_ref(), &g, &Strategy::None, 5);
         let with = eval_forward(model.as_ref(), &g, &pn, 5);
-        assert_ne!(plain, with, "{}: PairNorm should alter the forward", model.name());
+        assert_ne!(
+            plain,
+            with,
+            "{}: PairNorm should alter the forward",
+            model.name()
+        );
     }
 }
 
@@ -141,7 +141,16 @@ fn pairnorm_changes_training_forward_for_every_conv_model() {
 fn grand_head_count_follows_train_flag() {
     let g = graph();
     let mut rng = SplitRng::new(7);
-    let model = Grand::new(g.feature_dim(), 12, g.num_classes(), 3, 3, 0.5, 0.0, &mut rng);
+    let model = Grand::new(
+        g.feature_dim(),
+        12,
+        g.num_classes(),
+        3,
+        3,
+        0.5,
+        0.0,
+        &mut rng,
+    );
     let mut tape = Tape::new();
     let binding = model.store().bind(&mut tape);
     let adj = tape.register_adj(Arc::new(g.gcn_adjacency()));

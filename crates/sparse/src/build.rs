@@ -31,7 +31,10 @@ impl CooBuilder {
     /// # Panics
     /// Panics if the coordinate is out of range.
     pub fn push(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "entry ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "entry ({r},{c}) out of range"
+        );
         self.entries.push((r as u32, c as u32, v));
     }
 

@@ -1,7 +1,16 @@
-//! Compressed-sparse-row matrix with threaded SpMM.
+//! Compressed-sparse-row matrix with pooled SpMM/SpMV.
+//!
+//! Large products are dispatched over the persistent worker pool in
+//! [`skipnode_tensor::pool`] — no per-call thread spawn/join. Output rows are
+//! partitioned disjointly with a fixed per-row accumulation order, so results
+//! are bit-identical for every `SKIPNODE_THREADS` value.
 
-use skipnode_tensor::Matrix;
-use std::thread;
+use skipnode_tensor::{pool, workspace, Matrix};
+
+/// Below this many multiply-adds (`nnz * feature_dim`), SpMM stays serial.
+const SPMM_PARALLEL_THRESHOLD: usize = 1 << 18;
+/// Below this many multiply-adds (`nnz`), SpMV stays serial.
+const SPMV_PARALLEL_THRESHOLD: usize = 1 << 16;
 
 /// A CSR sparse matrix of `f32` values.
 ///
@@ -128,11 +137,24 @@ impl CsrMatrix {
         m
     }
 
-    /// Sparse × dense product `self * x`, threaded over row blocks.
+    /// Sparse × dense product `self * x`, dispatched over the persistent
+    /// pool for large products. The output buffer comes from the
+    /// [`workspace`] free-list, so steady-state calls allocate nothing.
     ///
     /// # Panics
     /// Panics on an inner-dimension mismatch.
     pub fn spmm(&self, x: &Matrix) -> Matrix {
+        let mut out = workspace::take_scratch(self.rows, x.cols());
+        self.spmm_into(x, &mut out);
+        out
+    }
+
+    /// `self * x` written into a caller-provided (possibly recycled) buffer;
+    /// prior contents of `out` are ignored.
+    ///
+    /// # Panics
+    /// Panics on an inner-dimension or output-shape mismatch.
+    pub fn spmm_into(&self, x: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols,
             x.rows(),
@@ -142,27 +164,33 @@ impl CsrMatrix {
             x.rows(),
             x.cols()
         );
+        assert_eq!(out.shape(), (self.rows, x.cols()), "spmm_into out shape");
         let d = x.cols();
-        let mut out = Matrix::zeros(self.rows, d);
-        let work = self.nnz() * d;
-        if work < 1 << 18 {
-            self.spmm_rows(x, out.as_mut_slice(), 0, self.rows);
-            return out;
+        if d == 0 {
+            return;
         }
-        let workers = thread::available_parallelism()
-            .map_or(1, |n| n.get())
-            .min(self.rows.max(1));
-        let chunk = self.rows.div_ceil(workers);
-        let out_slice = out.as_mut_slice();
-        crossbeam_scope(self, x, out_slice, chunk, d);
-        out
+        if self.nnz() * d < SPMM_PARALLEL_THRESHOLD || self.rows <= 1 {
+            self.spmm_rows(x, out.as_mut_slice(), 0, self.rows);
+            return;
+        }
+        let rows = self.rows.div_ceil(pool::chunk_count(self.rows));
+        let total = self.rows;
+        pool::par_chunks_mut(out.as_mut_slice(), rows * d, |idx, block| {
+            let begin = idx * rows;
+            self.spmm_rows(x, block, begin, (begin + rows).min(total));
+        });
     }
 
-    fn spmm_rows(&self, x: &Matrix, out: &mut [f32], row_begin: usize, row_end: usize) {
+    /// Serial reference kernel for output rows `[row_begin, row_end)` of
+    /// `self * x`. Overwrites the corresponding block of `out` (stale
+    /// contents are ignored); the pooled paths partition rows disjointly
+    /// over this kernel.
+    pub fn spmm_rows(&self, x: &Matrix, out: &mut [f32], row_begin: usize, row_end: usize) {
         let d = x.cols();
         for (local, r) in (row_begin..row_end).enumerate() {
             let (cols, vals) = self.row(r);
             let out_row = &mut out[local * d..(local + 1) * d];
+            out_row.fill(0.0);
             for (&c, &v) in cols.iter().zip(vals) {
                 let x_row = x.row(c as usize);
                 for (o, &xv) in out_row.iter_mut().zip(x_row) {
@@ -173,12 +201,25 @@ impl CsrMatrix {
     }
 
     /// Sparse × dense-vector product into a caller buffer (used by the
-    /// spectral power iteration to avoid per-step allocation).
+    /// spectral power iteration to avoid per-step allocation). Pooled over
+    /// disjoint output ranges for large matrices.
     pub fn spmv_into(&self, x: &[f32], out: &mut [f32]) {
         assert_eq!(x.len(), self.cols, "spmv input length");
         assert_eq!(out.len(), self.rows, "spmv output length");
-        for (r, o) in out.iter_mut().enumerate() {
-            let (cols, vals) = self.row(r);
+        if self.nnz() < SPMV_PARALLEL_THRESHOLD || self.rows <= 1 {
+            self.spmv_rows(x, out, 0);
+            return;
+        }
+        let rows = self.rows.div_ceil(pool::chunk_count(self.rows));
+        pool::par_chunks_mut(out, rows, |idx, block| {
+            self.spmv_rows(x, block, idx * rows);
+        });
+    }
+
+    /// Serial SpMV over one output block starting at `row_begin`.
+    fn spmv_rows(&self, x: &[f32], out: &mut [f32], row_begin: usize) {
+        for (local, o) in out.iter_mut().enumerate() {
+            let (cols, vals) = self.row(row_begin + local);
             let mut acc = 0.0f32;
             for (&c, &v) in cols.iter().zip(vals) {
                 acc += v * x[c as usize];
@@ -234,22 +275,6 @@ impl CsrMatrix {
             .map(|r| self.row(r).1.iter().map(|&v| v as f64).sum())
             .collect()
     }
-}
-
-fn crossbeam_scope(a: &CsrMatrix, x: &Matrix, out_slice: &mut [f32], chunk: usize, d: usize) {
-    crossbeam::scope(|s| {
-        let mut rest = out_slice;
-        let mut start = 0;
-        while start < a.rows {
-            let rows = chunk.min(a.rows - start);
-            let (head, tail) = rest.split_at_mut(rows * d);
-            rest = tail;
-            let begin = start;
-            s.spawn(move |_| a.spmm_rows(x, head, begin, begin + rows));
-            start += rows;
-        }
-    })
-    .expect("spmm worker panicked");
 }
 
 #[cfg(test)]
@@ -358,6 +383,51 @@ mod tests {
         // serial reference
         let mut want = Matrix::zeros(n, 200);
         m.spmm_rows(&x, want.as_mut_slice(), 0, n);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn spmm_into_overwrites_stale_contents() {
+        let m = sample();
+        let x = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 0.0], &[0.0, 3.0]]);
+        let mut out = Matrix::full(3, 2, f32::NAN);
+        m.spmm_into(&x, &mut out);
+        assert_eq!(out, m.to_dense().matmul(&x));
+    }
+
+    #[test]
+    fn spmm_handles_empty_rows_and_vector_outputs() {
+        // Row 1 is empty; output widths 1 (column vector) and 0.
+        let m = CsrMatrix::new(3, 2, vec![0, 1, 1, 2], vec![1, 0], vec![2.0, -1.0]);
+        let x = Matrix::from_rows(&[&[0.5], &[4.0]]);
+        let got = m.spmm(&x);
+        assert_eq!(got, Matrix::from_rows(&[&[8.0], &[0.0], &[-0.5]]));
+        let empty = Matrix::zeros(2, 0);
+        assert_eq!(m.spmm(&empty).shape(), (3, 0));
+    }
+
+    /// Banded matrix large enough to cross both pooled-dispatch thresholds;
+    /// pooled SpMV must match the serial row kernel exactly.
+    #[test]
+    fn large_spmv_pooled_path_matches_serial() {
+        let n: usize = 30_000;
+        let mut indptr = vec![0usize];
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..n {
+            for c in r.saturating_sub(1)..(r + 2).min(n) {
+                indices.push(c as u32);
+                values.push(((r + 2 * c) % 17) as f32 * 0.1 - 0.5);
+            }
+            indptr.push(indices.len());
+        }
+        let m = CsrMatrix::new(n, n, indptr, indices, values);
+        assert!(m.nnz() >= super::SPMV_PARALLEL_THRESHOLD);
+        let x: Vec<f32> = (0..n).map(|i| ((i % 23) as f32) * 0.25 - 2.0).collect();
+        let mut got = vec![f32::NAN; n];
+        m.spmv_into(&x, &mut got);
+        let mut want = vec![0.0f32; n];
+        m.spmv_rows(&x, &mut want, 0);
         assert_eq!(got, want);
     }
 }

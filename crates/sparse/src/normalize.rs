@@ -34,10 +34,7 @@ pub fn gcn_adjacency_filtered(
         deg[v] += 1;
     }
     // inv_sqrt[i] = 1 / sqrt(deg_i + 1)  (the +1 is the self-loop)
-    let inv_sqrt: Vec<f32> = deg
-        .iter()
-        .map(|&d| 1.0 / ((d + 1) as f32).sqrt())
-        .collect();
+    let inv_sqrt: Vec<f32> = deg.iter().map(|&d| 1.0 / ((d + 1) as f32).sqrt()).collect();
     adj.reserve(seen.len() * 2 + n);
     for &(u, v) in &seen {
         let w = inv_sqrt[u] * inv_sqrt[v];
@@ -59,10 +56,7 @@ pub fn gcn_adjacency_with_node_mask(
     keep: &[bool],
 ) -> CsrMatrix {
     assert_eq!(keep.len(), n, "mask length");
-    let filtered = edges
-        .iter()
-        .copied()
-        .filter(|&(u, v)| keep[u] && keep[v]);
+    let filtered = edges.iter().copied().filter(|&(u, v)| keep[u] && keep[v]);
     // Build over kept-node degrees, then blank the dropped self-loops.
     let mut adj = CooBuilder::new(n, n);
     let mut deg = vec![0usize; n];
@@ -76,10 +70,7 @@ pub fn gcn_adjacency_with_node_mask(
         deg[u] += 1;
         deg[v] += 1;
     }
-    let inv_sqrt: Vec<f32> = deg
-        .iter()
-        .map(|&d| 1.0 / ((d + 1) as f32).sqrt())
-        .collect();
+    let inv_sqrt: Vec<f32> = deg.iter().map(|&d| 1.0 / ((d + 1) as f32).sqrt()).collect();
     for &(u, v) in &seen {
         adj.push_symmetric(u, v, inv_sqrt[u] * inv_sqrt[v]);
     }

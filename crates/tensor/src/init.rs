@@ -78,7 +78,11 @@ mod tests {
     fn he_normal_scale_tracks_fan_in() {
         let mut rng = SplitRng::new(14);
         let w = he_normal(512, 64, &mut rng);
-        let var: f64 = w.as_slice().iter().map(|&x| (x as f64).powi(2)).sum::<f64>()
+        let var: f64 = w
+            .as_slice()
+            .iter()
+            .map(|&x| (x as f64).powi(2))
+            .sum::<f64>()
             / w.len() as f64;
         let expect = 2.0 / 512.0;
         assert!((var - expect).abs() < expect * 0.3, "var {var} vs {expect}");

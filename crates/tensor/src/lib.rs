@@ -26,8 +26,10 @@ mod gemm;
 mod init;
 mod linalg;
 mod matrix;
+pub mod pool;
 mod reduce;
 mod rng;
+pub mod workspace;
 
 pub use init::{glorot_uniform, he_normal, Init};
 pub use linalg::{max_singular_value, power_iteration, PowerIterOptions};

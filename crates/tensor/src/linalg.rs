@@ -53,11 +53,7 @@ pub fn power_iteration(
         apply(&v, &mut av);
         orthogonalize(&mut av, deflate);
         // Rayleigh quotient before normalization: v is unit, so vᵀ(Av).
-        let rq: f64 = v
-            .iter()
-            .zip(&av)
-            .map(|(&a, &b)| a as f64 * b as f64)
-            .sum();
+        let rq: f64 = v.iter().zip(&av).map(|(&a, &b)| a as f64 * b as f64).sum();
         let norm = l2(&av);
         if norm < 1e-30 {
             // Operator annihilates the deflated subspace complement.
@@ -90,11 +86,7 @@ fn normalize(v: &mut [f32]) {
 
 fn orthogonalize(v: &mut [f32], basis: &[Vec<f32>]) {
     for b in basis {
-        let dot: f64 = v
-            .iter()
-            .zip(b)
-            .map(|(&a, &c)| a as f64 * c as f64)
-            .sum();
+        let dot: f64 = v.iter().zip(b).map(|(&a, &c)| a as f64 * c as f64).sum();
         for (x, &c) in v.iter_mut().zip(b) {
             *x -= (dot * c as f64) as f32;
         }

@@ -1,8 +1,19 @@
 //! Row-major dense matrix type.
 
 use crate::gemm;
+use crate::pool;
+use crate::workspace;
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
+
+/// Elementwise ops on fewer elements than this stay serial (memory-bound
+/// work only benefits from the pool on large buffers).
+const ELEMWISE_PAR_THRESHOLD: usize = 1 << 17;
+/// Elements per parallel chunk for elementwise traversals. A fixed chunk
+/// size (rather than one derived from the thread count) keeps chunk
+/// boundaries — and therefore any per-chunk accumulation order — identical
+/// for every `SKIPNODE_THREADS` value.
+const ELEMWISE_CHUNK: usize = 1 << 15;
 
 /// A dense, row-major `f32` matrix.
 ///
@@ -167,95 +178,150 @@ impl Matrix {
     /// # Panics
     /// Panics on an inner-dimension mismatch.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = workspace::take_scratch(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// `self * rhs` written into a caller-provided (possibly recycled)
+    /// buffer; prior contents of `out` are ignored.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        gemm::gemm(self, rhs, &mut out);
-        out
+        assert_eq!(out.shape(), (self.rows, rhs.cols), "matmul_into out shape");
+        gemm::gemm(self, rhs, out);
     }
 
     /// `selfᵀ * rhs` without materializing the transpose.
     pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = workspace::take_scratch(self.cols, rhs.cols);
+        self.t_matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// `selfᵀ * rhs` into a caller-provided buffer; prior contents ignored.
+    pub fn t_matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, rhs.rows,
             "t_matmul shape mismatch: ({}x{})ᵀ * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        gemm::gemm_at_b(self, rhs, &mut out);
-        out
+        assert_eq!(
+            out.shape(),
+            (self.cols, rhs.cols),
+            "t_matmul_into out shape"
+        );
+        gemm::gemm_at_b(self, rhs, out);
     }
 
     /// `self * rhsᵀ` without materializing the transpose.
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        let mut out = workspace::take_scratch(self.rows, rhs.rows);
+        self.matmul_t_into(rhs, &mut out);
+        out
+    }
+
+    /// `self * rhsᵀ` into a caller-provided buffer; prior contents ignored.
+    pub fn matmul_t_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_t shape mismatch: {}x{} * ({}x{})ᵀ",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        gemm::gemm_a_bt(self, rhs, &mut out);
-        out
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.rows),
+            "matmul_t_into out shape"
+        );
+        gemm::gemm_a_bt(self, rhs, out);
     }
 
-    /// Materialized transpose.
+    /// Materialized transpose (cache-blocked).
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.set(c, r, self.get(r, c));
+        const BLK: usize = 32;
+        let mut out = workspace::take_scratch(self.cols, self.rows);
+        for rb in (0..self.rows).step_by(BLK) {
+            for cb in (0..self.cols).step_by(BLK) {
+                let ce = (cb + BLK).min(self.cols);
+                for r in rb..(rb + BLK).min(self.rows) {
+                    let src = &self.row(r)[cb..ce];
+                    for (c, &v) in src.iter().enumerate() {
+                        out.data[(cb + c) * self.rows + r] = v;
+                    }
+                }
             }
         }
         out
     }
 
-    /// Elementwise map into a fresh matrix.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix {
-            data: self.data.iter().map(|&x| f(x)).collect(),
-            rows: self.rows,
-            cols: self.cols,
-        }
+    /// Elementwise map into a fresh (possibly recycled) matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
+        let mut out = workspace::take_copy(self);
+        out.map_in_place(f);
+        out
     }
 
-    /// Elementwise map in place.
-    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
-            *x = f(*x);
+    /// Elementwise map in place, pooled for large buffers.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        if self.data.len() < ELEMWISE_PAR_THRESHOLD {
+            for x in &mut self.data {
+                *x = f(*x);
+            }
+        } else {
+            pool::par_chunks_mut(&mut self.data, ELEMWISE_CHUNK, |_, chunk| {
+                for x in chunk {
+                    *x = f(*x);
+                }
+            });
         }
     }
 
     /// Elementwise combine with another matrix of the same shape.
-    pub fn zip(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+    pub fn zip(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32 + Sync) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "zip shape mismatch");
-        Matrix {
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
-            rows: self.rows,
-            cols: self.cols,
+        let mut out = workspace::take_copy(self);
+        let rhs = other.as_slice();
+        if out.data.len() < ELEMWISE_PAR_THRESHOLD {
+            for (a, &b) in out.data.iter_mut().zip(rhs) {
+                *a = f(*a, b);
+            }
+        } else {
+            pool::par_chunks_mut(&mut out.data, ELEMWISE_CHUNK, |idx, chunk| {
+                let off = idx * ELEMWISE_CHUNK;
+                let len = chunk.len();
+                for (a, &b) in chunk.iter_mut().zip(&rhs[off..off + len]) {
+                    *a = f(*a, b);
+                }
+            });
         }
+        out
     }
 
-    /// `self += alpha * other`.
+    /// `self += alpha * other`, pooled for large buffers.
     pub fn add_scaled(&mut self, other: &Matrix, alpha: f32) {
         assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
+        let rhs = other.as_slice();
+        if self.data.len() < ELEMWISE_PAR_THRESHOLD {
+            for (a, &b) in self.data.iter_mut().zip(rhs) {
+                *a += alpha * b;
+            }
+        } else {
+            pool::par_chunks_mut(&mut self.data, ELEMWISE_CHUNK, |idx, chunk| {
+                let off = idx * ELEMWISE_CHUNK;
+                let len = chunk.len();
+                for (a, &b) in chunk.iter_mut().zip(&rhs[off..off + len]) {
+                    *a += alpha * b;
+                }
+            });
         }
     }
 
     /// Multiply all elements by a scalar, in place.
     pub fn scale_in_place(&mut self, alpha: f32) {
-        for x in &mut self.data {
-            *x *= alpha;
-        }
+        self.map_in_place(|x| x * alpha);
     }
 
     /// ReLU into a fresh matrix.

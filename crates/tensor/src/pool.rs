@@ -1,0 +1,356 @@
+//! Persistent compute pool shared by every parallel kernel in the
+//! workspace.
+//!
+//! The seed implementation spawned and joined fresh OS threads (via scoped
+//! threads) inside every GEMM/SpMM call — hundreds of times per training
+//! epoch. This module replaces that with a single lazily-initialized pool
+//! of long-lived workers plus chunked dispatch:
+//!
+//! - Work is expressed as `chunks` independent chunk indices; workers (and
+//!   the submitting thread itself) race on an atomic counter to claim the
+//!   next chunk, which gives dynamic load balancing without a task queue.
+//! - The worker count is resolved **once** from the `SKIPNODE_THREADS`
+//!   environment variable (falling back to `std::thread::available_parallelism`,
+//!   itself queried exactly once) and exposed through [`num_threads`].
+//! - With one resolved thread the pool spawns nothing and every
+//!   [`parallel_for`] runs inline, so single-core machines and
+//!   `SKIPNODE_THREADS=1` runs pay zero synchronization overhead.
+//! - Kernels partition output elements disjointly across chunks and keep a
+//!   fixed accumulation order per element, so results are bit-identical for
+//!   every thread count (asserted by the kernel-equivalence tests).
+//!
+//! Calls are serialized through a submission lock: if a second thread (or a
+//! nested kernel) submits while a job is in flight, it simply runs its own
+//! chunks inline. That keeps the pool deadlock-free under `cargo test`'s
+//! multi-threaded test runner without any per-call thread spawning.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// One in-flight chunked job. `ctx`/`call` form a type-erased borrow of the
+/// submitting stack frame; see the safety argument in [`parallel_for`].
+struct Job {
+    /// Invokes the user closure for one chunk index.
+    call: unsafe fn(*const (), usize),
+    /// Pointer to the closure on the submitter's stack. Only dereferenced
+    /// for claimed chunk indices `< chunks`, which cannot happen after the
+    /// submitter observed `done == chunks` and returned.
+    ctx: *const (),
+    /// Next chunk index to claim.
+    next: AtomicUsize,
+    /// Total number of chunks.
+    chunks: usize,
+    /// Chunks fully executed so far.
+    done: AtomicUsize,
+}
+
+// SAFETY: `ctx` is only dereferenced while the submitter keeps the closure
+// alive (it blocks until `done == chunks`); all other fields are atomics.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+/// Slot the workers watch for new jobs.
+#[derive(Default)]
+struct Slot {
+    /// Monotonic job counter; workers detect a new job by epoch change.
+    epoch: u64,
+    /// The current job, if one is in flight.
+    job: Option<Arc<Job>>,
+}
+
+struct Pool {
+    /// Resolved parallelism including the submitting thread.
+    threads: usize,
+    slot: Mutex<Slot>,
+    /// Signals workers that `slot.epoch` advanced.
+    work_cv: Condvar,
+    /// Signals the submitter that `job.done == job.chunks`.
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+    /// Guards submission so at most one job is in flight.
+    submit: Mutex<()>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    /// True on pool workers and inside inline chunk execution; nested
+    /// parallel calls from such contexts run serially instead of
+    /// re-entering the pool.
+    static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Resolve the worker count once: `SKIPNODE_THREADS` wins, else the
+/// machine's available parallelism.
+fn resolve_threads() -> usize {
+    match std::env::var("SKIPNODE_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("SKIPNODE_THREADS={v:?} is not a positive integer; ignoring");
+                available_parallelism()
+            }
+        },
+        Err(_) => available_parallelism(),
+    }
+}
+
+/// `thread::available_parallelism()` queried exactly once per process.
+fn available_parallelism() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        threads: resolve_threads(),
+        slot: Mutex::new(Slot::default()),
+        work_cv: Condvar::new(),
+        done_lock: Mutex::new(()),
+        done_cv: Condvar::new(),
+        submit: Mutex::new(()),
+    })
+}
+
+/// Spawn the long-lived workers exactly once (only when `threads > 1`).
+fn ensure_workers() {
+    static SPAWNED: OnceLock<()> = OnceLock::new();
+    SPAWNED.get_or_init(|| {
+        let p = pool();
+        for worker in 1..p.threads {
+            std::thread::Builder::new()
+                .name(format!("skipnode-pool-{worker}"))
+                .spawn(move || worker_loop(pool()))
+                .expect("failed to spawn pool worker");
+        }
+    });
+}
+
+fn worker_loop(p: &'static Pool) {
+    IN_POOL.with(|f| f.set(true));
+    let mut seen_epoch = 0u64;
+    loop {
+        let job: Arc<Job> = {
+            let mut slot = p.slot.lock().expect("pool slot poisoned");
+            loop {
+                if slot.epoch != seen_epoch {
+                    if let Some(job) = slot.job.as_ref() {
+                        seen_epoch = slot.epoch;
+                        break Arc::clone(job);
+                    }
+                    seen_epoch = slot.epoch;
+                }
+                slot = p.work_cv.wait(slot).expect("pool slot poisoned");
+            }
+        };
+        run_chunks(p, &job);
+    }
+}
+
+/// Claim and execute chunks until the counter is exhausted, then signal the
+/// submitter when this call completed the final chunk.
+fn run_chunks(p: &Pool, job: &Job) {
+    loop {
+        let idx = job.next.fetch_add(1, Ordering::Relaxed);
+        if idx >= job.chunks {
+            return;
+        }
+        // SAFETY: `idx < chunks`, so the submitter is still blocked in
+        // `parallel_for` (it waits for `done == chunks`) and the closure
+        // behind `ctx` is alive.
+        unsafe { (job.call)(job.ctx, idx) };
+        let finished = job.done.fetch_add(1, Ordering::AcqRel) + 1;
+        if finished == job.chunks {
+            // Last chunk: wake the submitter. Takes the lock so the wakeup
+            // cannot race with the submitter's wait registration.
+            let _g = p.done_lock.lock().expect("pool done lock poisoned");
+            p.done_cv.notify_all();
+        }
+    }
+}
+
+/// Number of threads the pool uses for parallel kernels, including the
+/// submitting thread. Resolved once per process from `SKIPNODE_THREADS`
+/// (else the machine's available parallelism).
+pub fn num_threads() -> usize {
+    pool().threads
+}
+
+/// Heuristic chunk count for `work_items` independent items: enough
+/// over-decomposition for dynamic load balancing, never more chunks than
+/// items.
+pub fn chunk_count(work_items: usize) -> usize {
+    (num_threads() * 4).min(work_items).max(1)
+}
+
+/// Run `f(chunk_index)` for every `chunk_index in 0..chunks`, using the
+/// persistent pool. The closure runs concurrently on the pool workers and
+/// the calling thread; it must partition any mutable state disjointly by
+/// chunk index (see [`par_chunks_mut`] for the common slice case).
+///
+/// Runs inline (serially) when the pool is single-threaded, when called
+/// from inside another pool job, or when another job is already in flight.
+pub fn parallel_for<F>(chunks: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if chunks == 0 {
+        return;
+    }
+    let p = pool();
+    if p.threads == 1 || chunks == 1 || IN_POOL.with(|flag| flag.get()) {
+        run_inline(&f, chunks);
+        return;
+    }
+    // One job in flight at a time; a busy pool means some other thread is
+    // mid-kernel, so just do our own work serially rather than wait.
+    let Ok(_submit_guard) = p.submit.try_lock() else {
+        run_inline(&f, chunks);
+        return;
+    };
+    ensure_workers();
+
+    unsafe fn call_erased<F: Fn(usize) + Sync>(ctx: *const (), idx: usize) {
+        // SAFETY: `ctx` points to `f` in the submitting frame, which is
+        // kept alive until every chunk has run.
+        let f = unsafe { &*(ctx as *const F) };
+        f(idx);
+    }
+
+    let job = Arc::new(Job {
+        call: call_erased::<F>,
+        ctx: (&raw const f).cast(),
+        next: AtomicUsize::new(0),
+        chunks,
+        done: AtomicUsize::new(0),
+    });
+
+    {
+        let mut slot = p.slot.lock().expect("pool slot poisoned");
+        slot.epoch += 1;
+        slot.job = Some(Arc::clone(&job));
+        drop(slot);
+        p.work_cv.notify_all();
+    }
+
+    // The submitting thread participates instead of idling.
+    IN_POOL.with(|flag| flag.set(true));
+    run_chunks(p, &job);
+    IN_POOL.with(|flag| flag.set(false));
+
+    // Wait for stragglers still executing their final chunk.
+    let mut guard = p.done_lock.lock().expect("pool done lock poisoned");
+    while job.done.load(Ordering::Acquire) < chunks {
+        guard = p.done_cv.wait(guard).expect("pool done lock poisoned");
+    }
+    drop(guard);
+
+    // Retire the job; late-waking workers see `None` and go back to sleep.
+    // (Workers already holding an `Arc` clone can only observe an exhausted
+    // chunk counter, never `ctx`.)
+    p.slot.lock().expect("pool slot poisoned").job = None;
+}
+
+fn run_inline<F: Fn(usize) + Sync>(f: &F, chunks: usize) {
+    let was = IN_POOL.with(|flag| flag.replace(true));
+    for idx in 0..chunks {
+        f(idx);
+    }
+    IN_POOL.with(|flag| flag.set(was));
+}
+
+/// Split `data` into consecutive chunks of `chunk_len` elements (the last
+/// chunk may be shorter) and run `f(chunk_index, chunk)` for each on the
+/// pool. This is the safe entry point for kernels that write disjoint
+/// row-blocks of an output buffer in parallel.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "par_chunks_mut with zero chunk_len");
+    let total = data.len();
+    if total == 0 {
+        return;
+    }
+    let chunks = total.div_ceil(chunk_len);
+    let base = data.as_mut_ptr() as usize;
+    parallel_for(chunks, |idx| {
+        let start = idx * chunk_len;
+        let len = chunk_len.min(total - start);
+        // SAFETY: chunks index disjoint ranges of `data`, which outlives
+        // this call because `parallel_for` blocks until every chunk ran.
+        let chunk = unsafe { std::slice::from_raw_parts_mut((base as *mut T).add(start), len) };
+        f(idx, chunk);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallel_for_visits_every_chunk_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(97, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_chunks_mut_partitions_disjointly() {
+        let mut data = vec![0u32; 1000];
+        par_chunks_mut(&mut data, 7, |idx, chunk| {
+            for v in chunk {
+                *v += 1 + idx as u32;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, 1 + (i / 7) as u32, "element {i}");
+        }
+    }
+
+    #[test]
+    fn nested_parallel_for_runs_inline_without_deadlock() {
+        let total = AtomicU64::new(0);
+        parallel_for(8, |_| {
+            parallel_for(8, |j| {
+                total.fetch_add(j as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 8 * (0..8).sum::<u64>());
+    }
+
+    #[test]
+    fn concurrent_submitters_complete() {
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let sum = AtomicU64::new(0);
+                    for _ in 0..50 {
+                        parallel_for(16, |i| {
+                            sum.fetch_add(i as u64, Ordering::Relaxed);
+                        });
+                    }
+                    assert_eq!(sum.load(Ordering::Relaxed), 50 * (0..16).sum::<u64>());
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn num_threads_is_stable_and_positive() {
+        let n = num_threads();
+        assert!(n >= 1);
+        assert_eq!(n, num_threads());
+    }
+
+    #[test]
+    fn chunk_count_bounded_by_items() {
+        assert_eq!(chunk_count(0), 1);
+        assert!(chunk_count(3) <= 3);
+        assert!(chunk_count(1_000_000) >= num_threads());
+    }
+}

@@ -1,10 +1,30 @@
 //! Reductions and normalizations used by losses, metrics, and PairNorm.
 
 use crate::matrix::Matrix;
+use crate::pool;
 
-/// Squared Frobenius norm with f64 accumulation.
+/// Elements below which reductions stay serial.
+const REDUCE_PAR_THRESHOLD: usize = 1 << 17;
+/// Fixed per-chunk element count: chunk boundaries (and thus the partial-sum
+/// association order) do not depend on the thread count, keeping reductions
+/// bit-stable under any `SKIPNODE_THREADS`.
+const REDUCE_CHUNK: usize = 1 << 15;
+
+/// Squared Frobenius norm with f64 accumulation, pooled for large matrices.
 pub fn l2_norm_sq(m: &Matrix) -> f64 {
-    m.as_slice().iter().map(|&x| (x as f64) * (x as f64)).sum()
+    let data = m.as_slice();
+    let chunk_sum = |c: &[f32]| -> f64 { c.iter().map(|&x| (x as f64) * (x as f64)).sum() };
+    if data.len() < REDUCE_PAR_THRESHOLD {
+        return chunk_sum(data);
+    }
+    let chunks = data.len().div_ceil(REDUCE_CHUNK);
+    let mut partials = vec![0.0f64; chunks];
+    pool::par_chunks_mut(&mut partials, 1, |idx, slot| {
+        let start = idx * REDUCE_CHUNK;
+        let end = (start + REDUCE_CHUNK).min(data.len());
+        slot[0] = chunk_sum(&data[start..end]);
+    });
+    partials.iter().sum()
 }
 
 /// Frobenius norm.
@@ -12,25 +32,35 @@ pub fn frobenius_norm(m: &Matrix) -> f64 {
     l2_norm_sq(m).sqrt()
 }
 
-/// In-place, numerically stable row-wise softmax.
+/// In-place, numerically stable row-wise softmax, pooled over row blocks
+/// for large matrices.
 pub fn row_softmax_in_place(m: &mut Matrix) {
     let cols = m.cols();
     if cols == 0 {
         return;
     }
-    for r in 0..m.rows() {
-        let row = m.row_mut(r);
-        let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
-        let mut sum = 0.0f64;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v as f64;
+    let softmax_rows = |rows: &mut [f32]| {
+        for row in rows.chunks_mut(cols) {
+            let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+            let mut sum = 0.0f64;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v as f64;
+            }
+            let inv = (1.0 / sum) as f32;
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
         }
-        let inv = (1.0 / sum) as f32;
-        for v in row.iter_mut() {
-            *v *= inv;
-        }
+    };
+    if m.len() < REDUCE_PAR_THRESHOLD {
+        softmax_rows(m.as_mut_slice());
+        return;
     }
+    let rows_per_chunk = REDUCE_CHUNK.div_ceil(cols);
+    pool::par_chunks_mut(m.as_mut_slice(), rows_per_chunk * cols, |_, block| {
+        softmax_rows(block);
+    });
 }
 
 /// Cosine distance `1 - cos(a, b)` between two rows of (possibly different)

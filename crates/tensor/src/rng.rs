@@ -2,60 +2,111 @@
 //!
 //! Every stochastic component in the workspace draws from a [`SplitRng`] so
 //! experiments are reproducible end-to-end from a single `--seed`.
+//!
+//! The generator is an in-tree xoshiro256++ (Blackman & Vigna) seeded
+//! through SplitMix64, so the workspace carries no external RNG dependency
+//! and the stream is identical on every platform and toolchain.
 
 use crate::matrix::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+/// SplitMix64 step: the recommended seeder for xoshiro state words.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A seeded RNG that can deterministically `split` child RNGs, so
 /// independent subsystems (graph generation, weight init, per-epoch masks)
 /// do not perturb each other's streams when one of them changes.
+///
+/// Backed by xoshiro256++: 256 bits of state, period `2^256 - 1`, passes
+/// BigCrush, and is a few instructions per draw.
 pub struct SplitRng {
-    inner: StdRng,
+    s: [u64; 4],
 }
 
 impl SplitRng {
     /// New RNG from a seed.
     pub fn new(seed: u64) -> Self {
-        Self {
-            inner: StdRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
     }
 
     /// Derive an independent child RNG. Advances this RNG by one draw.
     pub fn split(&mut self) -> SplitRng {
-        SplitRng::new(self.inner.gen::<u64>())
-    }
-
-    /// Uniform in `[lo, hi)`.
-    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
-        uniform_f32(&mut self.inner, lo, hi)
-    }
-
-    /// Standard normal via Box–Muller (avoids a rand_distr dependency).
-    pub fn normal(&mut self) -> f32 {
-        normal_f32(&mut self.inner)
-    }
-
-    /// Bernoulli draw.
-    pub fn bernoulli(&mut self, p: f64) -> bool {
-        self.inner.gen::<f64>() < p
-    }
-
-    /// Uniform integer in `[0, n)`.
-    pub fn below(&mut self, n: usize) -> usize {
-        assert!(n > 0, "below(0)");
-        self.inner.gen_range(0..n)
+        SplitRng::new(self.next_u64())
     }
 
     /// Raw u64 draw.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
-    /// Uniform f64 in [0,1).
+    /// Uniform f64 in [0,1) with 53 bits of precision.
+    #[inline]
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform f32 in [0,1) with 24 bits of precision.
+    #[inline]
+    pub fn unit_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.unit_f32()
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn normal(&mut self) -> f32 {
+        let u1: f64 = self.unit().max(1e-12);
+        let u2: f64 = self.unit();
+        ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+    }
+
+    /// Bernoulli draw.
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Uniform integer in `[0, n)` (Lemire's multiply-shift, unbiased for
+    /// the `n` used in this workspace up to a 2^-64 defect).
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    #[inline]
+    fn range_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below(hi - lo + 1)
     }
 
     /// Matrix with i.i.d. uniform entries.
@@ -79,7 +130,7 @@ impl SplitRng {
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i + 1);
             items.swap(i, j);
         }
     }
@@ -92,7 +143,7 @@ impl SplitRng {
         // the graph sizes used here.
         let mut idx: Vec<usize> = (0..n).collect();
         for i in 0..k {
-            let j = self.inner.gen_range(i..n);
+            let j = self.range_inclusive(i, n - 1);
             idx.swap(i, j);
         }
         idx.truncate(k);
@@ -115,7 +166,7 @@ impl SplitRng {
                 let key = if w > 0.0 {
                     // ln(u)/w is a monotone transform of u^(1/w); avoids
                     // underflow for large weights.
-                    let u: f64 = self.inner.gen::<f64>().max(f64::MIN_POSITIVE);
+                    let u: f64 = self.unit().max(f64::MIN_POSITIVE);
                     u.ln() / w
                 } else {
                     f64::NEG_INFINITY
@@ -128,16 +179,14 @@ impl SplitRng {
     }
 }
 
-/// Uniform `f32` in `[lo, hi)` from any rand RNG.
-pub fn uniform_f32<R: Rng>(rng: &mut R, lo: f32, hi: f32) -> f32 {
-    lo + (hi - lo) * rng.gen::<f32>()
+/// Uniform `f32` in `[lo, hi)`.
+pub fn uniform_f32(rng: &mut SplitRng, lo: f32, hi: f32) -> f32 {
+    rng.uniform(lo, hi)
 }
 
 /// Standard-normal `f32` via Box–Muller.
-pub fn normal_f32<R: Rng>(rng: &mut R) -> f32 {
-    let u1: f64 = rng.gen::<f64>().max(1e-12);
-    let u2: f64 = rng.gen();
-    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+pub fn normal_f32(rng: &mut SplitRng) -> f32 {
+    rng.normal()
 }
 
 #[cfg(test)]
@@ -163,13 +212,44 @@ mod tests {
     }
 
     #[test]
+    fn unit_is_in_half_open_interval() {
+        let mut rng = SplitRng::new(7);
+        for _ in 0..10_000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u), "unit out of range: {u}");
+            let uf = rng.unit_f32();
+            assert!((0.0..1.0).contains(&uf), "unit_f32 out of range: {uf}");
+        }
+    }
+
+    #[test]
+    fn below_covers_small_ranges_uniformly() {
+        let mut rng = SplitRng::new(8);
+        let mut counts = [0usize; 5];
+        let trials = 50_000;
+        for _ in 0..trials {
+            counts[rng.below(5)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expect = trials / 5;
+            assert!(
+                (c as i64 - expect as i64).unsigned_abs() < expect as u64 / 10,
+                "bucket {i} count {c} vs expected {expect}"
+            );
+        }
+    }
+
+    #[test]
     fn normal_mean_and_variance_are_sane() {
         let mut rng = SplitRng::new(1);
         let n = 20_000;
         let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
         let mean: f64 = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
-        let var: f64 =
-            samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let var: f64 = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.08, "var {var}");
     }
@@ -192,7 +272,10 @@ mod tests {
         let weights = [0.0, 5.0, 0.0, 1.0, 3.0];
         for _ in 0..50 {
             let s = rng.weighted_sample_indices(&weights, 3);
-            assert!(!s.contains(&0) && !s.contains(&2), "picked zero weight: {s:?}");
+            assert!(
+                !s.contains(&0) && !s.contains(&2),
+                "picked zero weight: {s:?}"
+            );
         }
     }
 
@@ -207,7 +290,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits > trials * 8 / 10, "heavy item picked only {hits}/{trials}");
+        assert!(
+            hits > trials * 8 / 10,
+            "heavy item picked only {hits}/{trials}"
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ fn main() {
     let s = 0.5;
     println!("Erdős–Rényi n=300 p=0.5");
     println!("λ (second-largest |eigenvalue| of Ã) = {:.4}", g.lambda());
-    println!("vanilla one-layer contraction sλ     = {:.4}", s * g.lambda());
+    println!(
+        "vanilla one-layer contraction sλ     = {:.4}",
+        s * g.lambda()
+    );
     println!(
         "Theorem 3: ρ > {:.3} guarantees the SkipNode output is farther from M",
         theorem3_min_rho(s * g.lambda())

@@ -45,8 +45,7 @@ fn main() {
                     epochs: 120,
                     ..Default::default()
                 };
-                let r =
-                    train_node_classifier(&mut model, &graph, &split, strategy, &cfg, &mut rng);
+                let r = train_node_classifier(&mut model, &graph, &split, strategy, &cfg, &mut rng);
                 acc += r.test_accuracy / reps as f64;
             }
             cells.push(acc * 100.0);

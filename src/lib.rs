@@ -48,16 +48,16 @@ pub use skipnode_tensor as tensor;
 pub mod prelude {
     pub use skipnode_core::{Sampling, SkipNodeConfig};
     pub use skipnode_graph::{
-        full_supervised_split, link_split, load, semi_supervised_split, DatasetName, Graph,
-        Scale, Split,
+        full_supervised_split, link_split, load, semi_supervised_split, DatasetName, Graph, Scale,
+        Split,
     };
     pub use skipnode_nn::models::{
         Appnp, Gat, Gcn, Gcnii, GprGnn, Grand, InceptGcn, JkAggregate, JkNet, Model, Sgc,
     };
     pub use skipnode_nn::{
         accuracy, dirichlet_energy, hits_at_k, load_checkpoint, mean_average_distance,
-        save_checkpoint, train_link_predictor, train_node_classifier, LinkPredConfig,
-        LrSchedule, Strategy, TrainConfig,
+        save_checkpoint, train_link_predictor, train_node_classifier, LinkPredConfig, LrSchedule,
+        Strategy, TrainConfig,
     };
     pub use skipnode_tensor::{Matrix, SplitRng};
 }

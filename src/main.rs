@@ -17,9 +17,7 @@ use skipnode::core::theory::{
 };
 use skipnode::graph::ALL_DATASETS;
 use skipnode::nn::models::{build_by_name, BACKBONE_NAMES};
-use skipnode::nn::{
-    save_checkpoint, train_node_classifier_minibatch, MiniBatchConfig,
-};
+use skipnode::nn::{save_checkpoint, train_node_classifier_minibatch, MiniBatchConfig};
 use skipnode::prelude::*;
 use std::process::ExitCode;
 
@@ -257,7 +255,11 @@ fn cmd_theory(rest: &[String]) -> Result<(), String> {
     let s: f64 = flags.parse("--s", 0.5)?;
     let mut rng = SplitRng::new(seed);
     let g = TheoryGraph::erdos_renyi(n, p, &mut rng);
-    println!("ER n={n} p={p}: λ = {:.4}, sλ = {:.4}", g.lambda(), s * g.lambda());
+    println!(
+        "ER n={n} p={p}: λ = {:.4}, sλ = {:.4}",
+        g.lambda(),
+        s * g.lambda()
+    );
     println!(
         "Theorem 3 critical ρ: {:.3}",
         theorem3_min_rho(s * g.lambda())

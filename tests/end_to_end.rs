@@ -1,8 +1,8 @@
 //! End-to-end integration tests spanning every crate: dataset generation →
 //! training → evaluation, across all backbones and strategies.
 
-use skipnode::prelude::*;
 use skipnode::nn::TrainResult;
+use skipnode::prelude::*;
 
 fn small_graph(seed: u64) -> Graph {
     skipnode::graph::partition_graph(
@@ -34,7 +34,14 @@ fn quick_train(
     let mut rng = SplitRng::new(seed);
     let split = full_supervised_split(&g, &mut rng);
     let mut model: Box<dyn Model> = match backbone {
-        "gcn" => Box::new(Gcn::new(g.feature_dim(), 16, g.num_classes(), depth, 0.2, &mut rng)),
+        "gcn" => Box::new(Gcn::new(
+            g.feature_dim(),
+            16,
+            g.num_classes(),
+            depth,
+            0.2,
+            &mut rng,
+        )),
         "resgcn" => Box::new(Gcn::residual(
             g.feature_dim(),
             16,
@@ -111,7 +118,14 @@ fn quick_train(
 fn every_backbone_trains_above_chance() {
     // 4 balanced classes → chance 0.25.
     for backbone in [
-        "gcn", "resgcn", "jknet", "inceptgcn", "gcnii", "appnp", "gprgnn", "grand",
+        "gcn",
+        "resgcn",
+        "jknet",
+        "inceptgcn",
+        "gcnii",
+        "appnp",
+        "gprgnn",
+        "grand",
     ] {
         let r = quick_train(backbone, 3, &Strategy::None, 40, 11);
         assert!(
@@ -182,7 +196,11 @@ fn link_prediction_end_to_end() {
 #[test]
 fn all_dataset_substitutes_load_and_train_shallow() {
     // Smoke every registered dataset through a tiny training run.
-    for name in [DatasetName::Cornell, DatasetName::Texas, DatasetName::Wisconsin] {
+    for name in [
+        DatasetName::Cornell,
+        DatasetName::Texas,
+        DatasetName::Wisconsin,
+    ] {
         let g = load(name, Scale::Bench, 7);
         let mut rng = SplitRng::new(7);
         let split = full_supervised_split(&g, &mut rng);

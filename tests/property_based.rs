@@ -1,31 +1,30 @@
-//! Property-based tests (proptest) on the core data structures and the
-//! paper's invariants.
+//! Property-style tests on the core data structures and the paper's
+//! invariants. Each test sweeps randomized cases from fixed [`SplitRng`]
+//! seeds, so failures are exactly reproducible with no external framework.
 
-use proptest::prelude::*;
 use skipnode::core::theory::{theorem2_coefficient, theorem3_min_rho};
 use skipnode::sparse::{gcn_adjacency, CsrMatrix, SmoothingSubspace};
 use skipnode::tensor::SplitRng;
 
-/// Random undirected edge list over `n` nodes.
-fn edges_strategy(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
-    prop::collection::vec((0..n, 0..n), 1..(n * 2)).prop_map(|pairs| {
-        pairs
-            .into_iter()
-            .filter(|(u, v)| u != v)
-            .collect::<Vec<_>>()
-    })
+/// Random undirected edge list over `n` nodes (self-loops filtered).
+fn random_edges(rng: &mut SplitRng, n: usize) -> Vec<(usize, usize)> {
+    let count = 1 + rng.below(2 * n - 1);
+    (0..count)
+        .map(|_| (rng.below(n), rng.below(n)))
+        .filter(|(u, v)| u != v)
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Ã is always symmetric with spectrum in (-1, 1]: propagation never
-    /// amplifies, and the smoothing-subspace vectors are fixed points.
-    #[test]
-    fn gcn_adjacency_is_symmetric_contraction(edges in edges_strategy(24)) {
+/// Ã is always symmetric with spectrum in (-1, 1]: propagation never
+/// amplifies, and the smoothing-subspace vectors are fixed points.
+#[test]
+fn gcn_adjacency_is_symmetric_contraction() {
+    for seed in 0..64u64 {
+        let mut erng = SplitRng::new(0x1000 + seed);
         let n = 24;
+        let edges = random_edges(&mut erng, n);
         let adj = gcn_adjacency(n, &edges);
-        prop_assert!(adj.is_symmetric(1e-5));
+        assert!(adj.is_symmetric(1e-5));
         // Spectral bound via norm of repeated application to a random vec.
         let mut rng = SplitRng::new(1);
         let mut v: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
@@ -35,68 +34,89 @@ proptest! {
             let before = norm(&v);
             adj.spmv_into(&v, &mut out);
             let after = norm(&out);
-            prop_assert!(after <= before * (1.0 + 1e-5), "{after} > {before}");
+            assert!(after <= before * (1.0 + 1e-5), "{after} > {before}");
             v.copy_from_slice(&out);
         }
     }
+}
 
-    /// d_M is a genuine distance to a subspace: non-negative,
-    /// zero for subspace members, and 1-Lipschitz under addition.
-    #[test]
-    fn subspace_distance_properties(edges in edges_strategy(16), seed in 0u64..1000) {
+/// d_M is a genuine distance to a subspace: non-negative, zero for subspace
+/// members, and 1-Lipschitz under addition.
+#[test]
+fn subspace_distance_properties() {
+    for seed in 0..64u64 {
+        let mut rng = SplitRng::new(0x2000 + seed);
         let n = 16;
+        let edges = random_edges(&mut rng, n);
         let s = SmoothingSubspace::from_edges(n, &edges);
-        let mut rng = SplitRng::new(seed);
         let x = rng.uniform_matrix(n, 4, -1.0, 1.0);
         let y = rng.uniform_matrix(n, 4, -1.0, 1.0);
         let dx = s.distance(&x);
         let dy = s.distance(&y);
-        prop_assert!(dx >= 0.0);
+        assert!(dx >= 0.0);
         // Projection residual lies orthogonal: distance of residual equals
         // distance of original (idempotence).
         let r = s.residual(&x);
-        prop_assert!((s.distance(&r) - dx).abs() < 1e-3 * (1.0 + dx));
+        assert!((s.distance(&r) - dx).abs() < 1e-3 * (1.0 + dx));
         // Triangle inequality.
         let sum = x.zip(&y, |a, b| a + b);
-        prop_assert!(s.distance(&sum) <= dx + dy + 1e-4);
+        assert!(s.distance(&sum) <= dx + dy + 1e-4);
     }
+}
 
-    /// Theorem 2's coefficient is monotone in ρ and always at least sλ —
-    /// SkipNode can only loosen the contraction, never tighten it.
-    #[test]
-    fn theorem2_coefficient_monotone(sl in 0.01f64..0.99, rho1 in 0.01f64..0.98, drho in 0.001f64..0.01) {
+/// Theorem 2's coefficient is monotone in ρ and always at least sλ —
+/// SkipNode can only loosen the contraction, never tighten it.
+#[test]
+fn theorem2_coefficient_monotone() {
+    for seed in 0..64u64 {
+        let mut rng = SplitRng::new(0x3000 + seed);
+        let sl = 0.01 + 0.98 * rng.unit();
+        let rho1 = 0.01 + 0.97 * rng.unit();
+        let drho = 0.001 + 0.009 * rng.unit();
         let rho2 = (rho1 + drho).min(0.99);
         let c1 = theorem2_coefficient(sl, rho1);
         let c2 = theorem2_coefficient(sl, rho2);
-        prop_assert!(c1 >= sl);
-        prop_assert!(c2 >= c1);
-        prop_assert!(c1 <= 1.0 + 1e-12);
+        assert!(c1 >= sl);
+        assert!(c2 >= c1);
+        assert!(c1 <= 1.0 + 1e-12);
     }
+}
 
-    /// Theorem 3's critical ρ is in (0, 1) whenever sλ < 1, and decreases
-    /// as smoothing gets stronger (smaller sλ ⇒ easier to satisfy).
-    #[test]
-    fn theorem3_min_rho_behaviour(sl in 0.01f64..0.99, dsl in 0.001f64..0.01) {
+/// Theorem 3's critical ρ is in (0, 1) whenever sλ < 1, and decreases as
+/// smoothing gets stronger (smaller sλ ⇒ easier to satisfy).
+#[test]
+fn theorem3_min_rho_behaviour() {
+    for seed in 0..64u64 {
+        let mut rng = SplitRng::new(0x4000 + seed);
+        let sl = 0.01 + 0.98 * rng.unit();
+        let dsl = 0.001 + 0.009 * rng.unit();
         let r1 = theorem3_min_rho(sl);
-        prop_assert!(r1 > 0.0 && r1 < 1.0, "min rho {r1}");
+        assert!(r1 > 0.0 && r1 < 1.0, "min rho {r1}");
         let r2 = theorem3_min_rho((sl - dsl).max(1e-4));
-        prop_assert!(r2 <= r1 + 1e-12);
+        assert!(r2 <= r1 + 1e-12);
     }
+}
 
-    /// CSR transpose is an involution and preserves every entry.
-    #[test]
-    fn csr_transpose_involution(edges in edges_strategy(12)) {
+/// CSR transpose is an involution and preserves every entry.
+#[test]
+fn csr_transpose_involution() {
+    for seed in 0..64u64 {
+        let mut rng = SplitRng::new(0x5000 + seed);
+        let edges = random_edges(&mut rng, 12);
         let adj = gcn_adjacency(12, &edges);
         let t = adj.transpose();
-        prop_assert_eq!(t.transpose(), adj.clone());
-        prop_assert_eq!(adj.nnz(), t.nnz());
+        assert_eq!(t.transpose(), adj.clone());
+        assert_eq!(adj.nnz(), t.nnz());
     }
+}
 
-    /// SpMM distributes over addition: Ã(X + Y) = ÃX + ÃY.
-    #[test]
-    fn spmm_is_linear(edges in edges_strategy(10), seed in 0u64..1000) {
+/// SpMM distributes over addition: Ã(X + Y) = ÃX + ÃY.
+#[test]
+fn spmm_is_linear() {
+    for seed in 0..64u64 {
+        let mut rng = SplitRng::new(0x6000 + seed);
+        let edges = random_edges(&mut rng, 10);
         let adj = gcn_adjacency(10, &edges);
-        let mut rng = SplitRng::new(seed);
         let x = rng.uniform_matrix(10, 3, -1.0, 1.0);
         let y = rng.uniform_matrix(10, 3, -1.0, 1.0);
         let lhs = adj.spmm(&x.zip(&y, |a, b| a + b));
@@ -104,53 +124,66 @@ proptest! {
         let rhs_y = adj.spmm(&y);
         for i in 0..lhs.len() {
             let want = rhs_x.as_slice()[i] + rhs_y.as_slice()[i];
-            prop_assert!((lhs.as_slice()[i] - want).abs() < 1e-4);
+            assert!((lhs.as_slice()[i] - want).abs() < 1e-4);
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The SkipNode mask respects its contract for every sampler: correct
-    /// length, and exactly ⌊ρN⌋ skips for the without-replacement modes.
-    #[test]
-    fn skipnode_mask_contract(rate in 0.05f64..0.95, seed in 0u64..500) {
-        use skipnode::core::{Sampling, SkipNodeConfig};
+/// The SkipNode mask respects its contract for every sampler: correct
+/// length, and exactly ⌊ρN⌋ skips for the without-replacement modes.
+#[test]
+fn skipnode_mask_contract() {
+    use skipnode::core::{Sampling, SkipNodeConfig};
+    for seed in 0..32u64 {
+        let mut rng = SplitRng::new(0x7000 + seed);
+        let rate = 0.05 + 0.90 * rng.unit();
         let degrees: Vec<usize> = (0..97).map(|i| i % 13).collect();
-        let mut rng = SplitRng::new(seed);
-        for sampling in [Sampling::Uniform, Sampling::Biased, Sampling::InverseBiased, Sampling::TopDegree] {
+        for sampling in [
+            Sampling::Uniform,
+            Sampling::Biased,
+            Sampling::InverseBiased,
+            Sampling::TopDegree,
+        ] {
             let cfg = SkipNodeConfig::new(rate, sampling);
             let mask = cfg.sample_mask(&degrees, &mut rng);
-            prop_assert_eq!(mask.len(), degrees.len());
+            assert_eq!(mask.len(), degrees.len());
             let k = mask.iter().filter(|&&m| m).count();
             if sampling != Sampling::Uniform {
-                prop_assert_eq!(k, (rate * 97.0).floor() as usize);
+                assert_eq!(k, (rate * 97.0).floor() as usize);
             }
         }
     }
+}
 
-    /// Autograd matmul gradients agree with finite differences for random
-    /// shapes — the engine-level invariant everything else rests on.
-    #[test]
-    fn matmul_gradcheck(rows in 1usize..6, inner in 1usize..6, cols in 1usize..6, seed in 0u64..200) {
-        use skipnode::autograd::finite_difference_check;
-        let mut rng = SplitRng::new(seed);
+/// Autograd matmul gradients agree with finite differences for random
+/// shapes — the engine-level invariant everything else rests on.
+#[test]
+fn matmul_gradcheck() {
+    use skipnode::autograd::finite_difference_check;
+    for seed in 0..32u64 {
+        let mut rng = SplitRng::new(0x8000 + seed);
+        let rows = 1 + rng.below(5);
+        let inner = 1 + rng.below(5);
+        let cols = 1 + rng.below(5);
         let x = rng.uniform_matrix(rows, inner, -1.0, 1.0);
         let w = rng.uniform_matrix(inner, cols, -1.0, 1.0);
         let dev = finite_difference_check(&x, 1e-2, |t, xid| {
             let wid = t.constant(w.clone());
             t.matmul(xid, wid)
         });
-        prop_assert!(dev < 5e-2, "max deviation {dev}");
+        assert!(dev < 5e-2, "max deviation {dev}");
     }
+}
 
-    /// PairNorm output always has (near-)zero column means and the target
-    /// scale, for any input.
-    #[test]
-    fn pairnorm_normalizes(seed in 0u64..500, rows in 2usize..20, cols in 1usize..8) {
-        use skipnode::autograd::Tape;
-        let mut rng = SplitRng::new(seed);
+/// PairNorm output always has (near-)zero column means and the target
+/// scale, for any input.
+#[test]
+fn pairnorm_normalizes() {
+    use skipnode::autograd::Tape;
+    for seed in 0..32u64 {
+        let mut rng = SplitRng::new(0x9000 + seed);
+        let rows = 2 + rng.below(18);
+        let cols = 1 + rng.below(7);
         let x = rng.uniform_matrix(rows, cols, -3.0, 3.0);
         let mut tape = Tape::new();
         let xid = tape.constant(x);
@@ -158,12 +191,16 @@ proptest! {
         let v = tape.value(out);
         let mean = v.col_mean();
         for c in 0..cols {
-            prop_assert!(mean.get(0, c).abs() < 1e-3, "column {c} mean {}", mean.get(0, c));
+            assert!(
+                mean.get(0, c).abs() < 1e-3,
+                "column {c} mean {}",
+                mean.get(0, c)
+            );
         }
         // ||out||_F = s * sqrt(n)
         let fro = skipnode::tensor::frobenius_norm(v);
         let want = (rows as f64).sqrt();
-        prop_assert!((fro - want).abs() < 1e-2 * want, "fro {fro} want {want}");
+        assert!((fro - want).abs() < 1e-2 * want, "fro {fro} want {want}");
     }
 }
 

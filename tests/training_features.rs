@@ -1,9 +1,7 @@
 //! Integration tests for the training-infrastructure extensions:
 //! checkpointing, LR schedules, gradient clipping, and Dirichlet energy.
 
-use skipnode::nn::{
-    dirichlet_energy, evaluate, load_checkpoint, save_checkpoint, LrSchedule,
-};
+use skipnode::nn::{dirichlet_energy, evaluate, load_checkpoint, save_checkpoint, LrSchedule};
 use skipnode::prelude::*;
 use std::sync::Arc;
 
@@ -108,18 +106,19 @@ fn dirichlet_energy_tracks_oversmoothing() {
         smoothed = adj.spmm(&smoothed);
     }
     let after = dirichlet_energy(&smoothed, &g);
-    assert!(
-        after < raw * 0.05,
-        "energy barely moved: {after} vs {raw}"
-    );
+    assert!(after < raw * 0.05, "energy barely moved: {after} vs {raw}");
 }
 
 #[test]
 fn trained_deep_vanilla_has_lower_energy_than_skipnode() {
+    // Oversmoothing relief is a distributional claim, so compare mean
+    // Dirichlet energy over a few training seeds rather than a single run
+    // (any individual seed can land a vanilla network that has not yet
+    // collapsed after 60 epochs).
     let g = graph();
     let full_adj = Arc::new(g.gcn_adjacency());
-    let run = |strategy: &Strategy| -> f64 {
-        let mut rng = SplitRng::new(4);
+    let run = |strategy: &Strategy, seed: u64| -> f64 {
+        let mut rng = SplitRng::new(seed);
         let split = full_supervised_split(&g, &mut rng);
         let mut model = Gcn::new(g.feature_dim(), 16, g.num_classes(), 12, 0.2, &mut rng);
         let cfg = TrainConfig {
@@ -129,17 +128,17 @@ fn trained_deep_vanilla_has_lower_energy_than_skipnode() {
             ..Default::default()
         };
         let _ = train_node_classifier(&mut model, &g, &split, strategy, &cfg, &mut rng);
-        let mut eval_rng = SplitRng::new(5);
+        let mut eval_rng = SplitRng::new(seed + 1);
         let (_, penultimate) = evaluate(&model, &g, &full_adj, strategy, &mut eval_rng);
         dirichlet_energy(&penultimate.expect("penultimate"), &g)
     };
-    let vanilla = run(&Strategy::None);
-    let skip = run(&Strategy::SkipNode(SkipNodeConfig::new(
-        0.6,
-        Sampling::Uniform,
-    )));
+    let seeds = [4u64, 14, 24];
+    let skipnode = Strategy::SkipNode(SkipNodeConfig::new(0.6, Sampling::Uniform));
+    let vanilla: f64 =
+        seeds.iter().map(|&s| run(&Strategy::None, s)).sum::<f64>() / seeds.len() as f64;
+    let skip: f64 = seeds.iter().map(|&s| run(&skipnode, s)).sum::<f64>() / seeds.len() as f64;
     assert!(
         skip > vanilla,
-        "SkipNode energy {skip:.4} should exceed vanilla {vanilla:.4} at depth 12"
+        "mean SkipNode energy {skip:.4} should exceed vanilla {vanilla:.4} at depth 12"
     );
 }
