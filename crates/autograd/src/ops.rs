@@ -1,6 +1,7 @@
 //! Forward op constructors on [`Tape`].
 
-use crate::tape::{pairnorm_forward, AdjId, NodeId, Op, Tape};
+use crate::tape::{pairnorm_forward, AdjId, NodeId, Op, SkipConvCache, Tape};
+use skipnode_sparse::COL_SKIP;
 use skipnode_tensor::{workspace, Matrix, SplitRng};
 
 impl Tape {
@@ -129,8 +130,9 @@ impl Tape {
         let mut value = workspace::take_copy(self.value(conv));
         for (r, &take) in take_skip.iter().enumerate() {
             if take {
-                let src = self.nodes[skip.0].value.row(r).to_vec();
-                value.row_mut(r).copy_from_slice(&src);
+                value
+                    .row_mut(r)
+                    .copy_from_slice(self.nodes[skip.0].value.row(r));
             }
         }
         let rg = self.rg(conv) || self.rg(skip);
@@ -140,6 +142,101 @@ impl Tape {
                 conv,
                 skip,
                 take_skip: take_skip.to_vec(),
+            },
+            rg,
+        )
+    }
+
+    /// Fused SkipNode layer (Eq. 4 applied to a whole GCN layer):
+    /// `row_combine(relu(Ã·x·W + b), skip, take_skip)` as one masked kernel.
+    ///
+    /// Unlike the unfused `spmm → matmul → add_bias → relu → row_combine`
+    /// chain, rows with `take_skip[i]` never enter the SpMM or the GEMM —
+    /// the sparse gather, dense product, bias, and ReLU all run on the
+    /// compacted active-row set only, so per-layer work scales with the
+    /// non-skipped fraction. Skipped rows copy `skip`'s row; their backward
+    /// is the identity route, exactly as in [`Tape::row_combine`].
+    ///
+    /// Requires `skip` to already have the output width (`n × d_out`),
+    /// which holds for SkipNode's middle hidden→hidden layers.
+    pub fn skip_conv(
+        &mut self,
+        adj: AdjId,
+        x: NodeId,
+        skip: NodeId,
+        w: NodeId,
+        b: NodeId,
+        take_skip: &[bool],
+    ) -> NodeId {
+        let n = self.value(x).rows();
+        let d_out = self.value(w).cols();
+        assert_eq!(take_skip.len(), n, "skip_conv mask length");
+        assert_eq!(
+            self.value(skip).shape(),
+            (n, d_out),
+            "skip_conv skip branch must match the conv output shape"
+        );
+        assert_eq!(self.value(b).rows(), 1, "bias must be a row vector");
+        assert_eq!(self.value(b).cols(), d_out, "bias width mismatch");
+
+        let mut active = Vec::with_capacity(n);
+        let mut col_map = vec![COL_SKIP; n];
+        for (r, &take) in take_skip.iter().enumerate() {
+            if !take {
+                col_map[r] = active.len() as u32;
+                active.push(r as u32);
+            }
+        }
+
+        let (value, cache) = {
+            let mat = &self.adjs[adj.0].mat;
+            let xv = &self.nodes[x.0].value;
+            let wv = &self.nodes[w.0].value;
+            let bv = &self.nodes[b.0].value;
+            let sv = &self.nodes[skip.0].value;
+            assert_eq!(mat.rows(), n, "skip_conv adjacency row count");
+
+            // Compact gather: P = (Ã x) on active rows only.
+            let mut p_active = workspace::take_scratch(active.len(), xv.cols());
+            mat.spmm_rows_subset(xv, &active, &mut p_active);
+            // Compact conv: Z = relu(P·W + b), |active| × d_out.
+            let mut z = workspace::take_scratch(active.len(), d_out);
+            p_active.matmul_into(wv, &mut z);
+            for local in 0..z.rows() {
+                for (v, &bias) in z.row_mut(local).iter_mut().zip(bv.row(0)) {
+                    *v = (*v + bias).max(0.0);
+                }
+            }
+            // Scatter: skipped rows copy the skip branch verbatim.
+            let mut value = workspace::take_scratch(n, d_out);
+            for (r, &m) in col_map.iter().enumerate() {
+                let src = if m == COL_SKIP {
+                    sv.row(r)
+                } else {
+                    z.row(m as usize)
+                };
+                value.row_mut(r).copy_from_slice(src);
+            }
+            workspace::give(z);
+            (
+                value,
+                Box::new(SkipConvCache {
+                    active,
+                    col_map,
+                    p_active,
+                }),
+            )
+        };
+        let rg = self.rg(x) || self.rg(skip) || self.rg(w) || self.rg(b);
+        self.push(
+            value,
+            Op::SkipConv {
+                adj: adj.0,
+                x,
+                skip,
+                w,
+                b,
+                cache,
             },
             rg,
         )

@@ -15,8 +15,21 @@ pub struct AdjId(pub(crate) usize);
 
 pub(crate) struct AdjEntry {
     pub mat: Arc<CsrMatrix>,
-    /// `None` when the matrix is symmetric (backward reuses `mat`).
-    pub transpose: Option<CsrMatrix>,
+    /// `None` when the matrix is symmetric (backward reuses `mat`). Shared
+    /// with the matrix's own metadata cache, so re-registering the same
+    /// adjacency every epoch never re-transposes.
+    pub transpose: Option<Arc<CsrMatrix>>,
+}
+
+impl AdjEntry {
+    /// The matrix backward propagates through (`Ãᵀ`, which is `Ã` itself
+    /// for the symmetric GCN normalization).
+    pub fn backward_mat(&self) -> &CsrMatrix {
+        match &self.transpose {
+            Some(t) => t,
+            None => &self.mat,
+        }
+    }
 }
 
 /// The operation that produced a node (closed-world op set).
@@ -50,6 +63,18 @@ pub(crate) enum Op {
         skip: NodeId,
         take_skip: Vec<bool>,
     },
+    /// Fused SkipNode layer: `row_combine(relu(Ã·x·W + b), skip, mask)` as
+    /// one masked kernel. Skipped rows copy `skip` and never enter the
+    /// SpMM/GEMM; their backward is the identity route. See
+    /// [`Tape::skip_conv`].
+    SkipConv {
+        adj: usize,
+        x: NodeId,
+        skip: NodeId,
+        w: NodeId,
+        b: NodeId,
+        cache: Box<SkipConvCache>,
+    },
     ConcatCols(Vec<NodeId>),
     /// Elementwise max across same-shaped inputs; `argmax[i]` records the
     /// winning input per element.
@@ -82,6 +107,18 @@ pub(crate) enum Op {
         s_dst: NodeId,
         cache: Box<crate::attention::GatCache>,
     },
+}
+
+/// Forward-pass intermediates the fused SkipNode layer keeps for backward.
+pub(crate) struct SkipConvCache {
+    /// Non-skipped row indices, ascending.
+    pub active: Vec<u32>,
+    /// Inverse map: node → position in `active`, or
+    /// [`skipnode_sparse::COL_SKIP`] for skipped rows.
+    pub col_map: Vec<u32>,
+    /// `(Ã x)` gathered on the active rows (`|active| × d_in`): the GEMM
+    /// left operand, reused for `dW = Pᵀ·dZ`.
+    pub p_active: Matrix,
 }
 
 pub(crate) struct Node {
@@ -132,6 +169,9 @@ impl Drop for Grads {
 impl Drop for Tape {
     fn drop(&mut self) {
         for node in self.nodes.drain(..) {
+            if let Op::SkipConv { cache, .. } = node.op {
+                workspace::give(cache.p_active);
+            }
             workspace::give(node.value);
         }
     }
@@ -194,12 +234,15 @@ impl Tape {
 
     /// Register a sparse propagation matrix. Symmetric matrices (the usual
     /// GCN `Ã`) reuse themselves in backward; asymmetric ones (row
-    /// normalized) cache a transpose.
+    /// normalized) use a transpose. Both the symmetry test and the
+    /// transpose are cached **on the matrix itself**, so re-registering the
+    /// same `Arc` every epoch (a fresh tape per forward pass) costs one
+    /// flag read instead of an O(nnz) transpose.
     pub fn register_adj(&mut self, mat: Arc<CsrMatrix>) -> AdjId {
-        let transpose = if mat.is_symmetric(1e-6) {
+        let transpose = if mat.is_symmetric_cached() {
             None
         } else {
-            Some(mat.transpose())
+            Some(mat.transpose_arc())
         };
         let id = AdjId(self.adjs.len());
         self.adjs.push(AdjEntry { mat, transpose });
@@ -265,11 +308,7 @@ impl Tape {
             }
             Op::Spmm { adj, x } => {
                 if self.nodes[x.0].requires_grad {
-                    let entry = &self.adjs[*adj];
-                    let dx = match &entry.transpose {
-                        Some(t) => t.spmm(g),
-                        None => entry.mat.spmm(g),
-                    };
+                    let dx = self.adjs[*adj].backward_mat().spmm(g);
                     accum(grads, *x, dx);
                 }
             }
@@ -354,6 +393,66 @@ impl Tape {
                 if self.nodes[skip.0].requires_grad {
                     accum(grads, *skip, route(true));
                 }
+            }
+            Op::SkipConv {
+                adj,
+                x,
+                skip,
+                w,
+                b,
+                cache,
+            } => {
+                let out = &self.nodes[idx].value;
+                let d_out = g.cols();
+                // dZ on the active rows only: gather g and apply the ReLU
+                // mask read from the fused output (skipped rows never flow
+                // through the conv branch).
+                let mut gz = workspace::take_scratch(cache.active.len(), d_out);
+                for (local, &r) in cache.active.iter().enumerate() {
+                    let r = r as usize;
+                    let dst = gz.row_mut(local);
+                    for ((dv, &gv), &ov) in dst.iter_mut().zip(g.row(r)).zip(out.row(r)) {
+                        *dv = if ov > 0.0 { gv } else { 0.0 };
+                    }
+                }
+                if self.nodes[b.0].requires_grad {
+                    let mut db = workspace::take(1, d_out);
+                    for local in 0..gz.rows() {
+                        let dst = db.row_mut(0);
+                        for (dv, &v) in dst.iter_mut().zip(gz.row(local)) {
+                            *dv += v;
+                        }
+                    }
+                    accum(grads, *b, db);
+                }
+                if self.nodes[w.0].requires_grad {
+                    // dW = Pᵀ · dZ over the active rows (cached compact P).
+                    let dw = cache.p_active.t_matmul(&gz);
+                    accum(grads, *w, dw);
+                }
+                if self.nodes[x.0].requires_grad {
+                    // dX = Ãᵀ · scatter(dZ · Wᵀ): the scatter never
+                    // materializes — the masked column kernel skips columns
+                    // mapped to COL_SKIP, whose contribution is exactly 0.
+                    let dp = gz.matmul_t(&self.nodes[w.0].value);
+                    let back = self.adjs[*adj].backward_mat();
+                    let mut dx = workspace::take_scratch(back.rows(), dp.cols());
+                    back.spmm_cols_compact(&dp, &cache.col_map, &mut dx);
+                    workspace::give(dp);
+                    accum(grads, *x, dx);
+                }
+                if self.nodes[skip.0].requires_grad {
+                    // Identity route: skipped rows pass the gradient straight
+                    // through to the skip input.
+                    let mut ds = workspace::take(g.rows(), d_out);
+                    for (r, &m) in cache.col_map.iter().enumerate() {
+                        if m == skipnode_sparse::COL_SKIP {
+                            ds.row_mut(r).copy_from_slice(g.row(r));
+                        }
+                    }
+                    accum(grads, *skip, ds);
+                }
+                workspace::give(gz);
             }
             Op::ConcatCols(parts) => {
                 let mut off = 0;

@@ -1,0 +1,158 @@
+//! Fused `Op::SkipConv` equivalence: forward and backward must match the
+//! unfused `spmm → matmul → add_bias → relu → row_combine` chain within
+//! 1e-5 across skip ratios and odd (non-round, d_in ≠ d_out) shapes.
+
+use skipnode_autograd::{NodeId, Tape};
+use skipnode_sparse::CooBuilder;
+use skipnode_tensor::{Matrix, SplitRng};
+use std::sync::Arc;
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut SplitRng) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.normal();
+    }
+    m
+}
+
+fn random_adjacency(n: usize, rng: &mut SplitRng) -> Arc<skipnode_sparse::CsrMatrix> {
+    let mut b = CooBuilder::new(n, n);
+    for u in 0..n {
+        b.push(u, u, 0.5);
+        for _ in 0..3 {
+            let v = rng.below(n);
+            if v != u {
+                // Asymmetric weights so backward exercises the cached
+                // transpose route, not the symmetric shortcut.
+                b.push(u, v, 0.1 + rng.unit() as f32 * 0.3);
+            }
+        }
+    }
+    Arc::new(b.build())
+}
+
+struct Run {
+    out: Matrix,
+    dx: Option<Matrix>,
+    dskip: Option<Matrix>,
+    dw: Matrix,
+    db: Matrix,
+}
+
+fn run(fused: bool, mask: &[bool], n: usize, d_in: usize, d_out: usize) -> Run {
+    let mut rng = SplitRng::new(99);
+    let adj_mat = random_adjacency(n, &mut rng);
+    let xv = random_matrix(n, d_in, &mut rng);
+    let sv = random_matrix(n, d_out, &mut rng);
+    let wv = random_matrix(d_in, d_out, &mut rng);
+    let bv = random_matrix(1, d_out, &mut rng);
+    let seed = random_matrix(n, d_out, &mut rng);
+
+    let mut tape = Tape::new();
+    let adj = tape.register_adj(adj_mat);
+    let x = tape.param(xv);
+    let skip = tape.param(sv);
+    let w = tape.param(wv);
+    let b = tape.param(bv);
+    let out: NodeId = if fused {
+        tape.skip_conv(adj, x, skip, w, b, mask)
+    } else {
+        let p = tape.spmm(adj, x);
+        let z = tape.matmul(p, w);
+        let zb = tape.add_bias(z, b);
+        let a = tape.relu(zb);
+        tape.row_combine(a, skip, mask)
+    };
+    let value = tape.value(out).clone();
+    let mut grads = tape.backward(out, seed);
+    Run {
+        out: value,
+        dx: grads.take(x),
+        dskip: grads.take(skip),
+        dw: grads.take(w).expect("dW"),
+        db: grads.take(b).expect("db"),
+    }
+}
+
+fn assert_close(got: &Matrix, want: &Matrix, label: &str) {
+    assert_eq!(got.shape(), want.shape(), "{label}: shape");
+    for (i, (a, b)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        assert!(
+            (a - b).abs() <= 1e-5,
+            "{label}: element {i} differs: {a} vs {b}"
+        );
+    }
+}
+
+fn mask_with_ratio(n: usize, ratio: f64) -> Vec<bool> {
+    // Deterministic interleaving at the requested skip ratio.
+    (0..n)
+        .map(|i| ((i as f64 * ratio) as usize) != (((i + 1) as f64 * ratio) as usize))
+        .collect()
+}
+
+fn check_equivalence(n: usize, d_in: usize, d_out: usize, ratio: f64) {
+    let mask = mask_with_ratio(n, ratio);
+    let fused = run(true, &mask, n, d_in, d_out);
+    let unfused = run(false, &mask, n, d_in, d_out);
+    let label = format!("n={n} d_in={d_in} d_out={d_out} ratio={ratio}");
+    assert_close(&fused.out, &unfused.out, &format!("{label} forward"));
+    assert_close(
+        fused.dx.as_ref().expect("fused dx"),
+        unfused.dx.as_ref().expect("unfused dx"),
+        &format!("{label} dx"),
+    );
+    assert_close(
+        fused.dskip.as_ref().expect("fused dskip"),
+        unfused.dskip.as_ref().expect("unfused dskip"),
+        &format!("{label} dskip"),
+    );
+    assert_close(&fused.dw, &unfused.dw, &format!("{label} dW"));
+    assert_close(&fused.db, &unfused.db, &format!("{label} db"));
+}
+
+#[test]
+fn fused_matches_unfused_at_skip_ratio_zero() {
+    check_equivalence(64, 16, 16, 0.0);
+}
+
+#[test]
+fn fused_matches_unfused_at_skip_ratio_half() {
+    check_equivalence(64, 16, 16, 0.5);
+}
+
+#[test]
+fn fused_matches_unfused_at_skip_ratio_one() {
+    check_equivalence(64, 16, 16, 1.0);
+}
+
+#[test]
+fn fused_matches_unfused_on_odd_shapes() {
+    // Non-round node count, d_in ≠ d_out, and a lopsided ratio.
+    check_equivalence(37, 13, 11, 0.5);
+    check_equivalence(101, 7, 19, 0.25);
+}
+
+#[test]
+fn skipped_rows_copy_skip_branch_exactly() {
+    let n = 40;
+    let mask = mask_with_ratio(n, 0.5);
+    let mut rng = SplitRng::new(3);
+    let adj_mat = random_adjacency(n, &mut rng);
+    let xv = random_matrix(n, 8, &mut rng);
+    let sv = random_matrix(n, 8, &mut rng);
+    let wv = random_matrix(8, 8, &mut rng);
+    let bv = random_matrix(1, 8, &mut rng);
+    let mut tape = Tape::new();
+    let adj = tape.register_adj(adj_mat);
+    let x = tape.param(xv);
+    let skip_node = tape.param(sv.clone());
+    let w = tape.param(wv);
+    let b = tape.param(bv);
+    let out = tape.skip_conv(adj, x, skip_node, w, b, &mask);
+    for (r, &take) in mask.iter().enumerate() {
+        if take {
+            assert_eq!(tape.value(out).row(r), sv.row(r), "row {r}");
+        }
+    }
+}

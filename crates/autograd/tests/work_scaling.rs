@@ -1,0 +1,51 @@
+//! The fused SkipNode layer must demonstrably *skip* work: SpMM row work
+//! (as recorded by `skipnode_sparse::stats`) has to scale with the
+//! non-skipped fraction. Kept alone in this file — the counter is
+//! process-global, and a dedicated test binary keeps concurrent tests from
+//! polluting the deltas.
+
+use skipnode_autograd::Tape;
+use skipnode_sparse::{stats, CooBuilder};
+use skipnode_tensor::{Matrix, SplitRng};
+use std::sync::Arc;
+
+#[test]
+fn fused_forward_row_work_scales_with_active_fraction() {
+    let n = 600;
+    let d = 12;
+    let mut rng = SplitRng::new(5);
+    let mut b = CooBuilder::new(n, n);
+    for u in 0..n {
+        b.push_symmetric(u, (u + 1) % n, 1.0);
+        b.push_symmetric(u, (u + 7) % n, 0.5);
+    }
+    let adj_mat = Arc::new(b.build());
+    let mut xv = Matrix::zeros(n, d);
+    for v in xv.as_mut_slice() {
+        *v = rng.normal();
+    }
+
+    let forward_rows = |skip_every: Option<usize>| -> u64 {
+        let mask: Vec<bool> = (0..n)
+            .map(|i| skip_every.is_some_and(|k| i % k != 0))
+            .collect();
+        let mut tape = Tape::new();
+        let adj = tape.register_adj(Arc::clone(&adj_mat));
+        let x = tape.param(xv.clone());
+        let skip = tape.param(xv.clone());
+        let w = tape.param(Matrix::eye(d));
+        let bias = tape.param(Matrix::zeros(1, d));
+        let before = stats::spmm_rows_computed();
+        let _ = tape.skip_conv(adj, x, skip, w, bias, &mask);
+        stats::spmm_rows_computed() - before
+    };
+
+    let full = forward_rows(None); // nothing skipped
+    let quarter = forward_rows(Some(4)); // 1 in 4 active
+    assert_eq!(full, n as u64, "unmasked fused layer computes every row");
+    assert_eq!(
+        quarter,
+        (n / 4) as u64,
+        "row work must equal the active-row count"
+    );
+}

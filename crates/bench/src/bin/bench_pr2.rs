@@ -1,0 +1,166 @@
+//! PR 2 performance record: the skip-aware sparse propagation engine.
+//!
+//! Sweeps full training-epoch time on a skewed-degree (hub-heavy) graph at
+//! depths {2, 16, 64} and SkipNode rates {0, 0.25, 0.5}, A/B-ing the fused
+//! masked kernel path (`Tape::skip_conv`) against the PR 1 unfused op chain
+//! (`spmm → matmul → add_bias → relu → row_combine`), plus an SpMM sweep on
+//! the same skewed graph exercising the nnz-balanced partitioner. Results
+//! go to `results/BENCH_PR2.json`; the SpMM row-work counters for both
+//! paths are recorded in the metadata so the "fused skips work" claim is
+//! auditable from the artifact alone.
+//!
+//! Run with `cargo run --release -p skipnode-bench --bin bench_pr2`.
+//! `SKIPNODE_BENCH_FAST=1` shrinks the budgets for smoke testing.
+
+use skipnode_autograd::{softmax_cross_entropy, Tape};
+use skipnode_bench::timing::Bencher;
+use skipnode_core::{Sampling, SkipNodeConfig};
+use skipnode_graph::{partition_graph, FeatureStyle, Graph, PartitionConfig};
+use skipnode_nn::models::{Gcn, Model};
+use skipnode_nn::{Adam, AdamConfig, ForwardCtx, Strategy};
+use skipnode_sparse::{stats, CsrMatrix};
+use skipnode_tensor::{pool, workspace, Matrix, SplitRng};
+use std::sync::Arc;
+
+/// Hub-heavy graph: degree-corrected planted partition with a strong
+/// propensity tail, the adversarial case for equal-row-count chunking.
+fn skewed_graph() -> Graph {
+    let mut rng = SplitRng::new(271);
+    let cfg = PartitionConfig {
+        n: 3000,
+        m: 15_000,
+        classes: 5,
+        homophily: 0.7,
+        power: 0.8,
+    };
+    partition_graph(
+        &cfg,
+        64,
+        FeatureStyle::TfidfGaussian { separation: 0.5 },
+        &mut rng,
+    )
+}
+
+fn spmm_sweep(bench: &mut Bencher, adj: &CsrMatrix) {
+    let n = adj.rows();
+    for &d in &[64usize, 256] {
+        let mut rng = SplitRng::new(17);
+        let x = rng.uniform_matrix(n, d, -1.0, 1.0);
+        let mut out = Matrix::zeros(n, d);
+        bench.run("spmm_skewed", &format!("{n}x{d}"), || {
+            adj.spmm_into(&x, &mut out)
+        });
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn one_epoch(
+    model: &mut Gcn,
+    opt: &mut Adam,
+    g: &Graph,
+    train_idx: &[usize],
+    strategy: &Strategy,
+    full_adj: &Arc<CsrMatrix>,
+    degrees: &[usize],
+    fuse: bool,
+    rng: &mut SplitRng,
+) {
+    let mut tape = Tape::new();
+    let binding = model.store().bind(&mut tape);
+    let adj_id = tape.register_adj(Arc::clone(full_adj));
+    let x = tape.constant(workspace::take_copy(g.features()));
+    let mut fwd_rng = rng.split();
+    let mut ctx = ForwardCtx::new(adj_id, x, degrees, strategy, true, &mut fwd_rng);
+    ctx.fuse = fuse;
+    let logits = model.forward(&mut tape, &binding, &mut ctx);
+    let out = softmax_cross_entropy(tape.value(logits), g.labels(), train_idx);
+    let mut grads = tape.backward(logits, out.grad);
+    let param_grads: Vec<Option<Matrix>> = binding.nodes().iter().map(|&n| grads.take(n)).collect();
+    opt.step(model.store_mut(), &param_grads);
+    for g in param_grads.into_iter().flatten() {
+        workspace::give(g);
+    }
+}
+
+/// Epoch-time sweep; returns (fused_rows, unfused_rows) SpMM work counters
+/// accumulated across the sweep.
+fn epoch_sweep(bench: &mut Bencher, g: &Graph, fast: bool) -> (u64, u64) {
+    let full_adj = Arc::new(g.gcn_adjacency());
+    let degrees = g.degrees();
+    let train_idx: Vec<usize> = (0..g.num_nodes()).step_by(10).collect();
+    let depths: &[usize] = if fast { &[2, 16] } else { &[2, 16, 64] };
+    let mut fused_rows = 0u64;
+    let mut unfused_rows = 0u64;
+    for &depth in depths {
+        for &rate in &[0.0f64, 0.25, 0.5] {
+            let strategy = Strategy::SkipNode(SkipNodeConfig::new(rate, Sampling::Uniform));
+            for fuse in [false, true] {
+                let mut rng = SplitRng::new(33);
+                let mut model =
+                    Gcn::new(g.feature_dim(), 64, g.num_classes(), depth, 0.5, &mut rng);
+                let mut opt = Adam::new(model.store(), AdamConfig::default());
+                let mut bench_rng = rng.split();
+                let group = if fuse { "epoch_fused" } else { "epoch_unfused" };
+                // Count SpMM row work over exactly ONE epoch (outside the
+                // timed loop, whose iteration counts differ per path).
+                let before = stats::spmm_rows_computed();
+                one_epoch(
+                    &mut model,
+                    &mut opt,
+                    g,
+                    &train_idx,
+                    &strategy,
+                    &full_adj,
+                    &degrees,
+                    fuse,
+                    &mut bench_rng,
+                );
+                let delta = stats::spmm_rows_computed() - before;
+                if fuse {
+                    fused_rows += delta;
+                } else {
+                    unfused_rows += delta;
+                }
+                bench.run(group, &format!("d{depth}/rho{rate}"), || {
+                    one_epoch(
+                        &mut model,
+                        &mut opt,
+                        g,
+                        &train_idx,
+                        &strategy,
+                        &full_adj,
+                        &degrees,
+                        fuse,
+                        &mut bench_rng,
+                    )
+                });
+            }
+        }
+    }
+    (fused_rows, unfused_rows)
+}
+
+fn main() {
+    let fast = std::env::var("SKIPNODE_BENCH_FAST").is_ok();
+    let mut bench = Bencher::from_env();
+    let g = skewed_graph();
+    let adj = g.gcn_adjacency();
+    spmm_sweep(&mut bench, &adj);
+    let (fused_rows, unfused_rows) = epoch_sweep(&mut bench, &g, fast);
+    let ws = workspace::stats();
+    bench.write_json(
+        "results/BENCH_PR2.json",
+        &[
+            ("pr", "2".to_string()),
+            ("threads", pool::num_threads().to_string()),
+            (
+                "graph",
+                "planted_partition n=3000 m=15000 power=0.8".to_string(),
+            ),
+            ("spmm_rows_fused", fused_rows.to_string()),
+            ("spmm_rows_unfused", unfused_rows.to_string()),
+            ("workspace_hits", ws.hits.to_string()),
+            ("workspace_misses", ws.misses.to_string()),
+        ],
+    );
+}

@@ -346,9 +346,9 @@ mod tests {
         assert_eq!(g.feature_dim(), 1433);
         assert_eq!(g.num_classes(), 7);
         let m = g.num_edges() as f64;
-        // 3% tolerance: the ring generator loses a couple percent of its
-        // edge budget to rewiring collisions removed by deduplication.
-        assert!((m - 5429.0).abs() < 5429.0 * 0.03, "edges {m}");
+        // The ring generator retries rewiring collisions, so the realized
+        // count tracks the 5429-edge budget closely.
+        assert!((m - 5429.0).abs() < 5429.0 * 0.02, "edges {m}");
         let h = g.edge_homophily();
         assert!((h - 0.81).abs() < 0.06, "homophily {h}");
     }

@@ -163,23 +163,47 @@ pub fn ring_of_blocks(cfg: &RingConfig, rng: &mut SplitRng) -> (Vec<(usize, usiz
     let frac = mean_degree / 2.0 - k as f64; // partial distance k+1
     let window = cfg.window.max(1).min(cfg.n / 2 - 1);
     let mut edges = Vec::with_capacity(cfg.m + cfg.n);
+    let mut set: HashSet<(usize, usize)> = HashSet::with_capacity(cfg.m * 2);
+    let mut place = |u: usize, v: usize, edges: &mut Vec<(usize, usize)>| -> bool {
+        if u == v {
+            return false;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if set.insert(key) {
+            edges.push(key);
+            true
+        } else {
+            false
+        }
+    };
     for u in 0..cfg.n {
         for d in 1..=(k + 1) {
             if d == k + 1 && rng.unit() >= frac {
                 continue;
             }
-            let v = if rng.unit() < cfg.rewire {
-                let off = 1 + rng.below(window);
-                if rng.bernoulli(0.5) {
-                    (u + off) % cfg.n
-                } else {
-                    (u + cfg.n - off) % cfg.n
+            if rng.unit() < cfg.rewire {
+                // Retry colliding rewires with a fresh window offset instead
+                // of dropping the edge, so the realized count tracks `m`
+                // instead of silently losing a few percent to duplicates.
+                let mut placed = false;
+                for _ in 0..20 {
+                    let off = 1 + rng.below(window);
+                    let v = if rng.bernoulli(0.5) {
+                        (u + off) % cfg.n
+                    } else {
+                        (u + cfg.n - off) % cfg.n
+                    };
+                    if place(u, v, &mut edges) {
+                        placed = true;
+                        break;
+                    }
+                }
+                if !placed {
+                    // Dense neighborhood: fall back to the lattice edge.
+                    place(u, (u + d) % cfg.n, &mut edges);
                 }
             } else {
-                (u + d) % cfg.n
-            };
-            if v != u {
-                edges.push((u, v));
+                place(u, (u + d) % cfg.n, &mut edges);
             }
         }
     }
@@ -494,7 +518,7 @@ mod tests {
         let (edges, labels) = ring_of_blocks(&cfg, &mut rng);
         let canon = skipnode_sparse::dedup_undirected_edges(&edges);
         let m = canon.len() as f64;
-        assert!((m - 5429.0).abs() < 5429.0 * 0.05, "edges {m}");
+        assert!((m - 5429.0).abs() < 5429.0 * 0.02, "edges {m}");
         let same = canon
             .iter()
             .filter(|&&(u, v)| labels[u] == labels[v])

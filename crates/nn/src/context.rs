@@ -115,6 +115,11 @@ pub struct ForwardCtx<'a> {
     /// Set by models: the representation before the classification layer
     /// (the MAD metric of Figures 2(a) and 5(b) reads it).
     pub penultimate: Option<NodeId>,
+    /// Route SkipNode middle layers through the fused masked kernel
+    /// ([`Tape::skip_conv`]) when applicable. On by default; benchmarks
+    /// flip it off to A/B against the unfused op chain. Both paths produce
+    /// bit-identical outputs and draw identically from `rng`.
+    pub fuse: bool,
 }
 
 impl<'a> ForwardCtx<'a> {
@@ -135,7 +140,35 @@ impl<'a> ForwardCtx<'a> {
             train,
             rng,
             penultimate: None,
+            fuse: true,
         }
+    }
+
+    /// When the fused SkipNode kernel applies to a middle layer whose conv
+    /// output has shape `conv_shape` and whose skip branch has shape
+    /// `prev_shape`, sample and return the skip mask; `None` means the
+    /// caller must use the unfused `conv → relu → post_conv` chain.
+    ///
+    /// The mask is drawn at exactly the point [`ForwardCtx::post_conv`]
+    /// would draw it (after the shape-compatibility check), so fused and
+    /// unfused forwards consume identical RNG streams.
+    pub fn fused_skip_mask(
+        &mut self,
+        conv_shape: (usize, usize),
+        prev_shape: (usize, usize),
+    ) -> Option<Vec<bool>> {
+        if !self.fuse {
+            return None;
+        }
+        let cfg = match self.strategy {
+            Strategy::SkipNode(cfg) if self.train => cfg,
+            Strategy::SkipNodeTrainEval(cfg) => cfg,
+            _ => return None,
+        };
+        if conv_shape != prev_shape {
+            return None;
+        }
+        Some(cfg.sample_mask(self.degrees, self.rng))
     }
 
     /// Post-convolution hook for *middle* layers: applies PairNorm

@@ -1,6 +1,6 @@
 //! Vanilla GCN [5] and ResGCN (GCN + skip connections [33]).
 
-use super::{conv, Model};
+use super::{conv, conv_activated, Model};
 use crate::context::ForwardCtx;
 use crate::param::{Binding, ParamId, ParamStore};
 use skipnode_autograd::{NodeId, Tape};
@@ -111,15 +111,19 @@ impl Model for Gcn {
                 ctx.penultimate = Some(h);
             }
             let h_in = ctx.dropout(tape, h, self.dropout);
-            let z = conv(tape, ctx, binding, h_in, self.weights[l], self.biases[l]);
             if last {
-                h = z;
-            } else {
+                h = conv(tape, ctx, binding, h_in, self.weights[l], self.biases[l]);
+            } else if self.residual {
+                // The residual add sits between ReLU and post_conv, so this
+                // path stays on the unfused op chain.
+                let z = conv(tape, ctx, binding, h_in, self.weights[l], self.biases[l]);
                 let mut a = tape.relu(z);
-                if self.residual && tape.value(a).shape() == tape.value(h).shape() {
+                if tape.value(a).shape() == tape.value(h).shape() {
                     a = tape.add(a, h);
                 }
                 h = ctx.post_conv(tape, a, h);
+            } else {
+                h = conv_activated(tape, ctx, binding, h_in, h, self.weights[l], self.biases[l]);
             }
         }
         h

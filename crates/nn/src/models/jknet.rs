@@ -1,6 +1,6 @@
 //! JKNet [6]: jumping-knowledge network aggregating all layer outputs.
 
-use super::{conv, dense, Model};
+use super::{conv_activated, dense, Model};
 use crate::context::ForwardCtx;
 use crate::param::{Binding, ParamId, ParamStore};
 use skipnode_autograd::{NodeId, Tape};
@@ -88,9 +88,7 @@ impl Model for JkNet {
         let mut collected = Vec::with_capacity(self.layers());
         for l in 0..self.layers() {
             let h_in = ctx.dropout(tape, h, self.dropout);
-            let z = conv(tape, ctx, binding, h_in, self.weights[l], self.biases[l]);
-            let a = tape.relu(z);
-            let a = ctx.post_conv(tape, a, h);
+            let a = conv_activated(tape, ctx, binding, h_in, h, self.weights[l], self.biases[l]);
             collected.push(a);
             h = a;
         }

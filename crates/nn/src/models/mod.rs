@@ -195,6 +195,41 @@ pub(crate) fn conv(
     tape.add_bias(z, binding.node(b))
 }
 
+/// Shared helper: one *activated middle layer*
+/// `post_conv(relu(Ã · h_in · W + b), h_prev)`.
+///
+/// When the SkipNode strategy is active and the layer is hidden→hidden,
+/// this routes through the fused masked kernel
+/// ([`skipnode_autograd::Tape::skip_conv`]): skipped rows copy `h_prev`
+/// and never enter the SpMM/GEMM. Every other strategy — and shape-changing
+/// layers — takes the unfused op chain, so this helper is a drop-in for the
+/// `conv → relu → post_conv` sequence.
+pub(crate) fn conv_activated(
+    tape: &mut Tape,
+    ctx: &mut ForwardCtx,
+    binding: &Binding,
+    h_in: NodeId,
+    h_prev: NodeId,
+    w: crate::param::ParamId,
+    b: crate::param::ParamId,
+) -> NodeId {
+    let conv_shape = (tape.value(h_in).rows(), tape.value(binding.node(w)).cols());
+    let prev_shape = tape.value(h_prev).shape();
+    if let Some(mask) = ctx.fused_skip_mask(conv_shape, prev_shape) {
+        return tape.skip_conv(
+            ctx.adj,
+            h_in,
+            h_prev,
+            binding.node(w),
+            binding.node(b),
+            &mask,
+        );
+    }
+    let z = conv(tape, ctx, binding, h_in, w, b);
+    let a = tape.relu(z);
+    ctx.post_conv(tape, a, h_prev)
+}
+
 /// Shared helper: dense `h · W + b`.
 pub(crate) fn dense(
     tape: &mut Tape,

@@ -4,13 +4,48 @@
 //! [`skipnode_tensor::pool`] — no per-call thread spawn/join. Output rows are
 //! partitioned disjointly with a fixed per-row accumulation order, so results
 //! are bit-identical for every `SKIPNODE_THREADS` value.
+//!
+//! Partitioning is **nnz-balanced**: chunk boundaries are found by binary
+//! search on `indptr` so every pooled worker receives roughly the same
+//! number of nonzeros, not the same number of rows. On degree-skewed graphs
+//! (Barabási–Albert hubs, DC-SBM, real citation data) equal-row chunking
+//! leaves most workers idle behind the one that drew the hub rows; equal-nnz
+//! chunking balances them. Boundaries are cached per `(matrix, chunk_count)`
+//! inside the matrix, so steady-state training epochs pay zero partitioning
+//! cost.
+//!
+//! Two masked kernels serve SkipNode's fused layer op:
+//! [`CsrMatrix::spmm_rows_subset`] computes only a caller-given set of
+//! output rows (compacted), and [`CsrMatrix::spmm_cols_compact`] multiplies
+//! against a row-compacted dense operand, skipping masked columns — together
+//! they make a skip ratio of `p` cut ~`p` of the propagation flops in both
+//! the forward and backward pass.
 
+use crate::stats;
 use skipnode_tensor::{pool, workspace, Matrix};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Below this many multiply-adds (`nnz * feature_dim`), SpMM stays serial.
 const SPMM_PARALLEL_THRESHOLD: usize = 1 << 18;
 /// Below this many multiply-adds (`nnz`), SpMV stays serial.
 const SPMV_PARALLEL_THRESHOLD: usize = 1 << 16;
+
+/// Sentinel in a compact column map marking a masked (skipped) column.
+pub const COL_SKIP: u32 = u32::MAX;
+
+/// Lazily computed per-matrix metadata. Deliberately excluded from
+/// equality/cloning: it is a cache of derived quantities, not state.
+#[derive(Default)]
+struct CsrCache {
+    /// Whether the matrix equals its transpose (tolerance 1e-6).
+    symmetric: OnceLock<bool>,
+    /// Materialized transpose, shared with every consumer.
+    transpose: OnceLock<Arc<CsrMatrix>>,
+    /// nnz-balanced row boundaries keyed by chunk count. The pool resolves
+    /// its thread count once per process, so in practice this holds one or
+    /// two entries; a tiny scan beats hashing.
+    partitions: Mutex<Vec<(usize, Arc<Vec<usize>>)>>,
+}
 
 /// A CSR sparse matrix of `f32` values.
 ///
@@ -18,13 +53,49 @@ const SPMV_PARALLEL_THRESHOLD: usize = 1 << 16;
 /// - `indptr.len() == rows + 1`, `indptr[0] == 0`, non-decreasing;
 /// - `indices.len() == values.len() == indptr[rows]`;
 /// - column indices within each row are strictly increasing and `< cols`.
-#[derive(Debug, Clone, PartialEq)]
 pub struct CsrMatrix {
     rows: usize,
     cols: usize,
     indptr: Vec<usize>,
     indices: Vec<u32>,
     values: Vec<f32>,
+    cache: CsrCache,
+}
+
+impl Clone for CsrMatrix {
+    fn clone(&self) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            indptr: self.indptr.clone(),
+            indices: self.indices.clone(),
+            values: self.values.clone(),
+            // Derived caches are recomputed on demand by the clone.
+            cache: CsrCache::default(),
+        }
+    }
+}
+
+impl PartialEq for CsrMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.indptr == other.indptr
+            && self.indices == other.indices
+            && self.values == other.values
+    }
+}
+
+impl std::fmt::Debug for CsrMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CsrMatrix")
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .field("indptr", &self.indptr)
+            .field("indices", &self.indices)
+            .field("values", &self.values)
+            .finish()
+    }
 }
 
 impl CsrMatrix {
@@ -59,6 +130,7 @@ impl CsrMatrix {
             indptr,
             indices,
             values,
+            cache: CsrCache::default(),
         }
     }
 
@@ -70,6 +142,7 @@ impl CsrMatrix {
             indptr: vec![0; rows + 1],
             indices: Vec::new(),
             values: Vec::new(),
+            cache: CsrCache::default(),
         }
     }
 
@@ -81,6 +154,7 @@ impl CsrMatrix {
             indptr: (0..=n).collect(),
             indices: (0..n as u32).collect(),
             values: vec![1.0; n],
+            cache: CsrCache::default(),
         }
     }
 
@@ -173,12 +247,42 @@ impl CsrMatrix {
             self.spmm_rows(x, out.as_mut_slice(), 0, self.rows);
             return;
         }
-        let rows = self.rows.div_ceil(pool::chunk_count(self.rows));
-        let total = self.rows;
-        pool::par_chunks_mut(out.as_mut_slice(), rows * d, |idx, block| {
-            let begin = idx * rows;
-            self.spmm_rows(x, block, begin, (begin + rows).min(total));
+        let bounds = self.nnz_partition(pool::chunk_count(self.rows));
+        let elem_bounds: Vec<usize> = bounds.iter().map(|&r| r * d).collect();
+        pool::par_ranges_mut(out.as_mut_slice(), &elem_bounds, |idx, block| {
+            self.spmm_rows(x, block, bounds[idx], bounds[idx + 1]);
         });
+    }
+
+    /// nnz-balanced row boundaries for `chunks` chunks: `chunks + 1`
+    /// non-decreasing row indices starting at 0 and ending at `rows`, chosen
+    /// by binary search on `indptr` so each range `[b[i], b[i+1])` holds
+    /// ~`nnz / chunks` stored entries. Cached per `(matrix, chunk_count)` —
+    /// steady-state epochs pay only an `Arc` clone.
+    pub fn nnz_partition(&self, chunks: usize) -> Arc<Vec<usize>> {
+        let chunks = chunks.max(1);
+        let mut cached = self
+            .cache
+            .partitions
+            .lock()
+            .expect("partition cache poisoned");
+        if let Some((_, bounds)) = cached.iter().find(|(c, _)| *c == chunks) {
+            return Arc::clone(bounds);
+        }
+        let nnz = self.nnz();
+        let mut bounds = Vec::with_capacity(chunks + 1);
+        bounds.push(0);
+        for i in 1..chunks {
+            let target = i * nnz / chunks;
+            // First row whose prefix-nnz reaches the target; clamp to keep
+            // boundaries non-decreasing when many rows are empty.
+            let b = self.indptr.partition_point(|&p| p < target).min(self.rows);
+            bounds.push(b.max(*bounds.last().unwrap()));
+        }
+        bounds.push(self.rows);
+        let bounds = Arc::new(bounds);
+        cached.push((chunks, Arc::clone(&bounds)));
+        bounds
     }
 
     /// Serial reference kernel for output rows `[row_begin, row_end)` of
@@ -186,6 +290,7 @@ impl CsrMatrix {
     /// contents are ignored); the pooled paths partition rows disjointly
     /// over this kernel.
     pub fn spmm_rows(&self, x: &Matrix, out: &mut [f32], row_begin: usize, row_end: usize) {
+        stats::record_spmm_rows(row_end - row_begin);
         let d = x.cols();
         for (local, r) in (row_begin..row_end).enumerate() {
             let (cols, vals) = self.row(r);
@@ -200,6 +305,120 @@ impl CsrMatrix {
         }
     }
 
+    /// `self * x` computed **only** for the output rows listed in `rows`
+    /// (sorted, duplicate-free), written compacted: row `k` of `out` is
+    /// output row `rows[k]`. This is the forward half of SkipNode's fused
+    /// layer kernel — skipped rows never enter the product. Pooled with
+    /// nnz-balanced chunking over the subset; per-row accumulation order is
+    /// identical to [`CsrMatrix::spmm_rows`], so computed rows match the
+    /// full product bit-for-bit.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or an out-of-range row index.
+    pub fn spmm_rows_subset(&self, x: &Matrix, rows: &[u32], out: &mut Matrix) {
+        assert_eq!(self.cols, x.rows(), "spmm_rows_subset inner dimension");
+        assert_eq!(
+            out.shape(),
+            (rows.len(), x.cols()),
+            "spmm_rows_subset out shape"
+        );
+        let d = x.cols();
+        if d == 0 || rows.is_empty() {
+            return;
+        }
+        // Prefix nonzero counts over the subset drive the balance.
+        let mut cum = Vec::with_capacity(rows.len() + 1);
+        cum.push(0usize);
+        for &r in rows {
+            let r = r as usize;
+            assert!(r < self.rows, "spmm_rows_subset row out of range");
+            cum.push(cum.last().unwrap() + self.row_nnz(r));
+        }
+        let sub_nnz = *cum.last().unwrap();
+        let kernel = |out: &mut [f32], lo: usize, hi: usize| {
+            stats::record_spmm_rows(hi - lo);
+            for (local, &r) in rows[lo..hi].iter().enumerate() {
+                let (cols, vals) = self.row(r as usize);
+                let out_row = &mut out[local * d..(local + 1) * d];
+                out_row.fill(0.0);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    let x_row = x.row(c as usize);
+                    for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                        *o += v * xv;
+                    }
+                }
+            }
+        };
+        if sub_nnz * d < SPMM_PARALLEL_THRESHOLD || rows.len() <= 1 {
+            kernel(out.as_mut_slice(), 0, rows.len());
+            return;
+        }
+        let chunks = pool::chunk_count(rows.len());
+        let mut bounds = Vec::with_capacity(chunks + 1);
+        bounds.push(0usize);
+        for i in 1..chunks {
+            let target = i * sub_nnz / chunks;
+            let b = cum.partition_point(|&p| p < target).min(rows.len());
+            bounds.push(b.max(*bounds.last().unwrap()));
+        }
+        bounds.push(rows.len());
+        let elem_bounds: Vec<usize> = bounds.iter().map(|&k| k * d).collect();
+        pool::par_ranges_mut(out.as_mut_slice(), &elem_bounds, |idx, block| {
+            kernel(block, bounds[idx], bounds[idx + 1]);
+        });
+    }
+
+    /// `self * X̂` where `X̂` is given row-compacted: `col_map[c]` is the row
+    /// of `x_compact` holding logical row `c` of `X̂`, or [`COL_SKIP`] if
+    /// that row is all-zero (masked). Masked columns are skipped instead of
+    /// multiplied by zero — the backward half of SkipNode's fused kernel,
+    /// where only non-skipped rows carry gradient. Skipping an exactly-zero
+    /// contribution leaves every finite accumulation unchanged, and the
+    /// surviving terms keep their fixed order, so results are deterministic
+    /// across thread counts.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or a stale (out-of-range) map entry.
+    pub fn spmm_cols_compact(&self, x_compact: &Matrix, col_map: &[u32], out: &mut Matrix) {
+        assert_eq!(col_map.len(), self.cols, "spmm_cols_compact map length");
+        assert_eq!(
+            out.shape(),
+            (self.rows, x_compact.cols()),
+            "spmm_cols_compact out shape"
+        );
+        let d = x_compact.cols();
+        if d == 0 {
+            return;
+        }
+        let kernel = |out: &mut [f32], row_begin: usize, row_end: usize| {
+            stats::record_spmm_rows(row_end - row_begin);
+            for (local, r) in (row_begin..row_end).enumerate() {
+                let (cols, vals) = self.row(r);
+                let out_row = &mut out[local * d..(local + 1) * d];
+                out_row.fill(0.0);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    let m = col_map[c as usize];
+                    if m == COL_SKIP {
+                        continue;
+                    }
+                    let x_row = x_compact.row(m as usize);
+                    for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                        *o += v * xv;
+                    }
+                }
+            }
+        };
+        if self.nnz() * d < SPMM_PARALLEL_THRESHOLD || self.rows <= 1 {
+            kernel(out.as_mut_slice(), 0, self.rows);
+            return;
+        }
+        let bounds = self.nnz_partition(pool::chunk_count(self.rows));
+        let elem_bounds: Vec<usize> = bounds.iter().map(|&r| r * d).collect();
+        pool::par_ranges_mut(out.as_mut_slice(), &elem_bounds, |idx, block| {
+            kernel(block, bounds[idx], bounds[idx + 1]);
+        });
+    }
+
     /// Sparse × dense-vector product into a caller buffer (used by the
     /// spectral power iteration to avoid per-step allocation). Pooled over
     /// disjoint output ranges for large matrices.
@@ -210,9 +429,9 @@ impl CsrMatrix {
             self.spmv_rows(x, out, 0);
             return;
         }
-        let rows = self.rows.div_ceil(pool::chunk_count(self.rows));
-        pool::par_chunks_mut(out, rows, |idx, block| {
-            self.spmv_rows(x, block, idx * rows);
+        let bounds = self.nnz_partition(pool::chunk_count(self.rows));
+        pool::par_ranges_mut(out, &bounds, |idx, block| {
+            self.spmv_rows(x, block, bounds[idx]);
         });
     }
 
@@ -267,6 +486,44 @@ impl CsrMatrix {
             .iter()
             .zip(&t.values)
             .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Cached symmetry test (tolerance 1e-6, the value the autograd tape
+    /// uses). The first call pays one O(nnz) transpose; every later call —
+    /// e.g. `Tape::register_adj` on the same adjacency each epoch — is a
+    /// flag read. An asymmetric matrix seeds [`CsrMatrix::transpose_arc`]
+    /// with the transpose it had to build anyway.
+    pub fn is_symmetric_cached(&self) -> bool {
+        *self.cache.symmetric.get_or_init(|| {
+            if self.rows != self.cols {
+                return false;
+            }
+            let t = self.transpose();
+            let symmetric = t.indptr == self.indptr
+                && t.indices == self.indices
+                && self
+                    .values
+                    .iter()
+                    .zip(&t.values)
+                    .all(|(a, b)| (a - b).abs() <= 1e-6);
+            if !symmetric {
+                // Symmetric matrices reuse themselves in backward; only
+                // asymmetric ones need the transpose kept alive.
+                let _ = self.cache.transpose.set(Arc::new(t));
+            }
+            symmetric
+        })
+    }
+
+    /// Shared, cached transpose. Computed at most once per matrix; reuses
+    /// the transpose built by [`CsrMatrix::is_symmetric_cached`] when that
+    /// ran first.
+    pub fn transpose_arc(&self) -> Arc<CsrMatrix> {
+        Arc::clone(
+            self.cache
+                .transpose
+                .get_or_init(|| Arc::new(self.transpose())),
+        )
     }
 
     /// Out-degree-style row sums (for symmetric adjacency: node degrees).

@@ -12,14 +12,19 @@
 //!   (per-component `sqrt(deg+1)` eigenvectors of `Ã` at eigenvalue 1), the
 //!   distance `d_M(X)`, and `λ` — the second-largest eigenvalue magnitude
 //!   that drives the paper's `(sλ)^L` convergence bound.
+//!
+//! See `src/README.md` for the sparse propagation engine's partitioning and
+//! masked-kernel design (nnz balancing, [`CsrMatrix::spmm_rows_subset`],
+//! [`CsrMatrix::spmm_cols_compact`], cached symmetry/transpose metadata).
 
 mod build;
 mod csr;
 mod normalize;
 mod spectral;
+pub mod stats;
 
 pub use build::{dedup_undirected_edges, CooBuilder};
-pub use csr::CsrMatrix;
+pub use csr::{CsrMatrix, COL_SKIP};
 pub use normalize::{
     gcn_adjacency, gcn_adjacency_filtered, gcn_adjacency_with_node_mask, row_normalized_adjacency,
 };

@@ -285,6 +285,42 @@ where
     });
 }
 
+/// Split `data` at the element offsets in `bounds` (`bounds[0] == 0`,
+/// `bounds.last() == data.len()`, non-decreasing) and run `f(chunk_index,
+/// chunk)` for each range `[bounds[i], bounds[i+1])` on the pool. Unlike
+/// [`par_chunks_mut`], chunks may have *unequal* lengths — this is the entry
+/// point for nnz-balanced sparse kernels, whose row ranges are chosen by
+/// nonzero count rather than row count. Empty ranges are dispatched (with an
+/// empty slice) so chunk indices stay aligned with `bounds`.
+pub fn par_ranges_mut<T, F>(data: &mut [T], bounds: &[usize], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(bounds.len() >= 2, "par_ranges_mut needs at least one range");
+    assert_eq!(bounds[0], 0, "par_ranges_mut bounds must start at 0");
+    assert_eq!(
+        *bounds.last().unwrap(),
+        data.len(),
+        "par_ranges_mut bounds must end at data.len()"
+    );
+    debug_assert!(
+        bounds.windows(2).all(|w| w[0] <= w[1]),
+        "par_ranges_mut bounds must be non-decreasing"
+    );
+    let chunks = bounds.len() - 1;
+    let base = data.as_mut_ptr() as usize;
+    parallel_for(chunks, |idx| {
+        let start = bounds[idx];
+        let len = bounds[idx + 1] - start;
+        // SAFETY: bounds are non-decreasing, so ranges are disjoint; `data`
+        // outlives this call because `parallel_for` blocks until every
+        // chunk ran.
+        let chunk = unsafe { std::slice::from_raw_parts_mut((base as *mut T).add(start), len) };
+        f(idx, chunk);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +346,21 @@ mod tests {
         for (i, &v) in data.iter().enumerate() {
             assert_eq!(v, 1 + (i / 7) as u32, "element {i}");
         }
+    }
+
+    #[test]
+    fn par_ranges_mut_handles_unequal_and_empty_ranges() {
+        let mut data = vec![0u32; 100];
+        // Skewed split: one huge range, several tiny ones, one empty.
+        let bounds = [0usize, 80, 80, 85, 100];
+        par_ranges_mut(&mut data, &bounds, |idx, chunk| {
+            for v in chunk {
+                *v = idx as u32 + 1;
+            }
+        });
+        assert!(data[..80].iter().all(|&v| v == 1));
+        assert!(data[80..85].iter().all(|&v| v == 3));
+        assert!(data[85..].iter().all(|&v| v == 4));
     }
 
     #[test]
