@@ -50,10 +50,14 @@ impl AttentionGraph {
 
 pub(crate) struct GatCache {
     pub graph: AttentionGraph,
-    /// α_uv per destination, aligned with `graph.sources(v)`.
+    /// α_uv per destination, aligned with `graph.sources(v)` (empty on an
+    /// inference tape, which never runs the backward).
     pub alphas: Vec<Vec<f32>>,
     /// LeakyReLU derivative per (v, u) pair (1.0 or `slope`).
     pub leaky_grad: Vec<Vec<f32>>,
+    /// LeakyReLU slope, kept so the deferred inference executor can rerun
+    /// [`gat_forward`] from the op record alone.
+    pub slope: f32,
 }
 
 /// Forward attention aggregation, cached for the backward pass.
@@ -157,6 +161,28 @@ impl Tape {
         graph: &AttentionGraph,
         slope: f32,
     ) -> NodeId {
+        let n = graph.nodes();
+        assert_eq!(self.shape(h).0, n, "feature rows");
+        assert_eq!(self.shape(s_src), (n, 1), "s_src must be n×1");
+        assert_eq!(self.shape(s_dst), (n, 1), "s_dst must be n×1");
+        if self.is_inference() {
+            let cols = self.shape(h).1;
+            return self.push_pending(
+                n,
+                cols,
+                Op::GatAggregate {
+                    h,
+                    s_src,
+                    s_dst,
+                    cache: Box::new(GatCache {
+                        graph: graph.clone(),
+                        alphas: Vec::new(),
+                        leaky_grad: Vec::new(),
+                        slope,
+                    }),
+                },
+            );
+        }
         let (value, alphas, leaky_grad) = gat_forward(
             self.value(h),
             self.value(s_src),
@@ -175,6 +201,7 @@ impl Tape {
                     graph: graph.clone(),
                     alphas,
                     leaky_grad,
+                    slope,
                 }),
             },
             rg,

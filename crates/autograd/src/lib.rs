@@ -27,6 +27,7 @@
 
 mod attention;
 mod gradcheck;
+mod infer;
 mod loss;
 mod ops;
 mod tape;

@@ -1,16 +1,76 @@
 //! Forward op constructors on [`Tape`].
+//!
+//! Every constructor has two modes. On a training tape the value is
+//! computed eagerly and retained for backward. On an inference tape
+//! ([`Tape::inference`]) the constructor performs the same shape checks and
+//! draws the same RNG values (masks are part of the op record either way),
+//! but pushes a shape-only placeholder; [`Tape::run`] materializes it later
+//! with operand liveness, so intermediates can be recycled the moment their
+//! last consumer has run.
 
 use crate::tape::{pairnorm_forward, AdjId, NodeId, Op, SkipConvCache, Tape};
-use skipnode_sparse::COL_SKIP;
+use skipnode_sparse::{CsrMatrix, COL_SKIP};
 use skipnode_tensor::{workspace, Matrix, SplitRng};
+
+/// Compute the fused SkipNode layer value: `row_combine(relu(Ã·x·W + b),
+/// skip, mask)` with the SpMM/GEMM restricted to the active (non-skipped)
+/// rows. Returns `(value, p_active)` where `p_active` is the compact
+/// `(Ã x)` gather kept for the backward `dW` product. Shared between the
+/// eager constructor and the inference executor so the two paths cannot
+/// drift (they are asserted bit-identical by the equivalence tests).
+pub(crate) fn skip_conv_compute(
+    mat: &CsrMatrix,
+    xv: &Matrix,
+    wv: &Matrix,
+    bv: &Matrix,
+    sv: &Matrix,
+    active: &[u32],
+    col_map: &[u32],
+) -> (Matrix, Matrix) {
+    let n = col_map.len();
+    let d_out = wv.cols();
+    // Compact gather: P = (Ã x) on active rows only.
+    let mut p_active = workspace::take_scratch(active.len(), xv.cols());
+    mat.spmm_rows_subset(xv, active, &mut p_active);
+    // Compact conv: Z = relu(P·W + b), |active| × d_out.
+    let mut z = workspace::take_scratch(active.len(), d_out);
+    p_active.matmul_into(wv, &mut z);
+    for local in 0..z.rows() {
+        for (v, &bias) in z.row_mut(local).iter_mut().zip(bv.row(0)) {
+            *v = (*v + bias).max(0.0);
+        }
+    }
+    // Scatter: skipped rows copy the skip branch verbatim.
+    let mut value = workspace::take_scratch(n, d_out);
+    for (r, &m) in col_map.iter().enumerate() {
+        let src = if m == COL_SKIP {
+            sv.row(r)
+        } else {
+            z.row(m as usize)
+        };
+        value.row_mut(r).copy_from_slice(src);
+    }
+    workspace::give(z);
+    (value, p_active)
+}
 
 impl Tape {
     fn rg(&self, id: NodeId) -> bool {
         self.requires_grad(id)
     }
 
+    fn infer(&self) -> bool {
+        self.is_inference()
+    }
+
     /// Dense product `a * b`.
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (rows, inner) = self.shape(a);
+        let (b_rows, cols) = self.shape(b);
+        assert_eq!(inner, b_rows, "matmul shape mismatch");
+        if self.infer() {
+            return self.push_pending(rows, cols, Op::MatMul(a, b));
+        }
         let value = self.value(a).matmul(self.value(b));
         let rg = self.rg(a) || self.rg(b);
         self.push(value, Op::MatMul(a, b), rg)
@@ -18,6 +78,11 @@ impl Tape {
 
     /// Sparse propagation `Ã * x`.
     pub fn spmm(&mut self, adj: AdjId, x: NodeId) -> NodeId {
+        let rows = self.adjs[adj.0].mat.rows();
+        let cols = self.shape(x).1;
+        if self.infer() {
+            return self.push_pending(rows, cols, Op::Spmm { adj: adj.0, x });
+        }
         let value = self.adjs[adj.0].mat.spmm(self.value(x));
         let rg = self.rg(x);
         self.push(value, Op::Spmm { adj: adj.0, x }, rg)
@@ -30,11 +95,11 @@ impl Tape {
 
     /// `a + c * b`.
     pub fn add_scaled(&mut self, a: NodeId, b: NodeId, c: f32) -> NodeId {
-        assert_eq!(
-            self.value(a).shape(),
-            self.value(b).shape(),
-            "add_scaled shape mismatch"
-        );
+        let (rows, cols) = self.shape(a);
+        assert_eq!((rows, cols), self.shape(b), "add_scaled shape mismatch");
+        if self.infer() {
+            return self.push_pending(rows, cols, Op::AddScaled(a, b, c));
+        }
         let mut value = workspace::take_copy(self.value(a));
         value.add_scaled(self.value(b), c);
         let rg = self.rg(a) || self.rg(b);
@@ -43,6 +108,10 @@ impl Tape {
 
     /// `c * x`.
     pub fn scale(&mut self, x: NodeId, c: f32) -> NodeId {
+        if self.infer() {
+            let (rows, cols) = self.shape(x);
+            return self.push_pending(rows, cols, Op::Scale(x, c));
+        }
         let value = self.value(x) * c;
         let rg = self.rg(x);
         self.push(value, Op::Scale(x, c), rg)
@@ -50,13 +119,16 @@ impl Tape {
 
     /// Broadcast bias add: `x (n×d) + bias (1×d)`.
     pub fn add_bias(&mut self, x: NodeId, bias: NodeId) -> NodeId {
-        let b = self.value(bias);
-        assert_eq!(b.rows(), 1, "bias must be a row vector");
-        assert_eq!(b.cols(), self.value(x).cols(), "bias width mismatch");
+        let (rows, cols) = self.shape(x);
+        assert_eq!(self.shape(bias).0, 1, "bias must be a row vector");
+        assert_eq!(self.shape(bias).1, cols, "bias width mismatch");
+        if self.infer() {
+            return self.push_pending(rows, cols, Op::AddBias(x, bias));
+        }
         let mut value = workspace::take_copy(self.value(x));
         for r in 0..value.rows() {
             let row = value.row_mut(r);
-            for (v, &bv) in row.iter_mut().zip(self.nodes[bias.0].value.row(0)) {
+            for (v, &bv) in row.iter_mut().zip(self.val(bias.0).row(0)) {
                 *v += bv;
             }
         }
@@ -66,6 +138,10 @@ impl Tape {
 
     /// Elementwise ReLU.
     pub fn relu(&mut self, x: NodeId) -> NodeId {
+        if self.infer() {
+            let (rows, cols) = self.shape(x);
+            return self.push_pending(rows, cols, Op::Relu(x));
+        }
         let value = self.value(x).relu();
         let rg = self.rg(x);
         self.push(value, Op::Relu(x), rg)
@@ -78,10 +154,15 @@ impl Tape {
             return x;
         }
         let scale = (1.0 / (1.0 - p)) as f32;
-        let len = self.value(x).len();
-        let mask: Vec<f32> = (0..len)
+        let (rows, cols) = self.shape(x);
+        // The mask is drawn in both modes, so eager and inference forwards
+        // consume identical RNG streams.
+        let mask: Vec<f32> = (0..rows * cols)
             .map(|_| if rng.bernoulli(p) { 0.0 } else { scale })
             .collect();
+        if self.infer() {
+            return self.push_pending(rows, cols, Op::Mask { x, mask });
+        }
         let mut value = workspace::take_copy(self.value(x));
         for (v, &m) in value.as_mut_slice().iter_mut().zip(&mask) {
             *v *= m;
@@ -98,10 +179,13 @@ impl Tape {
             return x;
         }
         let scale = (1.0 / (1.0 - p)) as f32;
-        let rows = self.value(x).rows();
+        let (rows, cols) = self.shape(x);
         let factors: Vec<f32> = (0..rows)
             .map(|_| if rng.bernoulli(p) { 0.0 } else { scale })
             .collect();
+        if self.infer() {
+            return self.push_pending(rows, cols, Op::RowMask { x, factors });
+        }
         let mut value = workspace::take_copy(self.value(x));
         for (r, &f) in factors.iter().enumerate() {
             for v in value.row_mut(r) {
@@ -117,22 +201,24 @@ impl Tape {
     /// branch supplied the row — this is what lets gradients bypass deep
     /// stacks of weight multiplications.
     pub fn row_combine(&mut self, conv: NodeId, skip: NodeId, take_skip: &[bool]) -> NodeId {
-        assert_eq!(
-            self.value(conv).shape(),
-            self.value(skip).shape(),
-            "row_combine shape mismatch"
-        );
-        assert_eq!(
-            take_skip.len(),
-            self.value(conv).rows(),
-            "row_combine mask length"
-        );
+        let (rows, cols) = self.shape(conv);
+        assert_eq!((rows, cols), self.shape(skip), "row_combine shape mismatch");
+        assert_eq!(take_skip.len(), rows, "row_combine mask length");
+        if self.infer() {
+            return self.push_pending(
+                rows,
+                cols,
+                Op::RowCombine {
+                    conv,
+                    skip,
+                    take_skip: take_skip.to_vec(),
+                },
+            );
+        }
         let mut value = workspace::take_copy(self.value(conv));
         for (r, &take) in take_skip.iter().enumerate() {
             if take {
-                value
-                    .row_mut(r)
-                    .copy_from_slice(self.nodes[skip.0].value.row(r));
+                value.row_mut(r).copy_from_slice(self.val(skip.0).row(r));
             }
         }
         let rg = self.rg(conv) || self.rg(skip);
@@ -168,16 +254,21 @@ impl Tape {
         b: NodeId,
         take_skip: &[bool],
     ) -> NodeId {
-        let n = self.value(x).rows();
-        let d_out = self.value(w).cols();
+        let n = self.shape(x).0;
+        let d_out = self.shape(w).1;
         assert_eq!(take_skip.len(), n, "skip_conv mask length");
         assert_eq!(
-            self.value(skip).shape(),
+            self.shape(skip),
             (n, d_out),
             "skip_conv skip branch must match the conv output shape"
         );
-        assert_eq!(self.value(b).rows(), 1, "bias must be a row vector");
-        assert_eq!(self.value(b).cols(), d_out, "bias width mismatch");
+        assert_eq!(self.shape(b).0, 1, "bias must be a row vector");
+        assert_eq!(self.shape(b).1, d_out, "bias width mismatch");
+        assert_eq!(
+            self.adjs[adj.0].mat.rows(),
+            n,
+            "skip_conv adjacency row count"
+        );
 
         let mut active = Vec::with_capacity(n);
         let mut col_map = vec![COL_SKIP; n];
@@ -188,36 +279,39 @@ impl Tape {
             }
         }
 
+        if self.infer() {
+            // The active/col_map structure only depends on the mask, so the
+            // deferred executor can run the fused kernel later; `p_active`
+            // is a backward-only cache and stays empty.
+            return self.push_pending(
+                n,
+                d_out,
+                Op::SkipConv {
+                    adj: adj.0,
+                    x,
+                    skip,
+                    w,
+                    b,
+                    cache: Box::new(SkipConvCache {
+                        active,
+                        col_map,
+                        p_active: Matrix::zeros(0, 0),
+                    }),
+                },
+            );
+        }
+
         let (value, cache) = {
             let mat = &self.adjs[adj.0].mat;
-            let xv = &self.nodes[x.0].value;
-            let wv = &self.nodes[w.0].value;
-            let bv = &self.nodes[b.0].value;
-            let sv = &self.nodes[skip.0].value;
-            assert_eq!(mat.rows(), n, "skip_conv adjacency row count");
-
-            // Compact gather: P = (Ã x) on active rows only.
-            let mut p_active = workspace::take_scratch(active.len(), xv.cols());
-            mat.spmm_rows_subset(xv, &active, &mut p_active);
-            // Compact conv: Z = relu(P·W + b), |active| × d_out.
-            let mut z = workspace::take_scratch(active.len(), d_out);
-            p_active.matmul_into(wv, &mut z);
-            for local in 0..z.rows() {
-                for (v, &bias) in z.row_mut(local).iter_mut().zip(bv.row(0)) {
-                    *v = (*v + bias).max(0.0);
-                }
-            }
-            // Scatter: skipped rows copy the skip branch verbatim.
-            let mut value = workspace::take_scratch(n, d_out);
-            for (r, &m) in col_map.iter().enumerate() {
-                let src = if m == COL_SKIP {
-                    sv.row(r)
-                } else {
-                    z.row(m as usize)
-                };
-                value.row_mut(r).copy_from_slice(src);
-            }
-            workspace::give(z);
+            let (value, p_active) = skip_conv_compute(
+                mat,
+                self.val(x.0),
+                self.val(w.0),
+                self.val(b.0),
+                self.val(skip.0),
+                &active,
+                &col_map,
+            );
             (
                 value,
                 Box::new(SkipConvCache {
@@ -245,6 +339,11 @@ impl Tape {
     /// Column-wise concatenation (JKNet's layer aggregation).
     pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
         assert!(!parts.is_empty(), "concat of zero parts");
+        let rows = self.shape(parts[0]).0;
+        let cols = parts.iter().map(|&p| self.shape(p).1).sum();
+        if self.infer() {
+            return self.push_pending(rows, cols, Op::ConcatCols(parts.to_vec()));
+        }
         let mats: Vec<&Matrix> = parts.iter().map(|&p| self.value(p)).collect();
         let value = Matrix::hcat(&mats);
         let rg = parts.iter().any(|&p| self.rg(p));
@@ -254,9 +353,21 @@ impl Tape {
     /// Elementwise max across same-shaped inputs (JKNet max aggregation).
     pub fn max_pool(&mut self, parts: &[NodeId]) -> NodeId {
         assert!(!parts.is_empty(), "max_pool of zero parts");
-        let shape = self.value(parts[0]).shape();
+        let shape = self.shape(parts[0]);
         for &p in parts {
-            assert_eq!(self.value(p).shape(), shape, "max_pool shape mismatch");
+            assert_eq!(self.shape(p), shape, "max_pool shape mismatch");
+        }
+        if self.infer() {
+            // `argmax` is a backward-only record; the executor recomputes
+            // the max directly.
+            return self.push_pending(
+                shape.0,
+                shape.1,
+                Op::MaxPool {
+                    xs: parts.to_vec(),
+                    argmax: Vec::new(),
+                },
+            );
         }
         let len = self.value(parts[0]).len();
         let mut value = workspace::take_copy(self.value(parts[0]));
@@ -283,6 +394,10 @@ impl Tape {
 
     /// PairNorm center-and-scale with target scale `s`.
     pub fn pairnorm(&mut self, x: NodeId, s: f32) -> NodeId {
+        if self.infer() {
+            let (rows, cols) = self.shape(x);
+            return self.push_pending(rows, cols, Op::PairNorm { x, s });
+        }
         let value = pairnorm_forward(self.value(x), s);
         let rg = self.rg(x);
         self.push(value, Op::PairNorm { x, s }, rg)
@@ -290,6 +405,11 @@ impl Tape {
 
     /// Elementwise product.
     pub fn hadamard(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (rows, cols) = self.shape(a);
+        assert_eq!((rows, cols), self.shape(b), "hadamard shape mismatch");
+        if self.infer() {
+            return self.push_pending(rows, cols, Op::Hadamard(a, b));
+        }
         let value = self.value(a).zip(self.value(b), |x, y| x * y);
         let rg = self.rg(a) || self.rg(b);
         self.push(value, Op::Hadamard(a, b), rg)
@@ -298,10 +418,15 @@ impl Tape {
     /// Fixed-coefficient linear combination `Σ c_k * x_k`.
     pub fn lin_comb(&mut self, parts: &[(NodeId, f32)]) -> NodeId {
         assert!(!parts.is_empty(), "lin_comb of zero parts");
-        let shape = self.value(parts[0].0).shape();
+        let shape = self.shape(parts[0].0);
+        for &(p, _) in parts {
+            assert_eq!(self.shape(p), shape, "lin_comb shape mismatch");
+        }
+        if self.infer() {
+            return self.push_pending(shape.0, shape.1, Op::LinComb(parts.to_vec()));
+        }
         let mut value = workspace::take(shape.0, shape.1);
         for &(p, c) in parts {
-            assert_eq!(self.value(p).shape(), shape, "lin_comb shape mismatch");
             value.add_scaled(self.value(p), c);
         }
         let rg = parts.iter().any(|&(p, _)| self.rg(p));
@@ -312,14 +437,18 @@ impl Tape {
     /// generalized-PageRank coefficients).
     pub fn weighted_sum(&mut self, xs: &[NodeId], w: NodeId) -> NodeId {
         assert!(!xs.is_empty(), "weighted_sum of zero parts");
-        let wv = self.value(w);
-        assert_eq!(wv.rows(), 1, "weights must be a row vector");
-        assert_eq!(wv.cols(), xs.len(), "one weight per input");
-        let shape = self.value(xs[0]).shape();
+        assert_eq!(self.shape(w).0, 1, "weights must be a row vector");
+        assert_eq!(self.shape(w).1, xs.len(), "one weight per input");
+        let shape = self.shape(xs[0]);
+        for &x in xs {
+            assert_eq!(self.shape(x), shape, "weighted_sum shape mismatch");
+        }
+        if self.infer() {
+            return self.push_pending(shape.0, shape.1, Op::WeightedSum { xs: xs.to_vec(), w });
+        }
         let coef: Vec<f32> = (0..xs.len()).map(|k| self.value(w).get(0, k)).collect();
         let mut value = workspace::take(shape.0, shape.1);
         for (&x, &c) in xs.iter().zip(&coef) {
-            assert_eq!(self.value(x).shape(), shape, "weighted_sum shape mismatch");
             value.add_scaled(self.value(x), c);
         }
         let rg = xs.iter().any(|&p| self.rg(p)) || self.rg(w);
@@ -329,10 +458,23 @@ impl Tape {
     /// Per-edge dot-product scores `h_u · h_v` as an `m×1` column (the
     /// link-prediction decoder).
     pub fn edge_score(&mut self, h: NodeId, edges: &[(usize, usize)]) -> NodeId {
+        let rows = self.shape(h).0;
+        for &(u, v) in edges {
+            assert!(u < rows && v < rows, "edge endpoint out of range");
+        }
+        if self.infer() {
+            return self.push_pending(
+                edges.len(),
+                1,
+                Op::EdgeScore {
+                    h,
+                    edges: edges.to_vec(),
+                },
+            );
+        }
         let hv = self.value(h);
         let mut value = workspace::take(edges.len(), 1);
         for (e, &(u, v)) in edges.iter().enumerate() {
-            assert!(u < hv.rows() && v < hv.rows(), "edge endpoint out of range");
             let dot: f32 = hv.row(u).iter().zip(hv.row(v)).map(|(&a, &b)| a * b).sum();
             value.set(e, 0, dot);
         }

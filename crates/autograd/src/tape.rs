@@ -121,8 +121,45 @@ pub(crate) struct SkipConvCache {
     pub p_active: Matrix,
 }
 
+/// A node's storage. Training tapes materialize every node eagerly
+/// (`Owned`); inference tapes record shape-only `Pending` placeholders that
+/// [`Tape::run`] materializes and frees again as liveness allows. `Shared`
+/// holds borrowed constants (e.g. the graph's feature matrix) that are
+/// registered by `Arc` instead of being copied onto every tape.
+pub(crate) enum Value {
+    Owned(Matrix),
+    Shared(Arc<Matrix>),
+    Pending { rows: usize, cols: usize },
+}
+
+impl Value {
+    pub fn shape(&self) -> (usize, usize) {
+        match self {
+            Value::Owned(m) => m.shape(),
+            Value::Shared(m) => m.shape(),
+            Value::Pending { rows, cols } => (*rows, *cols),
+        }
+    }
+
+    /// The materialized matrix.
+    ///
+    /// # Panics
+    /// Panics on `Pending` — reading data from an unmaterialized (or
+    /// already-freed) inference node is a liveness bug.
+    pub fn matrix(&self) -> &Matrix {
+        match self {
+            Value::Owned(m) => m,
+            Value::Shared(m) => m,
+            Value::Pending { rows, cols } => panic!(
+                "node value ({rows}x{cols}) is not materialized; \
+                 inference tapes only hold data during Tape::run"
+            ),
+        }
+    }
+}
+
 pub(crate) struct Node {
-    pub value: Matrix,
+    pub value: Value,
     pub op: Op,
     pub requires_grad: bool,
 }
@@ -172,7 +209,9 @@ impl Drop for Tape {
             if let Op::SkipConv { cache, .. } = node.op {
                 workspace::give(cache.p_active);
             }
-            workspace::give(node.value);
+            if let Value::Owned(m) = node.value {
+                workspace::give(m);
+            }
         }
     }
 }
@@ -187,12 +226,32 @@ pub struct Tape {
     pub(crate) nodes: Vec<Node>,
     pub(crate) adjs: Vec<AdjEntry>,
     params: Vec<NodeId>,
+    infer: bool,
 }
 
 impl Tape {
     /// Fresh empty tape.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Fresh tape in no-grad inference mode.
+    ///
+    /// Op constructors record shape-only placeholder nodes (drawing from
+    /// the RNG exactly as the eager path does, so streams stay aligned) and
+    /// [`Tape::run`] later materializes just the nodes the requested
+    /// outputs need, freeing every intermediate back to the [`workspace`]
+    /// free-list as soon as its last consumer has run. The backward pass is
+    /// unavailable on an inference tape.
+    pub fn inference() -> Self {
+        let mut tape = Self::default();
+        tape.infer = true;
+        tape
+    }
+
+    /// True when this tape was created with [`Tape::inference`].
+    pub fn is_inference(&self) -> bool {
+        self.infer
     }
 
     /// Number of nodes recorded so far.
@@ -208,9 +267,23 @@ impl Tape {
     pub(crate) fn push(&mut self, value: Matrix, op: Op, requires_grad: bool) -> NodeId {
         let id = NodeId(self.nodes.len());
         self.nodes.push(Node {
-            value,
+            value: Value::Owned(value),
+            // Inference tapes never backprop, so no node needs gradients.
+            requires_grad: requires_grad && !self.infer,
             op,
-            requires_grad,
+        });
+        id
+    }
+
+    /// Record a shape-only placeholder (inference mode): the value is
+    /// materialized later by [`Tape::run`].
+    pub(crate) fn push_pending(&mut self, rows: usize, cols: usize, op: Op) -> NodeId {
+        debug_assert!(self.infer, "pending nodes only exist on inference tapes");
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            value: Value::Pending { rows, cols },
+            op,
+            requires_grad: false,
         });
         id
     }
@@ -225,6 +298,19 @@ impl Tape {
     /// Register a non-trainable leaf (inputs, cached activations).
     pub fn constant(&mut self, value: Matrix) -> NodeId {
         self.push(value, Op::Leaf, false)
+    }
+
+    /// Register a non-trainable leaf shared by `Arc` — no copy onto the
+    /// tape. This is how the per-run feature matrix is registered once per
+    /// graph instead of being duplicated into every epoch's tape.
+    pub fn constant_shared(&mut self, value: Arc<Matrix>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            value: Value::Shared(value),
+            op: Op::Leaf,
+            requires_grad: false,
+        });
+        id
     }
 
     /// Parameters in registration order (for optimizer hookup).
@@ -250,8 +336,38 @@ impl Tape {
     }
 
     /// Value of a node.
+    ///
+    /// # Panics
+    /// Panics on an inference-tape node that is not materialized (use
+    /// [`Tape::shape`] for shape queries, which always work).
     pub fn value(&self, id: NodeId) -> &Matrix {
-        &self.nodes[id.0].value
+        self.nodes[id.0].value.matrix()
+    }
+
+    /// Internal value accessor by raw index.
+    pub(crate) fn val(&self, idx: usize) -> &Matrix {
+        self.nodes[idx].value.matrix()
+    }
+
+    /// Shape of a node. Works in every mode, including on inference-tape
+    /// placeholders and already-freed intermediates.
+    pub fn shape(&self, id: NodeId) -> (usize, usize) {
+        self.nodes[id.0].value.shape()
+    }
+
+    /// Move a node's value out of the tape (e.g. evaluation logits), leaving
+    /// a shape-only placeholder behind. Shared constants are copied via the
+    /// workspace; the caller owns the result either way.
+    ///
+    /// # Panics
+    /// Panics if the value was never materialized or was already taken.
+    pub fn take_value(&mut self, id: NodeId) -> Matrix {
+        let (rows, cols) = self.nodes[id.0].value.shape();
+        match std::mem::replace(&mut self.nodes[id.0].value, Value::Pending { rows, cols }) {
+            Value::Owned(m) => m,
+            Value::Shared(m) => workspace::take_copy(&m),
+            Value::Pending { .. } => panic!("take_value on an unmaterialized node"),
+        }
     }
 
     /// Whether gradients flow to this node.
@@ -267,6 +383,10 @@ impl Tape {
     /// Backward pass from several roots at once (used by GRAND, whose loss
     /// seeds gradients into every augmented prediction head).
     pub fn backward_multi(&self, seeds: Vec<(NodeId, Matrix)>) -> Grads {
+        assert!(
+            !self.infer,
+            "backward on an inference tape; Tape::inference keeps no gradient bookkeeping"
+        );
         let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
         let mut max_id = 0usize;
         for (root, seed) in seeds {
@@ -298,11 +418,11 @@ impl Tape {
             Op::Leaf => {}
             Op::MatMul(a, b) => {
                 if self.nodes[a.0].requires_grad {
-                    let da = g.matmul_t(&self.nodes[b.0].value);
+                    let da = g.matmul_t(self.val(b.0));
                     accum(grads, *a, da);
                 }
                 if self.nodes[b.0].requires_grad {
-                    let db = self.nodes[a.0].value.t_matmul(g);
+                    let db = self.val(a.0).t_matmul(g);
                     accum(grads, *b, db);
                 }
             }
@@ -346,7 +466,7 @@ impl Tape {
             }
             Op::Relu(x) => {
                 if self.nodes[x.0].requires_grad {
-                    let out = &self.nodes[idx].value;
+                    let out = self.val(idx);
                     let dx = g.zip(out, |gv, ov| if ov > 0.0 { gv } else { 0.0 });
                     accum(grads, *x, dx);
                 }
@@ -402,7 +522,7 @@ impl Tape {
                 b,
                 cache,
             } => {
-                let out = &self.nodes[idx].value;
+                let out = self.val(idx);
                 let d_out = g.cols();
                 // dZ on the active rows only: gather g and apply the ReLU
                 // mask read from the fused output (skipped rows never flow
@@ -434,7 +554,7 @@ impl Tape {
                     // dX = Ãᵀ · scatter(dZ · Wᵀ): the scatter never
                     // materializes — the masked column kernel skips columns
                     // mapped to COL_SKIP, whose contribution is exactly 0.
-                    let dp = gz.matmul_t(&self.nodes[w.0].value);
+                    let dp = gz.matmul_t(self.val(w.0));
                     let back = self.adjs[*adj].backward_mat();
                     let mut dx = workspace::take_scratch(back.rows(), dp.cols());
                     back.spmm_cols_compact(&dp, &cache.col_map, &mut dx);
@@ -457,7 +577,7 @@ impl Tape {
             Op::ConcatCols(parts) => {
                 let mut off = 0;
                 for p in parts {
-                    let pc = self.nodes[p.0].value.cols();
+                    let pc = self.nodes[p.0].value.shape().1;
                     if self.nodes[p.0].requires_grad {
                         let mut dp = workspace::take(g.rows(), pc);
                         for r in 0..g.rows() {
@@ -484,17 +604,17 @@ impl Tape {
             }
             Op::PairNorm { x, s } => {
                 if self.nodes[x.0].requires_grad {
-                    let dx = pairnorm_backward(&self.nodes[x.0].value, g, *s);
+                    let dx = pairnorm_backward(self.val(x.0), g, *s);
                     accum(grads, *x, dx);
                 }
             }
             Op::Hadamard(a, b) => {
                 if self.nodes[a.0].requires_grad {
-                    let da = g.zip(&self.nodes[b.0].value, |gv, bv| gv * bv);
+                    let da = g.zip(self.val(b.0), |gv, bv| gv * bv);
                     accum(grads, *a, da);
                 }
                 if self.nodes[b.0].requires_grad {
-                    let db = g.zip(&self.nodes[a.0].value, |gv, av| gv * av);
+                    let db = g.zip(self.val(a.0), |gv, av| gv * av);
                     accum(grads, *b, db);
                 }
             }
@@ -507,7 +627,7 @@ impl Tape {
                 }
             }
             Op::WeightedSum { xs, w } => {
-                let wv = &self.nodes[w.0].value;
+                let wv = self.val(w.0);
                 for (k, x) in xs.iter().enumerate() {
                     if self.nodes[x.0].requires_grad {
                         let dx = g * wv.get(0, k);
@@ -517,7 +637,7 @@ impl Tape {
                 if self.nodes[w.0].requires_grad {
                     let mut dw = workspace::take(1, xs.len());
                     for (k, x) in xs.iter().enumerate() {
-                        let xv = &self.nodes[x.0].value;
+                        let xv = self.val(x.0);
                         let dot: f64 = g
                             .as_slice()
                             .iter()
@@ -535,8 +655,7 @@ impl Tape {
                 s_dst,
                 cache,
             } => {
-                let (dh, dsrc, ddst) =
-                    crate::attention::gat_backward(&self.nodes[h.0].value, cache, g);
+                let (dh, dsrc, ddst) = crate::attention::gat_backward(self.val(h.0), cache, g);
                 for (target, delta) in [(*h, dh), (*s_src, dsrc), (*s_dst, ddst)] {
                     if self.nodes[target.0].requires_grad {
                         accum(grads, target, delta);
@@ -547,7 +666,7 @@ impl Tape {
             }
             Op::EdgeScore { h, edges } => {
                 if self.nodes[h.0].requires_grad {
-                    let hv = &self.nodes[h.0].value;
+                    let hv = self.val(h.0);
                     let mut dh = workspace::take(hv.rows(), hv.cols());
                     for (e, &(u, v)) in edges.iter().enumerate() {
                         let ge = g.get(e, 0);

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 fn main() {
     let g = load(DatasetName::Cora, Scale::Bench, 7);
-    let full_adj = Arc::new(g.gcn_adjacency());
+    let full_adj = g.gcn_adjacency();
     let degrees = g.degrees();
     let mut bench = Bencher::from_env();
     for &depth in &[4usize, 16, 64] {

@@ -45,7 +45,7 @@ fn main() {
     let g = load(DatasetName::Cora, Scale::Bench, 7);
     let mut rng = SplitRng::new(1);
     let split = semi_supervised_split(&g, &mut rng);
-    let full_adj = Arc::new(g.gcn_adjacency());
+    let full_adj = g.gcn_adjacency();
     let degrees = g.degrees();
     let strategies: Vec<(&str, Strategy)> = vec![
         ("none", Strategy::None),

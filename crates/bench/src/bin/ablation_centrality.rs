@@ -33,7 +33,7 @@ fn train_with_importance(
     let split = semi_supervised_split(g, &mut rng);
     let mut model = Gcn::new(g.feature_dim(), 64, g.num_classes(), depth, 0.5, &mut rng);
     let mut opt = Adam::new(model.store(), AdamConfig::default());
-    let full_adj = Arc::new(g.gcn_adjacency());
+    let full_adj = g.gcn_adjacency();
     let strategy = Strategy::SkipNode(SkipNodeConfig::new(rho, Sampling::Biased));
     let eval_strategy = Strategy::None;
     let mut best_val = f64::NEG_INFINITY;

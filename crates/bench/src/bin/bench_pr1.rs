@@ -104,7 +104,7 @@ fn strategy_epoch(bench: &mut Bencher) {
     let g = load(DatasetName::Cora, Scale::Bench, 7);
     let mut rng = SplitRng::new(1);
     let split = semi_supervised_split(&g, &mut rng);
-    let full_adj = Arc::new(g.gcn_adjacency());
+    let full_adj = g.gcn_adjacency();
     let degrees = g.degrees();
     let strategies: Vec<(&str, Strategy)> = vec![
         ("none", Strategy::None),
@@ -136,7 +136,7 @@ fn strategy_epoch(bench: &mut Bencher) {
 
 fn forward_depth(bench: &mut Bencher) {
     let g = load(DatasetName::Cora, Scale::Bench, 7);
-    let full_adj = Arc::new(g.gcn_adjacency());
+    let full_adj = g.gcn_adjacency();
     let degrees = g.degrees();
     for &depth in &[4usize, 16, 64] {
         for (label, strategy) in [

@@ -85,7 +85,7 @@ fn one_epoch(
 /// Epoch-time sweep; returns (fused_rows, unfused_rows) SpMM work counters
 /// accumulated across the sweep.
 fn epoch_sweep(bench: &mut Bencher, g: &Graph, fast: bool) -> (u64, u64) {
-    let full_adj = Arc::new(g.gcn_adjacency());
+    let full_adj = g.gcn_adjacency();
     let degrees = g.degrees();
     let train_idx: Vec<usize> = (0..g.num_nodes()).step_by(10).collect();
     let depths: &[usize] = if fast { &[2, 16] } else { &[2, 16, 64] };

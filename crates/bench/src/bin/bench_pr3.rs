@@ -1,0 +1,179 @@
+//! PR 3 performance record: the no-grad inference engine and the run-level
+//! parallel executor.
+//!
+//! Part A times a full-graph evaluation forward at depths {2, 16, 64},
+//! A/B-ing the eager autograd tape (the pre-PR3 `evaluate` path: record
+//! every intermediate, clone the outputs out) against the no-grad
+//! inference tape (shape-only recording, dependency-cone interpretation,
+//! intermediates recycled at last use, outputs moved out). Both paths are
+//! asserted bit-identical before timing. Part B times a batch of
+//! independent training runs through the run-level executor, serial vs
+//! parallel, asserting byte-identical results; machine core counts go into
+//! the metadata because a 1-core box cannot show a wall-clock win.
+//!
+//! Run with `cargo run --release -p skipnode-bench --bin bench_pr3`.
+//! `SKIPNODE_BENCH_FAST=1` shrinks the budgets for smoke testing.
+
+use skipnode_autograd::Tape;
+use skipnode_bench::timing::Bencher;
+use skipnode_bench::{derive_seed, Executor};
+use skipnode_graph::{
+    full_supervised_split, partition_graph, FeatureStyle, Graph, PartitionConfig,
+};
+use skipnode_nn::models::{Gcn, Model};
+use skipnode_nn::{train_node_classifier, ForwardCtx, Strategy, TrainConfig};
+use skipnode_tensor::{pool, workspace, Matrix, SplitRng};
+use std::time::Instant;
+
+/// Same hub-heavy graph as BENCH_PR2 so the records compare.
+fn skewed_graph() -> Graph {
+    let mut rng = SplitRng::new(271);
+    let cfg = PartitionConfig {
+        n: 3000,
+        m: 15_000,
+        classes: 5,
+        homophily: 0.7,
+        power: 0.8,
+    };
+    partition_graph(
+        &cfg,
+        64,
+        FeatureStyle::TfidfGaussian { separation: 0.5 },
+        &mut rng,
+    )
+}
+
+/// The pre-PR3 evaluation path: eager tape, every intermediate retained,
+/// logits cloned out of the tape.
+fn eval_tape(model: &Gcn, g: &Graph) -> Matrix {
+    let mut tape = Tape::new();
+    let binding = model.store().bind(&mut tape);
+    let adj = tape.register_adj(g.gcn_adjacency());
+    let x = tape.constant_shared(g.features_arc());
+    let degrees = g.degrees();
+    let mut rng = SplitRng::new(99);
+    let mut ctx = ForwardCtx::new(adj, x, &degrees, &Strategy::None, false, &mut rng);
+    let out = model.forward(&mut tape, &binding, &mut ctx);
+    workspace::take_copy(tape.value(out))
+}
+
+/// The PR3 path: shape-only recording, interpreted dependency cone,
+/// early-freed intermediates, logits moved out.
+fn eval_infer(model: &Gcn, g: &Graph) -> Matrix {
+    let mut tape = Tape::inference();
+    let binding = model.store().bind(&mut tape);
+    let adj = tape.register_adj(g.gcn_adjacency());
+    let x = tape.constant_shared(g.features_arc());
+    let degrees = g.degrees();
+    let mut rng = SplitRng::new(99);
+    let mut ctx = ForwardCtx::new(adj, x, &degrees, &Strategy::None, false, &mut rng);
+    let out = model.forward(&mut tape, &binding, &mut ctx);
+    tape.run(&[out]);
+    tape.take_value(out)
+}
+
+/// Part A: eval-forward latency, tape vs inference, per depth. Returns
+/// `(depth, speedup)` pairs from mean latencies.
+fn eval_latency_sweep(bench: &mut Bencher, g: &Graph, fast: bool) -> Vec<(usize, f64)> {
+    let depths: &[usize] = if fast { &[2, 16] } else { &[2, 16, 64] };
+    let mut speedups = Vec::new();
+    for &depth in depths {
+        let mut rng = SplitRng::new(33);
+        let model = Gcn::new(g.feature_dim(), 64, g.num_classes(), depth, 0.5, &mut rng);
+        // Correctness gate before timing: both paths must agree bitwise.
+        let a = eval_tape(&model, g);
+        let b = eval_infer(&model, g);
+        assert_eq!(
+            a.as_slice(),
+            b.as_slice(),
+            "inference logits diverge at depth {depth}"
+        );
+        workspace::give(a);
+        workspace::give(b);
+        let tape_ns = bench
+            .run("eval_tape", &format!("d{depth}"), || {
+                workspace::give(eval_tape(&model, g))
+            })
+            .mean_ns;
+        let infer_ns = bench
+            .run("eval_infer", &format!("d{depth}"), || {
+                workspace::give(eval_infer(&model, g))
+            })
+            .mean_ns;
+        speedups.push((depth, tape_ns / infer_ns));
+    }
+    speedups
+}
+
+/// One training run seeded from its job index (the executor contract).
+fn train_job(g: &Graph, index: usize, epochs: usize) -> (f64, f64) {
+    let mut rng = SplitRng::new(derive_seed(4242, index as u64));
+    let split = full_supervised_split(g, &mut rng);
+    let mut model = Gcn::new(g.feature_dim(), 32, g.num_classes(), 4, 0.3, &mut rng);
+    let cfg = TrainConfig {
+        epochs,
+        patience: 0,
+        eval_every: 2,
+        ..Default::default()
+    };
+    let r = train_node_classifier(&mut model, g, &split, &Strategy::None, &cfg, &mut rng);
+    (r.val_accuracy, r.test_accuracy)
+}
+
+/// Part B: wall-clock for a batch of independent runs, serial vs parallel.
+/// Returns (serial_ms, parallel_ms, workers).
+fn sweep_wallclock(g: &Graph, fast: bool) -> (f64, f64, usize) {
+    let jobs = if fast { 2 } else { 8 };
+    let epochs = if fast { 3 } else { 20 };
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let t = Instant::now();
+    let serial = Executor::serial().run(jobs, |i| train_job(g, i, epochs));
+    let serial_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let parallel = Executor::parallel(workers).run(jobs, |i| train_job(g, i, epochs));
+    let parallel_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(serial, parallel, "parallel runs diverged from serial");
+    (serial_ms, parallel_ms, workers)
+}
+
+fn main() {
+    let fast = std::env::var("SKIPNODE_BENCH_FAST").is_ok_and(|v| v == "1");
+    let mut bench = Bencher::from_env();
+    let g = skewed_graph();
+    let speedups = eval_latency_sweep(&mut bench, &g, fast);
+    let (serial_ms, parallel_ms, workers) = sweep_wallclock(&g, fast);
+    println!(
+        "run batch: serial {serial_ms:.0} ms, parallel({workers}) {parallel_ms:.0} ms \
+         (results byte-identical)"
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut metadata = vec![
+        ("pr", "3".to_string()),
+        ("threads", pool::num_threads().to_string()),
+        ("cores", cores.to_string()),
+        (
+            "graph",
+            "planted_partition n=3000 m=15000 power=0.8".to_string(),
+        ),
+        ("sweep_serial_ms", format!("{serial_ms:.1}")),
+        ("sweep_parallel_ms", format!("{parallel_ms:.1}")),
+        (
+            "sweep_speedup",
+            format!("{:.2}", serial_ms / parallel_ms.max(1e-9)),
+        ),
+        ("sweep_workers", workers.to_string()),
+        ("parallel_identical", "true".to_string()),
+    ];
+    let rendered: Vec<(String, String)> = speedups
+        .iter()
+        .map(|(d, s)| (format!("eval_speedup_d{d}"), format!("{s:.2}")))
+        .collect();
+    for (k, v) in &rendered {
+        metadata.push((k.as_str(), v.clone()));
+    }
+    bench.write_json("results/BENCH_PR3.json", &metadata);
+}

@@ -8,7 +8,7 @@
 //!
 //! Usage: `cargo run -p skipnode-bench --release --bin fig2 [--epochs N] [--seed N]`
 
-use skipnode_bench::{strategy_by_name, tuned_rho, ExpArgs, TablePrinter};
+use skipnode_bench::{strategy_by_name, tuned_rho, Executor, ExpArgs, TablePrinter};
 use skipnode_graph::{load, semi_supervised_split, DatasetName};
 use skipnode_nn::models::Gcn;
 use skipnode_nn::{train_node_classifier, EpochDiagnostics, TrainConfig};
@@ -39,8 +39,11 @@ fn main() {
         ("GCN (SkipNode-U)", "skipnode-u", rho),
         ("GCN (SkipNode-B)", "skipnode-b", rho),
     ];
-    let mut all: Vec<(&str, Vec<EpochDiagnostics>)> = Vec::new();
-    for (label, sname, rate) in strategies {
+    // The six strategy runs are independent; the run-level executor
+    // parallelizes them under SKIPNODE_RUN_PARALLEL with each run seeding
+    // its own RNG, so results match the serial order exactly.
+    let runs = Executor::from_env().run(strategies.len(), |i| {
+        let (_, sname, rate) = strategies[i];
         let strategy = strategy_by_name(sname, rate);
         let mut rng = SplitRng::new(args.seed);
         let split = semi_supervised_split(&g, &mut rng);
@@ -53,7 +56,10 @@ fn main() {
             record_mad: true,
             ..Default::default()
         };
-        let result = train_node_classifier(&mut model, &g, &split, &strategy, &cfg, &mut rng);
+        train_node_classifier(&mut model, &g, &split, &strategy, &cfg, &mut rng)
+    });
+    let mut all: Vec<(&str, Vec<EpochDiagnostics>)> = Vec::new();
+    for ((label, _, _), result) in strategies.iter().zip(runs) {
         println!("{label}: final val acc {:.3}", result.val_accuracy);
         all.push((label, result.diagnostics));
     }

@@ -1,0 +1,197 @@
+//! Run-level parallel executor for independent training runs.
+//!
+//! Sweeps and repeated-split experiments are embarrassingly parallel at the
+//! run level: each `(config, seed)` trains a separate model on a shared,
+//! read-only graph. [`Executor::run`] schedules those jobs over a small
+//! worker pool with three guarantees:
+//!
+//! - **Determinism.** Jobs receive only their index; each derives its RNG
+//!   from `(master seed, index)` (or clones a pre-split stream), so results
+//!   are byte-identical regardless of worker count or completion order.
+//!   Results come back in index order.
+//! - **No oversubscription.** Outer run-parallelism × inner kernel threads
+//!   must not exceed the machine. When the executor goes wide it pins every
+//!   worker's kernels to serial ([`pool::with_serial_kernels`]); when it
+//!   runs jobs serially, kernels keep their full `SKIPNODE_THREADS`
+//!   parallelism. PR 1's kernels are bit-identical across thread counts, so
+//!   this policy choice never changes results.
+//! - **No nesting.** A job that itself calls [`Executor::run`] (e.g. a
+//!   sweep invoking `run_classification`) executes the nested jobs inline
+//!   on its own worker instead of spawning threads-under-threads.
+//!
+//! Opt in via `SKIPNODE_RUN_PARALLEL`: unset or `0` → serial, `1` → one
+//! worker per available core, `N ≥ 2` → exactly `N` workers.
+
+use skipnode_tensor::pool;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+thread_local! {
+    static IN_EXECUTOR: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Derive an independent 64-bit seed for job `index` under `master`
+/// (SplitMix64 finalizer — adjacent indices land far apart).
+pub fn derive_seed(master: u64, index: u64) -> u64 {
+    let mut z = master ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Worker count from a `SKIPNODE_RUN_PARALLEL` value: `None`/`"0"` →
+/// 1 (serial), `"1"` → auto (one per available core), `N ≥ 2` → `N`.
+/// Unparseable values fall back to serial.
+pub fn parse_workers(var: Option<&str>) -> usize {
+    match var.map(str::trim) {
+        None | Some("") | Some("0") => 1,
+        Some("1") => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        Some(s) => s.parse::<usize>().ok().filter(|&n| n >= 2).unwrap_or(1),
+    }
+}
+
+/// A work-queue scheduler for independent `(config, seed)` runs.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor {
+    workers: usize,
+}
+
+impl Executor {
+    /// Strictly serial execution (jobs run inline, kernels keep their
+    /// normal thread pool).
+    pub fn serial() -> Self {
+        Self { workers: 1 }
+    }
+
+    /// Exactly `workers` worker threads (clamped to ≥ 1).
+    pub fn parallel(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Worker count from the `SKIPNODE_RUN_PARALLEL` environment variable
+    /// (see [`parse_workers`]).
+    pub fn from_env() -> Self {
+        Self::parallel(parse_workers(
+            std::env::var("SKIPNODE_RUN_PARALLEL").ok().as_deref(),
+        ))
+    }
+
+    /// Configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// True when this executor would spawn worker threads.
+    pub fn is_parallel(&self) -> bool {
+        self.workers > 1
+    }
+
+    /// Run `jobs` independent jobs, returning their outputs in index order.
+    ///
+    /// `f` must derive all randomness from its job index — it may run on
+    /// any worker, in any order. Serial executors (and nested calls from
+    /// inside another `run`) execute inline with kernel parallelism intact;
+    /// parallel executors claim indices from a shared atomic queue with
+    /// kernels forced serial per worker.
+    pub fn run<T, F>(&self, jobs: usize, f: F) -> Vec<T>
+    where
+        T: Send + Sync,
+        F: Fn(usize) -> T + Sync,
+    {
+        let nested = IN_EXECUTOR.with(|c| c.get());
+        if self.workers <= 1 || jobs <= 1 || nested {
+            return (0..jobs).map(f).collect();
+        }
+        let results: Vec<OnceLock<T>> = (0..jobs).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..self.workers.min(jobs) {
+                s.spawn(|| {
+                    IN_EXECUTOR.with(|c| c.set(true));
+                    pool::with_serial_kernels(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            break;
+                        }
+                        let out = f(i);
+                        let stored = results[i].set(out).is_ok();
+                        debug_assert!(stored, "job {i} claimed twice");
+                    });
+                    IN_EXECUTOR.with(|c| c.set(false));
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("scoped workers drain the whole queue")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_workers_policy() {
+        assert_eq!(parse_workers(None), 1);
+        assert_eq!(parse_workers(Some("")), 1);
+        assert_eq!(parse_workers(Some("0")), 1);
+        assert_eq!(parse_workers(Some("4")), 4);
+        assert_eq!(parse_workers(Some(" 8 ")), 8);
+        assert_eq!(parse_workers(Some("garbage")), 1);
+        assert!(parse_workers(Some("1")) >= 1);
+    }
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for exec in [Executor::serial(), Executor::parallel(4)] {
+            let out = exec.run(17, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_output() {
+        let job = |i: usize| derive_seed(42, i as u64);
+        let serial = Executor::serial().run(31, job);
+        let parallel = Executor::parallel(3).run(31, job);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn nested_runs_execute_inline() {
+        let exec = Executor::parallel(2);
+        let out = exec.run(4, |i| {
+            // The inner executor must not spawn threads-under-threads; it
+            // runs inline and still produces ordered results.
+            let inner = Executor::parallel(2).run(3, move |j| i * 10 + j);
+            inner.iter().sum::<usize>()
+        });
+        assert_eq!(out, vec![3, 33, 63, 93]);
+    }
+
+    #[test]
+    fn derive_seed_separates_indices_and_masters() {
+        let a = derive_seed(7, 0);
+        let b = derive_seed(7, 1);
+        let c = derive_seed(8, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, derive_seed(7, 0));
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        let out: Vec<usize> = Executor::parallel(4).run(0, |i| i);
+        assert!(out.is_empty());
+    }
+}

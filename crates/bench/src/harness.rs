@@ -1,5 +1,6 @@
 //! Experiment plumbing: CLI args, factories, and the split-averaged runner.
 
+use crate::executor::Executor;
 use skipnode_core::{Sampling, SkipNodeConfig};
 use skipnode_graph::{full_supervised_split, semi_supervised_split, Graph, Scale, Split};
 use skipnode_nn::models::Model;
@@ -205,6 +206,10 @@ pub enum Protocol {
 
 /// Train `splits` independent (split, init) repetitions of one
 /// configuration and aggregate test accuracy.
+///
+/// Repetitions run through the run-level [`Executor`]
+/// (`SKIPNODE_RUN_PARALLEL`); each repetition seeds its own RNG from its
+/// index, so parallel results are byte-identical to serial.
 #[allow(clippy::too_many_arguments)]
 pub fn run_classification(
     graph: &Graph,
@@ -218,9 +223,7 @@ pub fn run_classification(
     dropout: f64,
     seed: u64,
 ) -> RunOutcome {
-    let mut accs = Vec::with_capacity(splits);
-    let mut mads = Vec::new();
-    for rep in 0..splits {
+    let reps = Executor::from_env().run(splits, |rep| {
         let mut rng = SplitRng::new(seed ^ (rep as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let split: Split = match protocol {
             Protocol::SemiSupervised => semi_supervised_split(graph, &mut rng),
@@ -236,11 +239,10 @@ pub fn run_classification(
             &mut rng,
         );
         let result = train_node_classifier(model.as_mut(), graph, &split, strategy, cfg, &mut rng);
-        accs.push(result.test_accuracy * 100.0);
-        if let Some(m) = result.final_mad {
-            mads.push(m);
-        }
-    }
+        (result.test_accuracy * 100.0, result.final_mad)
+    });
+    let accs: Vec<f64> = reps.iter().map(|&(acc, _)| acc).collect();
+    let mads: Vec<f64> = reps.iter().filter_map(|&(_, mad)| mad).collect();
     let (mean, std) = mean_std(&accs);
     RunOutcome {
         mean,

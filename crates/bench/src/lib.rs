@@ -7,14 +7,16 @@
 //! argument plumbing, the backbone/strategy factories, aligned table
 //! printing, and the repeated-split experiment runner they all share.
 
+pub mod executor;
 pub mod harness;
 pub mod sweep;
 pub mod table;
 pub mod timing;
 
+pub use executor::{derive_seed, parse_workers, Executor};
 pub use harness::{
     build_model, mean_std, run_classification, strategy_by_name, tuned_rho, ExpArgs, Protocol,
     RunOutcome,
 };
-pub use sweep::{sweep_backbone, SweepResult, SweepSpace};
+pub use sweep::{sweep_backbone, sweep_rate, RateSweepResult, SweepResult, SweepSpace};
 pub use table::TablePrinter;

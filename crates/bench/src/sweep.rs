@@ -2,7 +2,8 @@
 //! first tune the backbone's dropout / weight decay / learning rate on
 //! validation accuracy, then tune only the strategy rate on top.
 
-use crate::harness::{build_model, Protocol};
+use crate::executor::Executor;
+use crate::harness::{build_model, strategy_by_name, Protocol};
 use skipnode_graph::{full_supervised_split, semi_supervised_split, Graph};
 use skipnode_nn::{train_node_classifier, AdamConfig, Strategy, TrainConfig};
 use skipnode_tensor::SplitRng;
@@ -46,6 +47,12 @@ pub struct SweepResult {
 }
 
 /// Grid-search backbone hyperparameters on validation accuracy.
+///
+/// Configurations run through the run-level [`Executor`]
+/// (`SKIPNODE_RUN_PARALLEL`); every configuration clones one post-split RNG
+/// stream, so the split is computed once per sweep and results are
+/// byte-identical to the historical strictly-serial grid for any worker
+/// count. Ties keep the earliest configuration in grid order.
 #[allow(clippy::too_many_arguments)]
 pub fn sweep_backbone(
     graph: &Graph,
@@ -57,54 +64,142 @@ pub fn sweep_backbone(
     epochs: usize,
     seed: u64,
 ) -> SweepResult {
-    let mut best: Option<SweepResult> = None;
+    // Every grid point historically started from a fresh
+    // `SplitRng::new(seed)` and drew the split first, so all points share
+    // one split and one post-split stream: draw the split once, then hand
+    // each job a clone of the advanced RNG.
+    let mut rng0 = SplitRng::new(seed);
+    let split = match protocol {
+        Protocol::SemiSupervised => semi_supervised_split(graph, &mut rng0),
+        Protocol::FullSupervised => full_supervised_split(graph, &mut rng0),
+    };
+    let mut configs = Vec::new();
     for &dropout in &space.dropouts {
         for &weight_decay in &space.weight_decays {
             for &lr in &space.lrs {
-                let mut rng = SplitRng::new(seed);
-                let split = match protocol {
-                    Protocol::SemiSupervised => semi_supervised_split(graph, &mut rng),
-                    Protocol::FullSupervised => full_supervised_split(graph, &mut rng),
-                };
-                let mut model = build_model(
-                    backbone,
-                    graph.feature_dim(),
-                    64,
-                    graph.num_classes(),
-                    depth,
-                    dropout,
-                    &mut rng,
-                );
-                let cfg = TrainConfig {
-                    epochs,
-                    patience: (epochs / 4).max(10),
-                    adam: AdamConfig {
-                        lr,
-                        weight_decay,
-                        ..Default::default()
-                    },
-                    eval_every: 2,
-                    ..Default::default()
-                };
-                let r =
-                    train_node_classifier(model.as_mut(), graph, &split, strategy, &cfg, &mut rng);
-                let candidate = SweepResult {
-                    dropout,
-                    weight_decay,
-                    lr,
-                    val_accuracy: r.val_accuracy,
-                    test_accuracy: r.test_accuracy,
-                };
-                if best
-                    .as_ref()
-                    .is_none_or(|b| candidate.val_accuracy > b.val_accuracy)
-                {
-                    best = Some(candidate);
-                }
+                configs.push((dropout, weight_decay, lr));
             }
         }
     }
+    let results = Executor::from_env().run(configs.len(), |i| {
+        let (dropout, weight_decay, lr) = configs[i];
+        let mut rng = rng0.clone();
+        let mut model = build_model(
+            backbone,
+            graph.feature_dim(),
+            64,
+            graph.num_classes(),
+            depth,
+            dropout,
+            &mut rng,
+        );
+        let cfg = TrainConfig {
+            epochs,
+            patience: (epochs / 4).max(10),
+            adam: AdamConfig {
+                lr,
+                weight_decay,
+                ..Default::default()
+            },
+            eval_every: 2,
+            ..Default::default()
+        };
+        let r = train_node_classifier(model.as_mut(), graph, &split, strategy, &cfg, &mut rng);
+        SweepResult {
+            dropout,
+            weight_decay,
+            lr,
+            val_accuracy: r.val_accuracy,
+            test_accuracy: r.test_accuracy,
+        }
+    });
+    let mut best: Option<SweepResult> = None;
+    for candidate in results {
+        if best
+            .as_ref()
+            .is_none_or(|b| candidate.val_accuracy > b.val_accuracy)
+        {
+            best = Some(candidate);
+        }
+    }
     best.expect("non-empty search space")
+}
+
+/// The winning rate of a strategy-rate sweep (§6.3 stage two: backbone
+/// hyperparameters frozen, only the strategy rate tuned).
+#[derive(Debug, Clone, Copy)]
+pub struct RateSweepResult {
+    /// Best strategy rate.
+    pub rate: f64,
+    /// Validation accuracy achieved.
+    pub val_accuracy: f64,
+    /// Test accuracy at that rate (report-only).
+    pub test_accuracy: f64,
+}
+
+/// Tune only the strategy rate on top of an already-tuned backbone
+/// configuration (`tuned` from [`sweep_backbone`]). Runs through the same
+/// executor with the same clone-one-stream determinism; ties keep the
+/// earliest rate in `rates` order.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_rate(
+    graph: &Graph,
+    backbone: &str,
+    depth: usize,
+    strategy_name: &str,
+    rates: &[f64],
+    protocol: Protocol,
+    tuned: &SweepResult,
+    epochs: usize,
+    seed: u64,
+) -> RateSweepResult {
+    assert!(!rates.is_empty(), "non-empty rate grid");
+    let mut rng0 = SplitRng::new(seed);
+    let split = match protocol {
+        Protocol::SemiSupervised => semi_supervised_split(graph, &mut rng0),
+        Protocol::FullSupervised => full_supervised_split(graph, &mut rng0),
+    };
+    let results = Executor::from_env().run(rates.len(), |i| {
+        let rate = rates[i];
+        let strategy = strategy_by_name(strategy_name, rate);
+        let mut rng = rng0.clone();
+        let mut model = build_model(
+            backbone,
+            graph.feature_dim(),
+            64,
+            graph.num_classes(),
+            depth,
+            tuned.dropout,
+            &mut rng,
+        );
+        let cfg = TrainConfig {
+            epochs,
+            patience: (epochs / 4).max(10),
+            adam: AdamConfig {
+                lr: tuned.lr,
+                weight_decay: tuned.weight_decay,
+                ..Default::default()
+            },
+            eval_every: 2,
+            ..Default::default()
+        };
+        let r = train_node_classifier(model.as_mut(), graph, &split, &strategy, &cfg, &mut rng);
+        RateSweepResult {
+            rate,
+            val_accuracy: r.val_accuracy,
+            test_accuracy: r.test_accuracy,
+        }
+    });
+    let mut best: Option<RateSweepResult> = None;
+    for candidate in results {
+        if best
+            .as_ref()
+            .is_none_or(|b| candidate.val_accuracy > b.val_accuracy)
+        {
+            best = Some(candidate);
+        }
+    }
+    best.expect("non-empty rate grid")
 }
 
 #[cfg(test)]

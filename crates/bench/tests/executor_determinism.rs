@@ -1,0 +1,135 @@
+//! Parallel execution must never change results: the run-level executor's
+//! output for real training workloads is byte-identical to strictly serial
+//! execution, for any worker count.
+
+use skipnode_bench::{
+    derive_seed, run_classification, sweep_backbone, Executor, Protocol, SweepSpace,
+};
+use skipnode_core::{Sampling, SkipNodeConfig};
+use skipnode_graph::{
+    full_supervised_split, partition_graph, FeatureStyle, Graph, PartitionConfig,
+};
+use skipnode_nn::models::Gcn;
+use skipnode_nn::{train_node_classifier, Strategy, TrainConfig};
+use skipnode_tensor::SplitRng;
+use std::sync::Mutex;
+
+/// Serializes the tests that drive `Executor::from_env` through the
+/// `SKIPNODE_RUN_PARALLEL` environment variable.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn graph() -> Graph {
+    partition_graph(
+        &PartitionConfig {
+            n: 150,
+            m: 600,
+            classes: 3,
+            homophily: 0.85,
+            power: 0.2,
+        },
+        32,
+        FeatureStyle::BinaryBagOfWords {
+            active: 6,
+            fidelity: 0.9,
+            confusion: 0.1,
+        },
+        &mut SplitRng::new(9),
+    )
+}
+
+/// One full training run seeded purely from its job index.
+fn train_job(g: &Graph, index: usize) -> (f64, f64, usize) {
+    let mut rng = SplitRng::new(derive_seed(123, index as u64));
+    let split = full_supervised_split(g, &mut rng);
+    let mut model = Gcn::new(g.feature_dim(), 8, g.num_classes(), 3, 0.2, &mut rng);
+    let strategy = Strategy::SkipNode(SkipNodeConfig::new(0.4, Sampling::Uniform));
+    let cfg = TrainConfig {
+        epochs: 8,
+        patience: 0,
+        eval_every: 2,
+        ..Default::default()
+    };
+    let r = train_node_classifier(&mut model, g, &split, &strategy, &cfg, &mut rng);
+    (r.val_accuracy, r.test_accuracy, r.best_epoch)
+}
+
+#[test]
+fn parallel_training_runs_are_byte_identical_to_serial() {
+    let g = graph();
+    let serial = Executor::serial().run(6, |i| train_job(&g, i));
+    for workers in [2, 4] {
+        let parallel = Executor::parallel(workers).run(6, |i| train_job(&g, i));
+        // Exact float equality on purpose: parallelism must not perturb a
+        // single bit of any run.
+        assert_eq!(serial, parallel, "{workers} workers diverged from serial");
+    }
+}
+
+#[test]
+fn parallel_sweep_matches_serial_sweep() {
+    let _env = ENV_LOCK.lock().unwrap();
+    let g = graph();
+    let space = SweepSpace {
+        dropouts: vec![0.0, 0.3],
+        weight_decays: vec![5e-4],
+        lrs: vec![0.01, 0.05],
+    };
+    let run = |workers: usize| {
+        // sweep_backbone reads SKIPNODE_RUN_PARALLEL through
+        // Executor::from_env; drive it via the env var per call.
+        std::env::set_var("SKIPNODE_RUN_PARALLEL", workers.to_string());
+        let r = sweep_backbone(
+            &g,
+            "gcn",
+            2,
+            &Strategy::None,
+            Protocol::FullSupervised,
+            &space,
+            6,
+            31,
+        );
+        std::env::remove_var("SKIPNODE_RUN_PARALLEL");
+        (
+            r.dropout,
+            r.weight_decay,
+            r.lr,
+            r.val_accuracy,
+            r.test_accuracy,
+        )
+    };
+    let serial = run(0);
+    let parallel = run(3);
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn parallel_run_classification_matches_serial() {
+    let _env = ENV_LOCK.lock().unwrap();
+    let g = graph();
+    let cfg = TrainConfig {
+        epochs: 6,
+        patience: 0,
+        eval_every: 2,
+        ..Default::default()
+    };
+    let run = |workers: usize| {
+        std::env::set_var("SKIPNODE_RUN_PARALLEL", workers.to_string());
+        let out = run_classification(
+            &g,
+            "gcn",
+            2,
+            &Strategy::None,
+            Protocol::FullSupervised,
+            &cfg,
+            4,
+            8,
+            0.2,
+            17,
+        );
+        std::env::remove_var("SKIPNODE_RUN_PARALLEL");
+        (out.mean, out.std, out.mad)
+    };
+    let serial = run(0);
+    let parallel = run(2);
+    assert_eq!(serial, parallel);
+}

@@ -2,18 +2,23 @@
 
 use skipnode_sparse::{dedup_undirected_edges, gcn_adjacency, CsrMatrix};
 use skipnode_tensor::Matrix;
+use std::sync::{Arc, OnceLock};
 
 /// An undirected attributed graph with node labels.
 ///
 /// Edges are stored canonically (`u < v`, deduplicated, no self-loops).
-/// Features are a dense `n x d` matrix; labels are class indices.
+/// Features are a dense `n x d` matrix shared by `Arc` (tapes register it
+/// without copying); labels are class indices. The full-graph GCN
+/// propagation matrix is computed lazily once and cached, so the N training
+/// runs of a sweep stop paying N× the O(nnz) normalization.
 #[derive(Debug, Clone)]
 pub struct Graph {
     n: usize,
     edges: Vec<(usize, usize)>,
-    features: Matrix,
+    features: Arc<Matrix>,
     labels: Vec<usize>,
     num_classes: usize,
+    gcn_adj: OnceLock<Arc<CsrMatrix>>,
 }
 
 impl Graph {
@@ -41,9 +46,10 @@ impl Graph {
         Self {
             n,
             edges,
-            features,
+            features: Arc::new(features),
             labels,
             num_classes,
+            gcn_adj: OnceLock::new(),
         }
     }
 
@@ -65,6 +71,12 @@ impl Graph {
     /// Node feature matrix (`n x d`).
     pub fn features(&self) -> &Matrix {
         &self.features
+    }
+
+    /// Shared handle to the feature matrix, for registering it on a tape
+    /// (`Tape::constant_shared`) without copying `n × d` floats per epoch.
+    pub fn features_arc(&self) -> Arc<Matrix> {
+        Arc::clone(&self.features)
     }
 
     /// Feature dimensionality.
@@ -92,9 +104,14 @@ impl Graph {
         deg
     }
 
-    /// The GCN-normalized propagation matrix `Ã` for the full graph.
-    pub fn gcn_adjacency(&self) -> CsrMatrix {
-        gcn_adjacency(self.n, &self.edges)
+    /// The GCN-normalized propagation matrix `Ã` for the full graph,
+    /// computed on first use and cached. Masked / filtered variants (epoch
+    /// subsampling, node masking) remain uncached — they change per epoch.
+    pub fn gcn_adjacency(&self) -> Arc<CsrMatrix> {
+        Arc::clone(
+            self.gcn_adj
+                .get_or_init(|| Arc::new(gcn_adjacency(self.n, &self.edges))),
+        )
     }
 
     /// Edge homophily: fraction of edges whose endpoints share a label.
@@ -110,10 +127,11 @@ impl Graph {
         same as f64 / self.edges.len() as f64
     }
 
-    /// Replace the feature matrix (used by augmentation pipelines).
+    /// Replace the feature matrix (used by augmentation pipelines). The
+    /// adjacency cache carries over — the edge list is unchanged.
     pub fn with_features(mut self, features: Matrix) -> Self {
         assert_eq!(features.rows(), self.n, "feature rows != node count");
-        self.features = features;
+        self.features = Arc::new(features);
         self
     }
 

@@ -179,14 +179,14 @@ impl<'a> ForwardCtx<'a> {
         match self.strategy {
             Strategy::PairNorm { scale } => tape.pairnorm(h_act, *scale),
             Strategy::SkipNode(cfg) if self.train => {
-                if tape.value(h_act).shape() != tape.value(h_prev).shape() {
+                if tape.shape(h_act) != tape.shape(h_prev) {
                     return h_act;
                 }
                 let mask = cfg.sample_mask(self.degrees, self.rng);
                 tape.row_combine(h_act, h_prev, &mask)
             }
             Strategy::SkipNodeTrainEval(cfg) => {
-                if tape.value(h_act).shape() != tape.value(h_prev).shape() {
+                if tape.shape(h_act) != tape.shape(h_prev) {
                     return h_act;
                 }
                 let mask = cfg.sample_mask(self.degrees, self.rng);
@@ -218,7 +218,7 @@ mod tests {
     #[test]
     fn eval_always_uses_full_adjacency() {
         let g = cornell();
-        let full = Arc::new(g.gcn_adjacency());
+        let full = g.gcn_adjacency();
         let mut rng = SplitRng::new(1);
         let s = Strategy::DropEdge { rate: 0.9 };
         let adj = s.epoch_adjacency(&g, &full, false, &mut rng);
@@ -228,7 +228,7 @@ mod tests {
     #[test]
     fn dropedge_removes_edges_at_train_time() {
         let g = cornell();
-        let full = Arc::new(g.gcn_adjacency());
+        let full = g.gcn_adjacency();
         let mut rng = SplitRng::new(2);
         let s = Strategy::DropEdge { rate: 0.5 };
         let adj = s.epoch_adjacency(&g, &full, true, &mut rng);
@@ -240,7 +240,7 @@ mod tests {
     #[test]
     fn dropnode_zeroes_dropped_rows() {
         let g = cornell();
-        let full = Arc::new(g.gcn_adjacency());
+        let full = g.gcn_adjacency();
         let mut rng = SplitRng::new(3);
         let s = Strategy::DropNode { rate: 0.5 };
         let adj = s.epoch_adjacency(&g, &full, true, &mut rng);
@@ -252,7 +252,7 @@ mod tests {
     #[test]
     fn non_graph_strategies_reuse_full_adjacency() {
         let g = cornell();
-        let full = Arc::new(g.gcn_adjacency());
+        let full = g.gcn_adjacency();
         let mut rng = SplitRng::new(4);
         for s in [
             Strategy::None,

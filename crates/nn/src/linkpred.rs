@@ -97,7 +97,7 @@ pub fn train_link_predictor(
         let mut tape = Tape::new();
         let binding = encoder.store().bind(&mut tape);
         let adj_id = tape.register_adj(adj);
-        let x = tape.constant(graph.features().clone());
+        let x = tape.constant_shared(train_graph.features_arc());
         let mut fwd_rng = rng.split();
         let mut ctx = ForwardCtx::new(adj_id, x, &degrees, strategy, true, &mut fwd_rng);
         let h = encoder.forward(&mut tape, &binding, &mut ctx);
@@ -126,14 +126,16 @@ pub fn train_link_predictor(
         opt.step(encoder.store_mut(), &param_grads);
     }
 
-    // Evaluation embeddings from the message graph, deterministic.
-    let mut tape = Tape::new();
+    // Evaluation embeddings from the message graph, deterministic, on a
+    // no-grad inference tape (intermediates recycle at their last use).
+    let mut tape = Tape::inference();
     let binding = encoder.store().bind(&mut tape);
     let adj_id = tape.register_adj(Arc::clone(&full_adj));
-    let x = tape.constant(graph.features().clone());
+    let x = tape.constant_shared(train_graph.features_arc());
     let mut eval_rng = rng.split();
     let mut ctx = ForwardCtx::new(adj_id, x, &degrees, strategy, false, &mut eval_rng);
     let h = encoder.forward(&mut tape, &binding, &mut ctx);
+    tape.run(&[h]);
     let emb = tape.value(h);
 
     let score = |edges: &[(usize, usize)]| -> Vec<f32> {

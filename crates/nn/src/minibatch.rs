@@ -16,7 +16,6 @@ use crate::trainer::{evaluate, TrainConfig, TrainResult};
 use skipnode_autograd::{softmax_cross_entropy, Tape};
 use skipnode_graph::{Graph, Split};
 use skipnode_tensor::{Matrix, SplitRng};
-use std::sync::Arc;
 
 /// Mini-batch settings.
 #[derive(Debug, Clone, Copy)]
@@ -44,7 +43,7 @@ pub fn train_node_classifier_minibatch(
     assert!(mb.parts >= 1, "need at least one part");
     split.validate(graph.num_nodes());
     let n = graph.num_nodes();
-    let full_adj = Arc::new(graph.gcn_adjacency());
+    let full_adj = graph.gcn_adjacency();
     let mut opt = Adam::new(model.store(), cfg.adam);
     let is_train = {
         let mut mask = vec![false; n];
@@ -78,13 +77,13 @@ pub fn train_node_classifier_minibatch(
             if local_train.is_empty() {
                 continue;
             }
-            let sub_adj = Arc::new(sub.gcn_adjacency());
+            let sub_adj = sub.gcn_adjacency();
             let adj = strategy.epoch_adjacency(&sub, &sub_adj, true, rng);
             let degrees = sub.degrees();
             let mut tape = Tape::new();
             let binding = model.store().bind(&mut tape);
             let adj_id = tape.register_adj(adj);
-            let x = tape.constant(sub.features().clone());
+            let x = tape.constant_shared(sub.features_arc());
             let mut fwd_rng = rng.split();
             let mut ctx = ForwardCtx::new(adj_id, x, &degrees, strategy, true, &mut fwd_rng);
             let logits = model.forward(&mut tape, &binding, &mut ctx);

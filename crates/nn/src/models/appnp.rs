@@ -92,7 +92,6 @@ mod tests {
     use super::*;
     use crate::context::Strategy;
     use skipnode_graph::{load, DatasetName, Scale};
-    use std::sync::Arc;
 
     fn run(k: usize) -> Matrix {
         let g = load(DatasetName::Cornell, Scale::Bench, 7);
@@ -100,7 +99,7 @@ mod tests {
         let model = Appnp::new(g.feature_dim(), 16, g.num_classes(), k, 0.1, 0.0, &mut rng);
         let mut tape = Tape::new();
         let binding = model.store().bind(&mut tape);
-        let adj = tape.register_adj(Arc::new(g.gcn_adjacency()));
+        let adj = tape.register_adj(g.gcn_adjacency());
         let x = tape.constant(g.features().clone());
         let degrees = g.degrees();
         let strategy = Strategy::None;

@@ -113,7 +113,6 @@ mod tests {
     use crate::context::Strategy;
     use skipnode_core::{Sampling, SkipNodeConfig};
     use skipnode_graph::{load, DatasetName, Scale};
-    use std::sync::Arc;
 
     fn run(strategy: &Strategy, train: bool) -> Matrix {
         let g = load(DatasetName::Cornell, Scale::Bench, 7);
@@ -130,7 +129,7 @@ mod tests {
         );
         let mut tape = Tape::new();
         let binding = model.store().bind(&mut tape);
-        let adj = tape.register_adj(Arc::new(g.gcn_adjacency()));
+        let adj = tape.register_adj(g.gcn_adjacency());
         let x = tape.constant(g.features().clone());
         let degrees = g.degrees();
         let mut fwd_rng = SplitRng::new(2);

@@ -118,7 +118,7 @@ impl Model for Gcn {
                 // path stays on the unfused op chain.
                 let z = conv(tape, ctx, binding, h_in, self.weights[l], self.biases[l]);
                 let mut a = tape.relu(z);
-                if tape.value(a).shape() == tape.value(h).shape() {
+                if tape.shape(a) == tape.shape(h) {
                     a = tape.add(a, h);
                 }
                 h = ctx.post_conv(tape, a, h);
@@ -136,7 +136,6 @@ mod tests {
     use crate::context::Strategy;
     use skipnode_core::{Sampling, SkipNodeConfig};
     use skipnode_graph::{load, DatasetName, Scale};
-    use std::sync::Arc;
 
     fn forward_logits(strategy: &Strategy, train: bool, layers: usize) -> Matrix {
         let g = load(DatasetName::Cornell, Scale::Bench, 7);
@@ -144,7 +143,7 @@ mod tests {
         let model = Gcn::new(g.feature_dim(), 16, g.num_classes(), layers, 0.5, &mut rng);
         let mut tape = Tape::new();
         let binding = model.store().bind(&mut tape);
-        let adj = tape.register_adj(Arc::new(g.gcn_adjacency()));
+        let adj = tape.register_adj(g.gcn_adjacency());
         let x = tape.constant(g.features().clone());
         let degrees = g.degrees();
         let mut fwd_rng = rng.split();
@@ -191,7 +190,7 @@ mod tests {
         let run = |model: &Gcn| {
             let mut tape = Tape::new();
             let binding = model.store().bind(&mut tape);
-            let adj = tape.register_adj(Arc::new(g.gcn_adjacency()));
+            let adj = tape.register_adj(g.gcn_adjacency());
             let x = tape.constant(g.features().clone());
             let degrees = g.degrees();
             let mut rng = SplitRng::new(9);

@@ -104,7 +104,6 @@ mod tests {
     use super::*;
     use crate::context::Strategy;
     use skipnode_graph::{load, DatasetName, Scale};
-    use std::sync::Arc;
 
     #[test]
     fn gamma_initialization_is_ppr() {
@@ -126,7 +125,7 @@ mod tests {
         let model = GprGnn::new(g.feature_dim(), 16, g.num_classes(), 10, 0.1, 0.0, &mut rng);
         let mut tape = Tape::new();
         let binding = model.store().bind(&mut tape);
-        let adj = tape.register_adj(Arc::new(g.gcn_adjacency()));
+        let adj = tape.register_adj(g.gcn_adjacency());
         let x = tape.constant(g.features().clone());
         let degrees = g.degrees();
         let strategy = Strategy::None;

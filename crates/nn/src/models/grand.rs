@@ -130,7 +130,6 @@ mod tests {
     use super::*;
     use crate::context::Strategy;
     use skipnode_graph::{load, DatasetName, Scale};
-    use std::sync::Arc;
 
     fn setup() -> (skipnode_graph::Graph, Grand) {
         let g = load(DatasetName::Cornell, Scale::Bench, 7);
@@ -153,7 +152,7 @@ mod tests {
         let (g, model) = setup();
         let mut tape = Tape::new();
         let binding = model.store().bind(&mut tape);
-        let adj = tape.register_adj(Arc::new(g.gcn_adjacency()));
+        let adj = tape.register_adj(g.gcn_adjacency());
         let x = tape.constant(g.features().clone());
         let degrees = g.degrees();
         let strategy = Strategy::None;
@@ -170,7 +169,7 @@ mod tests {
         let run = || {
             let mut tape = Tape::new();
             let binding = model.store().bind(&mut tape);
-            let adj = tape.register_adj(Arc::new(g.gcn_adjacency()));
+            let adj = tape.register_adj(g.gcn_adjacency());
             let x = tape.constant(g.features().clone());
             let degrees = g.degrees();
             let strategy = Strategy::None;

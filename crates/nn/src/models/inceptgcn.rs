@@ -117,7 +117,6 @@ mod tests {
     use super::*;
     use crate::context::Strategy;
     use skipnode_graph::{load, DatasetName, Scale};
-    use std::sync::Arc;
 
     #[test]
     fn branch_depths_spread_to_requested_depth() {
@@ -143,7 +142,7 @@ mod tests {
         let model = InceptGcn::new(g.feature_dim(), 16, g.num_classes(), 5, 0.0, &mut rng);
         let mut tape = Tape::new();
         let binding = model.store().bind(&mut tape);
-        let adj = tape.register_adj(Arc::new(g.gcn_adjacency()));
+        let adj = tape.register_adj(g.gcn_adjacency());
         let x = tape.constant(g.features().clone());
         let degrees = g.degrees();
         let strategy = Strategy::None;

@@ -107,7 +107,6 @@ mod tests {
     use super::*;
     use crate::context::Strategy;
     use skipnode_graph::{load, DatasetName, Scale};
-    use std::sync::Arc;
 
     fn run(aggregate: JkAggregate) -> Matrix {
         let g = load(DatasetName::Cornell, Scale::Bench, 7);
@@ -123,7 +122,7 @@ mod tests {
         );
         let mut tape = Tape::new();
         let binding = model.store().bind(&mut tape);
-        let adj = tape.register_adj(Arc::new(g.gcn_adjacency()));
+        let adj = tape.register_adj(g.gcn_adjacency());
         let x = tape.constant(g.features().clone());
         let degrees = g.degrees();
         let strategy = Strategy::None;

@@ -213,8 +213,8 @@ pub(crate) fn conv_activated(
     w: crate::param::ParamId,
     b: crate::param::ParamId,
 ) -> NodeId {
-    let conv_shape = (tape.value(h_in).rows(), tape.value(binding.node(w)).cols());
-    let prev_shape = tape.value(h_prev).shape();
+    let conv_shape = (tape.shape(h_in).0, tape.shape(binding.node(w)).1);
+    let prev_shape = tape.shape(h_prev);
     if let Some(mask) = ctx.fused_skip_mask(conv_shape, prev_shape) {
         return tape.skip_conv(
             ctx.adj,

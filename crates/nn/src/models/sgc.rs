@@ -73,7 +73,6 @@ mod tests {
     use super::*;
     use crate::context::Strategy;
     use skipnode_graph::{load, DatasetName, Scale};
-    use std::sync::Arc;
 
     #[test]
     fn forward_produces_logits_with_two_params_only() {
@@ -83,7 +82,7 @@ mod tests {
         assert_eq!(model.store().len(), 2);
         let mut tape = Tape::new();
         let binding = model.store().bind(&mut tape);
-        let adj = tape.register_adj(Arc::new(g.gcn_adjacency()));
+        let adj = tape.register_adj(g.gcn_adjacency());
         let x = tape.constant(g.features().clone());
         let degrees = g.degrees();
         let strategy = Strategy::None;
@@ -107,7 +106,7 @@ mod tests {
         let model = Sgc::new(g.feature_dim(), g.num_classes(), 3, 0.0, &mut rng);
         let mut tape = Tape::new();
         let binding = model.store().bind(&mut tape);
-        let adj_id = tape.register_adj(Arc::new(adj));
+        let adj_id = tape.register_adj(adj);
         let x = tape.constant(g.features().clone());
         let degrees = g.degrees();
         let strategy = Strategy::None;

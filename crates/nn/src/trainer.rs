@@ -67,6 +67,11 @@ pub struct TrainResult {
 
 /// Evaluation forward pass on the full graph: returns logits and, when the
 /// model exposes one, the penultimate representation.
+///
+/// Runs on a no-grad inference tape: the forward is recorded shape-only,
+/// then [`Tape::run`] materializes just the logits/penultimate dependency
+/// cone, recycling every intermediate at its last use. The outputs are
+/// moved out of the tape, not cloned.
 pub fn evaluate(
     model: &dyn Model,
     graph: &Graph,
@@ -74,15 +79,28 @@ pub fn evaluate(
     strategy: &Strategy,
     rng: &mut SplitRng,
 ) -> (Matrix, Option<Matrix>) {
-    let mut tape = Tape::new();
+    let mut tape = Tape::inference();
     let binding = model.store().bind(&mut tape);
     let adj = tape.register_adj(Arc::clone(full_adj));
-    let x = tape.constant(workspace::take_copy(graph.features()));
+    let x = tape.constant_shared(graph.features_arc());
     let degrees = graph.degrees();
     let mut ctx = ForwardCtx::new(adj, x, &degrees, strategy, false, rng);
     let out = model.forward(&mut tape, &binding, &mut ctx);
-    let penultimate = ctx.penultimate.map(|p| tape.value(p).clone());
-    (tape.value(out).clone(), penultimate)
+    let mut keep = vec![out];
+    if let Some(p) = ctx.penultimate {
+        if p != out {
+            keep.push(p);
+        }
+    }
+    tape.run(&keep);
+    let penultimate = ctx.penultimate.map(|p| {
+        if p == out {
+            workspace::take_copy(tape.value(out))
+        } else {
+            tape.take_value(p)
+        }
+    });
+    (tape.take_value(out), penultimate)
 }
 
 /// Train a node classifier; returns the standard "test accuracy at best
@@ -96,7 +114,7 @@ pub fn train_node_classifier(
     rng: &mut SplitRng,
 ) -> TrainResult {
     split.validate(graph.num_nodes());
-    let full_adj = Arc::new(graph.gcn_adjacency());
+    let full_adj = graph.gcn_adjacency();
     let degrees = graph.degrees();
     let adj_list = (cfg.record_mad || cfg.diagnostics_every > 0).then(|| graph.adjacency_list());
     let mut opt = Adam::new(model.store(), cfg.adam);
@@ -116,7 +134,7 @@ pub fn train_node_classifier(
         let mut tape = Tape::new();
         let binding = model.store().bind(&mut tape);
         let adj_id = tape.register_adj(adj);
-        let x = tape.constant(workspace::take_copy(graph.features()));
+        let x = tape.constant_shared(graph.features_arc());
         let mut fwd_rng = rng.split();
         let mut ctx = ForwardCtx::new(adj_id, x, &degrees, strategy, true, &mut fwd_rng);
         let heads = model.forward_heads(&mut tape, &binding, &mut ctx);

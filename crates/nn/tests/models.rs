@@ -9,7 +9,6 @@ use skipnode_nn::models::{
 };
 use skipnode_nn::{ForwardCtx, Strategy};
 use skipnode_tensor::{Matrix, SplitRng};
-use std::sync::Arc;
 
 fn graph() -> Graph {
     load(DatasetName::Cornell, Scale::Bench, 7)
@@ -33,7 +32,7 @@ fn all_models(g: &Graph, depth: usize, rng: &mut SplitRng) -> Vec<Box<dyn Model>
 fn eval_forward(model: &dyn Model, g: &Graph, strategy: &Strategy, seed: u64) -> Matrix {
     let mut tape = Tape::new();
     let binding = model.store().bind(&mut tape);
-    let adj = tape.register_adj(Arc::new(g.gcn_adjacency()));
+    let adj = tape.register_adj(g.gcn_adjacency());
     let x = tape.constant(g.features().clone());
     let degrees = g.degrees();
     let mut rng = SplitRng::new(seed);
@@ -72,7 +71,7 @@ fn every_model_emits_logits_and_penultimate() {
     for model in all_models(&g, 3, &mut rng) {
         let mut tape = Tape::new();
         let binding = model.store().bind(&mut tape);
-        let adj = tape.register_adj(Arc::new(g.gcn_adjacency()));
+        let adj = tape.register_adj(g.gcn_adjacency());
         let x = tape.constant(g.features().clone());
         let degrees = g.degrees();
         let strategy = Strategy::None;
@@ -153,7 +152,7 @@ fn grand_head_count_follows_train_flag() {
     );
     let mut tape = Tape::new();
     let binding = model.store().bind(&mut tape);
-    let adj = tape.register_adj(Arc::new(g.gcn_adjacency()));
+    let adj = tape.register_adj(g.gcn_adjacency());
     let x = tape.constant(g.features().clone());
     let degrees = g.degrees();
     let strategy = Strategy::None;

@@ -251,6 +251,21 @@ where
     p.slot.lock().expect("pool slot poisoned").job = None;
 }
 
+/// Run `f` with kernel-level parallelism disabled on the current thread:
+/// every [`parallel_for`] issued inside (directly or through nested calls)
+/// executes inline, and the pool is never entered. This is the
+/// nested-parallelism policy hook for *run-level* executors: when several
+/// independent training runs execute on their own threads, each run's
+/// kernels must go serial or the machine oversubscribes (outer threads ×
+/// inner pool workers). Restores the previous state on exit, so nesting is
+/// safe.
+pub fn with_serial_kernels<R>(f: impl FnOnce() -> R) -> R {
+    let was = IN_POOL.with(|flag| flag.replace(true));
+    let out = f();
+    IN_POOL.with(|flag| flag.set(was));
+    out
+}
+
 fn run_inline<F: Fn(usize) + Sync>(f: &F, chunks: usize) {
     let was = IN_POOL.with(|flag| flag.replace(true));
     for idx in 0..chunks {

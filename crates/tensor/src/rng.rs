@@ -25,6 +25,13 @@ fn splitmix64(state: &mut u64) -> u64 {
 ///
 /// Backed by xoshiro256++: 256 bits of state, period `2^256 - 1`, passes
 /// BigCrush, and is a few instructions per draw.
+///
+/// `Clone` copies the full state: a cloned RNG replays the exact same
+/// stream, which is how the sweep executor hands every grid configuration
+/// an identical starting stream (matching the historical
+/// fresh-`SplitRng::new(seed)`-per-config behavior) without re-deriving
+/// shared preprocessing.
+#[derive(Clone)]
 pub struct SplitRng {
     s: [u64; 4],
 }

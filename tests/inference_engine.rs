@@ -1,0 +1,138 @@
+//! The no-grad inference engine must be a drop-in for eager tapes: for
+//! every backbone, an evaluation forward recorded on [`Tape::inference`]
+//! and materialized by [`Tape::run`] must produce logits bit-identical to
+//! the same forward on an eager tape with the same RNG stream.
+
+use skipnode_autograd::Tape;
+use skipnode_core::{Sampling, SkipNodeConfig};
+use skipnode_graph::{partition_graph, FeatureStyle, Graph, PartitionConfig};
+use skipnode_nn::models::{build_by_name, Gat, BACKBONE_NAMES};
+use skipnode_nn::{ForwardCtx, Model, Strategy};
+use skipnode_tensor::{Matrix, SplitRng};
+
+fn graph() -> Graph {
+    partition_graph(
+        &PartitionConfig {
+            n: 120,
+            m: 500,
+            classes: 4,
+            homophily: 0.8,
+            power: 0.3,
+        },
+        24,
+        FeatureStyle::BinaryBagOfWords {
+            active: 6,
+            fidelity: 0.9,
+            confusion: 0.1,
+        },
+        &mut SplitRng::new(11),
+    )
+}
+
+/// One evaluation forward (`train = false`) on either tape kind, same
+/// construction as `trainer::evaluate`.
+fn forward_logits(model: &dyn Model, g: &Graph, strategy: &Strategy, infer: bool) -> Matrix {
+    let mut tape = if infer {
+        Tape::inference()
+    } else {
+        Tape::new()
+    };
+    let binding = model.store().bind(&mut tape);
+    let adj = tape.register_adj(g.gcn_adjacency());
+    let x = tape.constant_shared(g.features_arc());
+    let degrees = g.degrees();
+    let mut rng = SplitRng::new(77);
+    let mut ctx = ForwardCtx::new(adj, x, &degrees, strategy, false, &mut rng);
+    let out = model.forward(&mut tape, &binding, &mut ctx);
+    if infer {
+        tape.run(&[out]);
+    }
+    tape.take_value(out)
+}
+
+fn assert_bitwise_equal(name: &str, eager: &Matrix, inferred: &Matrix) {
+    assert_eq!(eager.shape(), inferred.shape(), "{name}: shape mismatch");
+    assert_eq!(
+        eager.as_slice(),
+        inferred.as_slice(),
+        "{name}: inference logits diverge from the eager tape"
+    );
+}
+
+#[test]
+fn inference_matches_eager_for_every_backbone() {
+    let g = graph();
+    for name in BACKBONE_NAMES {
+        let mut rng = SplitRng::new(5);
+        let model = build_by_name(name, g.feature_dim(), 16, g.num_classes(), 4, 0.3, &mut rng);
+        let eager = forward_logits(model.as_ref(), &g, &Strategy::None, false);
+        let inferred = forward_logits(model.as_ref(), &g, &Strategy::None, true);
+        assert_bitwise_equal(name, &eager, &inferred);
+    }
+}
+
+#[test]
+fn inference_matches_eager_under_pairnorm() {
+    // PairNorm is architectural (active at eval), so it exercises the
+    // interpreter's PairNorm arm on every middle layer.
+    let g = graph();
+    let mut rng = SplitRng::new(6);
+    let model = build_by_name(
+        "gcn",
+        g.feature_dim(),
+        16,
+        g.num_classes(),
+        4,
+        0.3,
+        &mut rng,
+    );
+    let strategy = Strategy::PairNorm { scale: 1.0 };
+    let eager = forward_logits(model.as_ref(), &g, &strategy, false);
+    let inferred = forward_logits(model.as_ref(), &g, &strategy, true);
+    assert_bitwise_equal("gcn+pairnorm", &eager, &inferred);
+}
+
+#[test]
+fn inference_matches_eager_with_fused_skip_conv() {
+    // SkipNodeTrainEval samples the skip mask at evaluation too, routing
+    // middle layers through the fused skip_conv kernel — the inference
+    // interpreter must replay it (and its RNG draws) bit-for-bit.
+    let g = graph();
+    for sampling in [Sampling::Uniform, Sampling::Biased] {
+        let mut rng = SplitRng::new(7);
+        let model = build_by_name(
+            "gcn",
+            g.feature_dim(),
+            16,
+            g.num_classes(),
+            6,
+            0.3,
+            &mut rng,
+        );
+        let strategy = Strategy::SkipNodeTrainEval(SkipNodeConfig::new(0.5, sampling));
+        let eager = forward_logits(model.as_ref(), &g, &strategy, false);
+        let inferred = forward_logits(model.as_ref(), &g, &strategy, true);
+        assert_bitwise_equal("gcn+skipnode-eval", &eager, &inferred);
+    }
+}
+
+#[test]
+fn inference_matches_eager_for_gat() {
+    // GAT is beyond BACKBONE_NAMES but its GatAggregate op has its own
+    // interpreter arm.
+    let g = graph();
+    let mut rng = SplitRng::new(8);
+    let model = Gat::new(
+        g.num_nodes(),
+        g.edges(),
+        g.feature_dim(),
+        16,
+        g.num_classes(),
+        2,
+        0.3,
+        &mut rng,
+    );
+    let eager = forward_logits(&model, &g, &Strategy::None, false);
+    let inferred = forward_logits(&model, &g, &Strategy::None, true);
+    assert_bitwise_equal("gat", &eager, &inferred);
+}

@@ -208,7 +208,7 @@ fn pairnorm_normalizes() {
 /// matrices (guards the dataset pipeline against accidental RNG reordering).
 #[test]
 fn adjacency_generation_is_reproducible() {
-    let build = || -> CsrMatrix {
+    let build = || -> std::sync::Arc<CsrMatrix> {
         let g = skipnode::graph::load(
             skipnode::graph::DatasetName::Cornell,
             skipnode::graph::Scale::Bench,

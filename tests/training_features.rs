@@ -3,7 +3,6 @@
 
 use skipnode::nn::{dirichlet_energy, evaluate, load_checkpoint, save_checkpoint, LrSchedule};
 use skipnode::prelude::*;
-use std::sync::Arc;
 
 fn graph() -> Graph {
     skipnode::graph::partition_graph(
@@ -116,7 +115,7 @@ fn trained_deep_vanilla_has_lower_energy_than_skipnode() {
     // (any individual seed can land a vanilla network that has not yet
     // collapsed after 60 epochs).
     let g = graph();
-    let full_adj = Arc::new(g.gcn_adjacency());
+    let full_adj = g.gcn_adjacency();
     let run = |strategy: &Strategy, seed: u64| -> f64 {
         let mut rng = SplitRng::new(seed);
         let split = full_supervised_split(&g, &mut rng);
