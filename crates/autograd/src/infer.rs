@@ -49,11 +49,27 @@ fn op_inputs(op: &Op, f: &mut dyn FnMut(usize)) {
             f(conv.0);
             f(skip.0);
         }
-        Op::SkipConv { x, skip, w, b, .. } => {
+        Op::SkipConv {
+            x,
+            skip,
+            w,
+            b,
+            init_residual,
+            residual,
+            ..
+        } => {
             f(x.0);
             f(skip.0);
             f(w.0);
-            f(b.0);
+            if let Some(b) = b {
+                f(b.0);
+            }
+            if let Some((h0, _)) = init_residual {
+                f(h0.0);
+            }
+            if let Some(res) = residual {
+                f(res.0);
+            }
         }
         Op::ConcatCols(parts) => parts.iter().for_each(|p| f(p.0)),
         Op::MaxPool { xs, .. } => xs.iter().for_each(|p| f(p.0)),
@@ -228,19 +244,28 @@ impl Tape {
                 skip,
                 w,
                 b,
+                init_residual,
+                identity_map,
+                residual,
                 cache,
             } => {
-                let (value, p_active) = skip_conv_compute(
-                    &self.adjs[*adj].mat,
-                    self.val(x.0),
-                    self.val(w.0),
-                    self.val(b.0),
-                    self.val(skip.0),
-                    &cache.active,
-                    &cache.col_map,
-                );
-                // Backward-only cache; recycle it immediately.
+                let args = crate::ops::SkipConvArgs {
+                    mat: &self.adjs[*adj].mat,
+                    xv: self.val(x.0),
+                    wv: self.val(w.0),
+                    bv: b.map(|b| self.val(b.0)),
+                    sv: self.val(skip.0),
+                    init: init_residual.map(|(h0, a)| (self.val(h0.0), a)),
+                    beta: *identity_map,
+                    resv: residual.map(|r| self.val(r.0)),
+                };
+                let (value, p_active, relu_active) =
+                    skip_conv_compute(&args, &cache.active, &cache.col_map);
+                // Backward-only caches; recycle them immediately.
                 workspace::give(p_active);
+                if relu_active.rows() > 0 {
+                    workspace::give(relu_active);
+                }
                 value
             }
             Op::ConcatCols(parts) => {

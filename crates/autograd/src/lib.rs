@@ -35,4 +35,5 @@ mod tape;
 pub use attention::AttentionGraph;
 pub use gradcheck::finite_difference_check;
 pub use loss::{bce_with_logits, softmax_cross_entropy, LossOutput};
+pub use ops::FusedStep;
 pub use tape::{AdjId, NodeId, Tape};

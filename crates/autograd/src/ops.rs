@@ -12,46 +12,144 @@ use crate::tape::{pairnorm_forward, AdjId, NodeId, Op, SkipConvCache, Tape};
 use skipnode_sparse::{CsrMatrix, COL_SKIP};
 use skipnode_tensor::{workspace, Matrix, SplitRng};
 
-/// Compute the fused SkipNode layer value: `row_combine(relu(Ã·x·W + b),
-/// skip, mask)` with the SpMM/GEMM restricted to the active (non-skipped)
-/// rows. Returns `(value, p_active)` where `p_active` is the compact
-/// `(Ã x)` gather kept for the backward `dW` product. Shared between the
+/// Operand bundle for the generalized fused masked layer
+/// ([`Tape::skip_conv_step`]). Describes one activated graph-convolution
+/// step `relu(support · W [+ b]) [+ residual]` where
+/// `support = (1−α)·Ã·x + α·h0` when an initial residual is present (GCNII)
+/// and plain `Ã·x` otherwise, with the identity map
+/// `z = (1−β)·support + β·support·W` replacing the plain GEMM when
+/// `identity_map` is set.
+#[derive(Debug, Clone, Copy)]
+pub struct FusedStep {
+    /// Layer input propagated through the adjacency.
+    pub x: NodeId,
+    /// Skip branch: rows with `take_skip[i]` copy this node's row verbatim.
+    /// Must already have the output shape `n × d_out`.
+    pub skip: NodeId,
+    /// Weight matrix (`d_in × d_out`).
+    pub w: NodeId,
+    /// Optional bias row (`1 × d_out`).
+    pub b: Option<NodeId>,
+    /// GCNII-style initial residual `(h0, α)`: the propagation is mixed
+    /// with `h0` *before* the GEMM. `h0` must be `n × d_in`.
+    pub init_residual: Option<(NodeId, f32)>,
+    /// GCNII identity-map coefficient β: `z = (1−β)·support + β·support·W`.
+    /// Requires `d_in == d_out`.
+    pub identity_map: Option<f32>,
+    /// ResGCN-style residual added *after* the ReLU on active rows. Must be
+    /// `n × d_out`.
+    pub residual: Option<NodeId>,
+}
+
+/// Borrowed operand values for [`skip_conv_compute`], mirroring
+/// [`FusedStep`] with matrices in place of tape nodes.
+pub(crate) struct SkipConvArgs<'a> {
+    pub mat: &'a CsrMatrix,
+    pub xv: &'a Matrix,
+    pub wv: &'a Matrix,
+    pub bv: Option<&'a Matrix>,
+    pub sv: &'a Matrix,
+    pub init: Option<(&'a Matrix, f32)>,
+    pub beta: Option<f32>,
+    pub resv: Option<&'a Matrix>,
+}
+
+/// Compute the generalized fused SkipNode layer value:
+/// `row_combine(relu(support·W̃ [+ b]) [+ res], skip, mask)` with the
+/// SpMM/GEMM restricted to the active (non-skipped) rows.
+///
+/// Returns `(value, gemm_left, relu_active)`:
+/// - `gemm_left` is the compact GEMM left operand (`(Ã x)`, or the
+///   initial-residual support), kept for the backward `dW` product;
+/// - `relu_active` holds the pre-residual ReLU activations on active rows
+///   when a post-activation residual is fused (the residual add hides the
+///   ReLU mask from the output); `0×0` otherwise.
+///
+/// Every arithmetic step replays the unfused op chain's elementwise order
+/// (`lin_comb` accumulation, bias-then-ReLU, post-ReLU residual add), so
+/// the fused value is bit-identical to the eager chain. Shared between the
 /// eager constructor and the inference executor so the two paths cannot
 /// drift (they are asserted bit-identical by the equivalence tests).
 pub(crate) fn skip_conv_compute(
-    mat: &CsrMatrix,
-    xv: &Matrix,
-    wv: &Matrix,
-    bv: &Matrix,
-    sv: &Matrix,
+    args: &SkipConvArgs<'_>,
     active: &[u32],
     col_map: &[u32],
-) -> (Matrix, Matrix) {
+) -> (Matrix, Matrix, Matrix) {
     let n = col_map.len();
-    let d_out = wv.cols();
+    let d_out = args.wv.cols();
     // Compact gather: P = (Ã x) on active rows only.
-    let mut p_active = workspace::take_scratch(active.len(), xv.cols());
-    mat.spmm_rows_subset(xv, active, &mut p_active);
-    // Compact conv: Z = relu(P·W + b), |active| × d_out.
-    let mut z = workspace::take_scratch(active.len(), d_out);
-    p_active.matmul_into(wv, &mut z);
-    for local in 0..z.rows() {
-        for (v, &bias) in z.row_mut(local).iter_mut().zip(bv.row(0)) {
-            *v = (*v + bias).max(0.0);
+    let mut p = workspace::take_scratch(active.len(), args.xv.cols());
+    args.mat.spmm_rows_subset(args.xv, active, &mut p);
+    // Initial residual: support = (1−α)·P + α·h0 (gathered), replaying
+    // lin_comb's zero-init + add_scaled accumulation order.
+    let s = match args.init {
+        None => p,
+        Some((h0, alpha)) => {
+            let mut s = workspace::take(active.len(), p.cols());
+            for (local, &r) in active.iter().enumerate() {
+                let dst = s.row_mut(local);
+                for (d, &pv) in dst.iter_mut().zip(p.row(local)) {
+                    *d += (1.0 - alpha) * pv;
+                }
+                for (d, &hv) in dst.iter_mut().zip(h0.row(r as usize)) {
+                    *d += alpha * hv;
+                }
+            }
+            workspace::give(p);
+            s
+        }
+    };
+    // Compact GEMM: T = S·W, |active| × d_out.
+    let mut t = workspace::take_scratch(active.len(), d_out);
+    s.matmul_into(args.wv, &mut t);
+    // Identity map (z = (1−β)·S + β·T), optional bias, ReLU.
+    let mut z = match args.beta {
+        None => t,
+        Some(beta) => {
+            let mut z = workspace::take(active.len(), d_out);
+            z.add_scaled(&s, 1.0 - beta);
+            z.add_scaled(&t, beta);
+            workspace::give(t);
+            z
+        }
+    };
+    match args.bv {
+        Some(bv) => {
+            for local in 0..z.rows() {
+                for (v, &bias) in z.row_mut(local).iter_mut().zip(bv.row(0)) {
+                    *v = (*v + bias).max(0.0);
+                }
+            }
+        }
+        None => {
+            for v in z.as_mut_slice() {
+                *v = v.max(0.0);
+            }
         }
     }
-    // Scatter: skipped rows copy the skip branch verbatim.
+    // Scatter: skipped rows copy the skip branch verbatim; active rows add
+    // the post-activation residual when present.
     let mut value = workspace::take_scratch(n, d_out);
     for (r, &m) in col_map.iter().enumerate() {
-        let src = if m == COL_SKIP {
-            sv.row(r)
+        let dst = value.row_mut(r);
+        if m == COL_SKIP {
+            dst.copy_from_slice(args.sv.row(r));
         } else {
-            z.row(m as usize)
-        };
-        value.row_mut(r).copy_from_slice(src);
+            dst.copy_from_slice(z.row(m as usize));
+            if let Some(res) = args.resv {
+                for (v, &rv) in dst.iter_mut().zip(res.row(r)) {
+                    *v += rv;
+                }
+            }
+        }
     }
-    workspace::give(z);
-    (value, p_active)
+    let relu_active = if args.resv.is_some() {
+        z
+    } else {
+        workspace::give(z);
+        Matrix::zeros(0, 0)
+    };
+    (value, s, relu_active)
 }
 
 impl Tape {
@@ -234,17 +332,9 @@ impl Tape {
     }
 
     /// Fused SkipNode layer (Eq. 4 applied to a whole GCN layer):
-    /// `row_combine(relu(Ã·x·W + b), skip, take_skip)` as one masked kernel.
-    ///
-    /// Unlike the unfused `spmm → matmul → add_bias → relu → row_combine`
-    /// chain, rows with `take_skip[i]` never enter the SpMM or the GEMM —
-    /// the sparse gather, dense product, bias, and ReLU all run on the
-    /// compacted active-row set only, so per-layer work scales with the
-    /// non-skipped fraction. Skipped rows copy `skip`'s row; their backward
-    /// is the identity route, exactly as in [`Tape::row_combine`].
-    ///
-    /// Requires `skip` to already have the output width (`n × d_out`),
-    /// which holds for SkipNode's middle hidden→hidden layers.
+    /// `row_combine(relu(Ã·x·W + b), skip, take_skip)` as one masked
+    /// kernel. Convenience wrapper over [`Tape::skip_conv_step`] for the
+    /// plain bias-only step.
     pub fn skip_conv(
         &mut self,
         adj: AdjId,
@@ -254,7 +344,48 @@ impl Tape {
         b: NodeId,
         take_skip: &[bool],
     ) -> NodeId {
-        let n = self.shape(x).0;
+        self.skip_conv_step(
+            adj,
+            FusedStep {
+                x,
+                skip,
+                w,
+                b: Some(b),
+                init_residual: None,
+                identity_map: None,
+                residual: None,
+            },
+            take_skip,
+        )
+    }
+
+    /// Generalized fused SkipNode layer: one masked kernel computing
+    /// `row_combine(relu(support·W̃ [+ b]) [+ residual], skip, take_skip)`
+    /// where `support` optionally mixes in a GCNII initial residual and
+    /// `W̃` optionally applies the identity map (see [`FusedStep`]).
+    ///
+    /// Unlike the unfused `spmm → [lin_comb] → matmul → [lin_comb] →
+    /// [add_bias] → relu → [add] → row_combine` chain, rows with
+    /// `take_skip[i]` never enter the SpMM or the GEMM — the sparse
+    /// gather, dense product, bias, and ReLU all run on the compacted
+    /// active-row set only, so per-layer work scales with the non-skipped
+    /// fraction. Skipped rows copy `skip`'s row; their backward is the
+    /// identity route, exactly as in [`Tape::row_combine`]. The value is
+    /// bit-identical to the unfused chain in the same operand order.
+    ///
+    /// Requires `skip` to already have the output width (`n × d_out`),
+    /// which holds for SkipNode's middle hidden→hidden layers.
+    pub fn skip_conv_step(&mut self, adj: AdjId, step: FusedStep, take_skip: &[bool]) -> NodeId {
+        let FusedStep {
+            x,
+            skip,
+            w,
+            b,
+            init_residual,
+            identity_map,
+            residual,
+        } = step;
+        let (n, d_in) = self.shape(x);
         let d_out = self.shape(w).1;
         assert_eq!(take_skip.len(), n, "skip_conv mask length");
         assert_eq!(
@@ -262,8 +393,30 @@ impl Tape {
             (n, d_out),
             "skip_conv skip branch must match the conv output shape"
         );
-        assert_eq!(self.shape(b).0, 1, "bias must be a row vector");
-        assert_eq!(self.shape(b).1, d_out, "bias width mismatch");
+        if let Some(b) = b {
+            assert_eq!(self.shape(b).0, 1, "bias must be a row vector");
+            assert_eq!(self.shape(b).1, d_out, "bias width mismatch");
+        }
+        if let Some((h0, _)) = init_residual {
+            assert_eq!(
+                self.shape(h0),
+                (n, d_in),
+                "skip_conv initial residual must match the propagation shape"
+            );
+        }
+        if identity_map.is_some() {
+            assert_eq!(
+                d_in, d_out,
+                "skip_conv identity map needs a square weight (d_in == d_out)"
+            );
+        }
+        if let Some(res) = residual {
+            assert_eq!(
+                self.shape(res),
+                (n, d_out),
+                "skip_conv residual must match the conv output shape"
+            );
+        }
         assert_eq!(
             self.adjs[adj.0].mat.rows(),
             n,
@@ -282,7 +435,7 @@ impl Tape {
         if self.infer() {
             // The active/col_map structure only depends on the mask, so the
             // deferred executor can run the fused kernel later; `p_active`
-            // is a backward-only cache and stays empty.
+            // and `relu_active` are backward-only caches and stay empty.
             return self.push_pending(
                 n,
                 d_out,
@@ -292,36 +445,47 @@ impl Tape {
                     skip,
                     w,
                     b,
+                    init_residual,
+                    identity_map,
+                    residual,
                     cache: Box::new(SkipConvCache {
                         active,
                         col_map,
                         p_active: Matrix::zeros(0, 0),
+                        relu_active: Matrix::zeros(0, 0),
                     }),
                 },
             );
         }
 
         let (value, cache) = {
-            let mat = &self.adjs[adj.0].mat;
-            let (value, p_active) = skip_conv_compute(
-                mat,
-                self.val(x.0),
-                self.val(w.0),
-                self.val(b.0),
-                self.val(skip.0),
-                &active,
-                &col_map,
-            );
+            let args = SkipConvArgs {
+                mat: &self.adjs[adj.0].mat,
+                xv: self.val(x.0),
+                wv: self.val(w.0),
+                bv: b.map(|b| self.val(b.0)),
+                sv: self.val(skip.0),
+                init: init_residual.map(|(h0, a)| (self.val(h0.0), a)),
+                beta: identity_map,
+                resv: residual.map(|r| self.val(r.0)),
+            };
+            let (value, p_active, relu_active) = skip_conv_compute(&args, &active, &col_map);
             (
                 value,
                 Box::new(SkipConvCache {
                     active,
                     col_map,
                     p_active,
+                    relu_active,
                 }),
             )
         };
-        let rg = self.rg(x) || self.rg(skip) || self.rg(w) || self.rg(b);
+        let rg = self.rg(x)
+            || self.rg(skip)
+            || self.rg(w)
+            || b.is_some_and(|b| self.rg(b))
+            || init_residual.is_some_and(|(h0, _)| self.rg(h0))
+            || residual.is_some_and(|r| self.rg(r));
         self.push(
             value,
             Op::SkipConv {
@@ -330,6 +494,9 @@ impl Tape {
                 skip,
                 w,
                 b,
+                init_residual,
+                identity_map,
+                residual,
                 cache,
             },
             rg,

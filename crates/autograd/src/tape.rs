@@ -63,16 +63,22 @@ pub(crate) enum Op {
         skip: NodeId,
         take_skip: Vec<bool>,
     },
-    /// Fused SkipNode layer: `row_combine(relu(Ã·x·W + b), skip, mask)` as
-    /// one masked kernel. Skipped rows copy `skip` and never enter the
-    /// SpMM/GEMM; their backward is the identity route. See
-    /// [`Tape::skip_conv`].
+    /// Fused SkipNode layer:
+    /// `row_combine(relu(support·W̃ [+ b]) [+ residual], skip, mask)` as one
+    /// masked kernel, where `support` optionally mixes an initial residual
+    /// (`init_residual`) into the propagation and `W̃` optionally applies
+    /// GCNII's identity map (`identity_map`). Skipped rows copy `skip` and
+    /// never enter the SpMM/GEMM; their backward is the identity route. See
+    /// [`Tape::skip_conv_step`].
     SkipConv {
         adj: usize,
         x: NodeId,
         skip: NodeId,
         w: NodeId,
-        b: NodeId,
+        b: Option<NodeId>,
+        init_residual: Option<(NodeId, f32)>,
+        identity_map: Option<f32>,
+        residual: Option<NodeId>,
         cache: Box<SkipConvCache>,
     },
     ConcatCols(Vec<NodeId>),
@@ -116,9 +122,15 @@ pub(crate) struct SkipConvCache {
     /// Inverse map: node → position in `active`, or
     /// [`skipnode_sparse::COL_SKIP`] for skipped rows.
     pub col_map: Vec<u32>,
-    /// `(Ã x)` gathered on the active rows (`|active| × d_in`): the GEMM
-    /// left operand, reused for `dW = Pᵀ·dZ`.
+    /// The GEMM left operand gathered on the active rows
+    /// (`|active| × d_in`): `(Ã x)` — or the initial-residual mix
+    /// `(1-α)(Ã x) + α h0` when one is fused — reused for `dW = Sᵀ·dZ`.
     pub p_active: Matrix,
+    /// Pre-residual ReLU output on the active rows (`|active| × d_out`).
+    /// Only kept when a post-activation residual is fused (the fused
+    /// output then includes the residual, so the ReLU mask can no longer
+    /// be read back from it); empty (`0×0`) otherwise.
+    pub relu_active: Matrix,
 }
 
 /// A node's storage. Training tapes materialize every node eagerly
@@ -208,6 +220,9 @@ impl Drop for Tape {
         for node in self.nodes.drain(..) {
             if let Op::SkipConv { cache, .. } = node.op {
                 workspace::give(cache.p_active);
+                if cache.relu_active.rows() > 0 {
+                    workspace::give(cache.relu_active);
+                }
             }
             if let Value::Owned(m) = node.value {
                 workspace::give(m);
@@ -520,57 +535,114 @@ impl Tape {
                 skip,
                 w,
                 b,
+                init_residual,
+                identity_map,
+                residual,
                 cache,
             } => {
                 let out = self.val(idx);
                 let d_out = g.cols();
                 // dZ on the active rows only: gather g and apply the ReLU
-                // mask read from the fused output (skipped rows never flow
-                // through the conv branch).
+                // mask (skipped rows never flow through the conv branch).
+                // With a fused post-activation residual the output rows
+                // already include it, so the mask comes from the cached
+                // pre-residual activation instead of the fused output.
                 let mut gz = workspace::take_scratch(cache.active.len(), d_out);
                 for (local, &r) in cache.active.iter().enumerate() {
                     let r = r as usize;
+                    let mask_row = if residual.is_some() {
+                        cache.relu_active.row(local)
+                    } else {
+                        out.row(r)
+                    };
                     let dst = gz.row_mut(local);
-                    for ((dv, &gv), &ov) in dst.iter_mut().zip(g.row(r)).zip(out.row(r)) {
+                    for ((dv, &gv), &ov) in dst.iter_mut().zip(g.row(r)).zip(mask_row) {
                         *dv = if ov > 0.0 { gv } else { 0.0 };
                     }
                 }
-                if self.nodes[b.0].requires_grad {
-                    let mut db = workspace::take(1, d_out);
-                    for local in 0..gz.rows() {
-                        let dst = db.row_mut(0);
-                        for (dv, &v) in dst.iter_mut().zip(gz.row(local)) {
-                            *dv += v;
+                if let Some(res) = residual {
+                    if self.nodes[res.0].requires_grad {
+                        // Added after the ReLU: its gradient is the unmasked
+                        // upstream gradient on the active rows.
+                        let mut dres = workspace::take(g.rows(), d_out);
+                        for &r in &cache.active {
+                            let r = r as usize;
+                            dres.row_mut(r).copy_from_slice(g.row(r));
                         }
+                        accum(grads, *res, dres);
                     }
-                    accum(grads, *b, db);
+                }
+                if let Some(b) = b {
+                    if self.nodes[b.0].requires_grad {
+                        let mut db = workspace::take(1, d_out);
+                        for local in 0..gz.rows() {
+                            let dst = db.row_mut(0);
+                            for (dv, &v) in dst.iter_mut().zip(gz.row(local)) {
+                                *dv += v;
+                            }
+                        }
+                        accum(grads, *b, db);
+                    }
                 }
                 if self.nodes[w.0].requires_grad {
-                    // dW = Pᵀ · dZ over the active rows (cached compact P).
-                    let dw = cache.p_active.t_matmul(&gz);
+                    // dW = Sᵀ · dT over the active rows (cached compact
+                    // support); with the identity map z = (1-β)s + β·s·W,
+                    // so dT = β·dZ.
+                    let mut dw = cache.p_active.t_matmul(&gz);
+                    if let Some(beta) = identity_map {
+                        dw.scale_in_place(*beta);
+                    }
                     accum(grads, *w, dw);
                 }
-                if self.nodes[x.0].requires_grad {
-                    // dX = Ãᵀ · scatter(dZ · Wᵀ): the scatter never
-                    // materializes — the masked column kernel skips columns
-                    // mapped to COL_SKIP, whose contribution is exactly 0.
-                    let dp = gz.matmul_t(self.val(w.0));
-                    let back = self.adjs[*adj].backward_mat();
-                    let mut dx = workspace::take_scratch(back.rows(), dp.cols());
-                    back.spmm_cols_compact(&dp, &cache.col_map, &mut dx);
-                    workspace::give(dp);
-                    accum(grads, *x, dx);
+                let needs_ds = self.nodes[x.0].requires_grad
+                    || init_residual.is_some_and(|(h0, _)| self.nodes[h0.0].requires_grad);
+                if needs_ds {
+                    // dS: gradient wrt the GEMM left operand.
+                    let mut ds = gz.matmul_t(self.val(w.0));
+                    if let Some(beta) = identity_map {
+                        // z = (1-β)s + β·(s·W): both branches route to s.
+                        ds.scale_in_place(*beta);
+                        ds.add_scaled(&gz, 1.0 - *beta);
+                    }
+                    if let Some((h0, alpha)) = init_residual {
+                        if self.nodes[h0.0].requires_grad {
+                            // s = (1-α)p + α·h0 on the active rows.
+                            let n0 = self.nodes[h0.0].value.shape().0;
+                            let mut dh0 = workspace::take(n0, ds.cols());
+                            for (local, &r) in cache.active.iter().enumerate() {
+                                let dst = dh0.row_mut(r as usize);
+                                for (dv, &v) in dst.iter_mut().zip(ds.row(local)) {
+                                    *dv = *alpha * v;
+                                }
+                            }
+                            accum(grads, *h0, dh0);
+                        }
+                    }
+                    if self.nodes[x.0].requires_grad {
+                        if let Some((_, alpha)) = init_residual {
+                            ds.scale_in_place(1.0 - *alpha);
+                        }
+                        // dX = Ãᵀ · scatter(dS): the scatter never
+                        // materializes — the masked column kernel skips
+                        // columns mapped to COL_SKIP, whose contribution is
+                        // exactly 0.
+                        let back = self.adjs[*adj].backward_mat();
+                        let mut dx = workspace::take_scratch(back.rows(), ds.cols());
+                        back.spmm_cols_compact(&ds, &cache.col_map, &mut dx);
+                        accum(grads, *x, dx);
+                    }
+                    workspace::give(ds);
                 }
                 if self.nodes[skip.0].requires_grad {
                     // Identity route: skipped rows pass the gradient straight
                     // through to the skip input.
-                    let mut ds = workspace::take(g.rows(), d_out);
+                    let mut dsk = workspace::take(g.rows(), d_out);
                     for (r, &m) in cache.col_map.iter().enumerate() {
                         if m == skipnode_sparse::COL_SKIP {
-                            ds.row_mut(r).copy_from_slice(g.row(r));
+                            dsk.row_mut(r).copy_from_slice(g.row(r));
                         }
                     }
-                    accum(grads, *skip, ds);
+                    accum(grads, *skip, dsk);
                 }
                 workspace::give(gz);
             }

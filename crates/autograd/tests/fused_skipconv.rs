@@ -133,6 +133,203 @@ fn fused_matches_unfused_on_odd_shapes() {
     check_equivalence(101, 7, 19, 0.25);
 }
 
+/// Outputs and gradients of one generalized fused-step run
+/// ([`Tape::skip_conv_step`]) or its unfused reference chain.
+struct VariantRun {
+    out: Matrix,
+    dx: Matrix,
+    dskip: Matrix,
+    dw: Matrix,
+    db: Option<Matrix>,
+    dh0: Option<Matrix>,
+    dres: Option<Matrix>,
+}
+
+/// Run the generalized step `post_conv(relu(support · W̃ [+ b]) [+ res])`
+/// where `support = (1-α)·Ã·x + α·h0` (when `init_alpha`) and
+/// `W̃ = (1-β)·I + β·W` (when `beta`), fused or as the canonical unfused
+/// op chain.
+#[allow(clippy::too_many_arguments)]
+fn run_variant(
+    fused: bool,
+    mask: &[bool],
+    n: usize,
+    d_in: usize,
+    d_out: usize,
+    with_bias: bool,
+    init_alpha: Option<f32>,
+    beta: Option<f32>,
+    with_residual: bool,
+) -> VariantRun {
+    assert!(
+        beta.is_none() || d_in == d_out,
+        "identity map needs square W"
+    );
+    let mut rng = SplitRng::new(99);
+    let adj_mat = random_adjacency(n, &mut rng);
+    let xv = random_matrix(n, d_in, &mut rng);
+    let sv = random_matrix(n, d_out, &mut rng);
+    let wv = random_matrix(d_in, d_out, &mut rng);
+    let bv = random_matrix(1, d_out, &mut rng);
+    let h0v = random_matrix(n, d_in, &mut rng);
+    let resv = random_matrix(n, d_out, &mut rng);
+    let seed = random_matrix(n, d_out, &mut rng);
+
+    let mut tape = Tape::new();
+    let adj = tape.register_adj(adj_mat);
+    let x = tape.param(xv);
+    let skip = tape.param(sv);
+    let w = tape.param(wv);
+    let b = with_bias.then(|| tape.param(bv));
+    let h0 = init_alpha.is_some().then(|| tape.param(h0v));
+    let res = with_residual.then(|| tape.param(resv));
+    let out: NodeId = if fused {
+        tape.skip_conv_step(
+            adj,
+            skipnode_autograd::FusedStep {
+                x,
+                skip,
+                w,
+                b,
+                init_residual: h0.map(|h0| (h0, init_alpha.unwrap())),
+                identity_map: beta,
+                residual: res,
+            },
+            mask,
+        )
+    } else {
+        let p = tape.spmm(adj, x);
+        let support = match (h0, init_alpha) {
+            (Some(h0), Some(alpha)) => tape.lin_comb(&[(p, 1.0 - alpha), (h0, alpha)]),
+            _ => p,
+        };
+        let t = tape.matmul(support, w);
+        let z = match beta {
+            Some(beta) => tape.lin_comb(&[(support, 1.0 - beta), (t, beta)]),
+            None => t,
+        };
+        let z = match b {
+            Some(b) => tape.add_bias(z, b),
+            None => z,
+        };
+        let a = tape.relu(z);
+        let a = match res {
+            Some(res) => tape.add(a, res),
+            None => a,
+        };
+        tape.row_combine(a, skip, mask)
+    };
+    let value = tape.value(out).clone();
+    let mut grads = tape.backward(out, seed);
+    VariantRun {
+        out: value,
+        dx: grads.take(x).expect("dx"),
+        dskip: grads.take(skip).expect("dskip"),
+        dw: grads.take(w).expect("dW"),
+        db: b.map(|b| grads.take(b).expect("db")),
+        dh0: h0.map(|h0| grads.take(h0).expect("dh0")),
+        dres: res.map(|res| grads.take(res).expect("dres")),
+    }
+}
+
+/// Fused-vs-unfused forward + full-gradient equivalence for one variant.
+#[allow(clippy::too_many_arguments)]
+fn check_variant(
+    n: usize,
+    d_in: usize,
+    d_out: usize,
+    ratio: f64,
+    with_bias: bool,
+    init_alpha: Option<f32>,
+    beta: Option<f32>,
+    with_residual: bool,
+) {
+    let mask = mask_with_ratio(n, ratio);
+    let args = (n, d_in, d_out, with_bias, init_alpha, beta, with_residual);
+    let fused = run_variant(
+        true,
+        &mask,
+        n,
+        d_in,
+        d_out,
+        with_bias,
+        init_alpha,
+        beta,
+        with_residual,
+    );
+    let unfused = run_variant(
+        false,
+        &mask,
+        n,
+        d_in,
+        d_out,
+        with_bias,
+        init_alpha,
+        beta,
+        with_residual,
+    );
+    let label = format!("variant {args:?} ratio={ratio}");
+    assert_close(&fused.out, &unfused.out, &format!("{label} forward"));
+    assert_close(&fused.dx, &unfused.dx, &format!("{label} dx"));
+    assert_close(&fused.dskip, &unfused.dskip, &format!("{label} dskip"));
+    assert_close(&fused.dw, &unfused.dw, &format!("{label} dW"));
+    for (got, want, grad) in [
+        (&fused.db, &unfused.db, "db"),
+        (&fused.dh0, &unfused.dh0, "dh0"),
+        (&fused.dres, &unfused.dres, "dres"),
+    ] {
+        match (got, want) {
+            (Some(got), Some(want)) => assert_close(got, want, &format!("{label} {grad}")),
+            (None, None) => {}
+            _ => panic!("{label}: {grad} present on one path only"),
+        }
+    }
+}
+
+#[test]
+fn fused_step_without_bias_matches_unfused() {
+    for ratio in [0.0, 0.5] {
+        check_variant(64, 16, 16, ratio, false, None, None, false);
+        check_variant(37, 13, 11, ratio, false, None, None, false);
+    }
+}
+
+#[test]
+fn fused_step_with_initial_residual_matches_unfused() {
+    // GCNII's `support = (1-α)·Ã·x + α·h0` — h0 gets its own gradient.
+    for ratio in [0.0, 0.5] {
+        check_variant(64, 16, 16, ratio, true, Some(0.1), None, false);
+        check_variant(37, 13, 11, ratio, false, Some(0.25), None, false);
+    }
+}
+
+#[test]
+fn fused_step_with_identity_map_matches_unfused() {
+    // GCNII's `W̃ = (1-β)·I + β·W` — requires a square weight.
+    for ratio in [0.0, 0.5] {
+        check_variant(64, 16, 16, ratio, false, None, Some(0.3), false);
+        check_variant(41, 12, 12, ratio, true, None, Some(0.7), false);
+    }
+}
+
+#[test]
+fn fused_step_with_post_relu_residual_matches_unfused() {
+    // ResGCN's skip connection added after the ReLU — the backward must
+    // route the residual's gradient around the ReLU mask.
+    for ratio in [0.0, 0.5] {
+        check_variant(64, 16, 16, ratio, true, None, None, true);
+        check_variant(37, 13, 11, ratio, true, None, None, true);
+    }
+}
+
+#[test]
+fn fused_step_with_all_options_matches_unfused() {
+    // The full GCNII-shaped step plus a residual, at several ratios.
+    for ratio in [0.0, 0.25, 0.5, 1.0] {
+        check_variant(53, 14, 14, ratio, false, Some(0.1), Some(0.4), true);
+    }
+}
+
 #[test]
 fn skipped_rows_copy_skip_branch_exactly() {
     let n = 40;

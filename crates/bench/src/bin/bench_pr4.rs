@@ -1,0 +1,208 @@
+//! PR 4 performance record: fused-coverage extension via the layer-plan IR.
+//!
+//! Before this PR the fused masked kernel only fired for the two backbones
+//! that called the right helper; the plan executor now dispatches it for
+//! every hidden→hidden activated convolution. This bench sweeps full
+//! training-epoch time for each conv-stack backbone at SkipNode rates
+//! {0.25, 0.5}, A/B-ing the fused path against the unfused op chain, and
+//! records per-backbone SpMM row-work counters so the coverage claim
+//! (fused row work strictly below unfused for ≥ 4 backbones) is auditable
+//! from `results/BENCH_PR4.json` alone. Every A/B cell first asserts the
+//! two paths produce byte-identical logits on an identical RNG stream.
+//!
+//! Run with `cargo run --release -p skipnode-bench --bin bench_pr4`.
+//! `SKIPNODE_BENCH_FAST=1` shrinks the budgets for smoke testing.
+
+use skipnode_autograd::{softmax_cross_entropy, Tape};
+use skipnode_bench::timing::Bencher;
+use skipnode_bench::{build_model, require};
+use skipnode_core::{Sampling, SkipNodeConfig};
+use skipnode_graph::{partition_graph, FeatureStyle, Graph, PartitionConfig};
+use skipnode_nn::models::Model;
+use skipnode_nn::{Adam, AdamConfig, ForwardCtx, Strategy};
+use skipnode_sparse::{stats, CsrMatrix};
+use skipnode_tensor::{pool, workspace, Matrix, SplitRng};
+use std::sync::Arc;
+
+/// Every backbone the plan executor can route through the fused kernel.
+const FUSED_BACKBONES: [&str; 5] = ["gcn", "resgcn", "jknet", "inceptgcn", "gcnii"];
+
+/// Hub-heavy graph (same shape as `bench_pr2`): degree-corrected planted
+/// partition with a strong propensity tail.
+fn skewed_graph() -> Graph {
+    let mut rng = SplitRng::new(271);
+    let cfg = PartitionConfig {
+        n: 3000,
+        m: 15_000,
+        classes: 5,
+        homophily: 0.7,
+        power: 0.8,
+    };
+    partition_graph(
+        &cfg,
+        64,
+        FeatureStyle::TfidfGaussian { separation: 0.5 },
+        &mut rng,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn one_epoch(
+    model: &mut dyn Model,
+    opt: &mut Adam,
+    g: &Graph,
+    train_idx: &[usize],
+    strategy: &Strategy,
+    full_adj: &Arc<CsrMatrix>,
+    degrees: &[usize],
+    fuse: bool,
+    rng: &mut SplitRng,
+) {
+    let mut tape = Tape::new();
+    let binding = model.store().bind(&mut tape);
+    let adj_id = tape.register_adj(Arc::clone(full_adj));
+    let x = tape.constant(workspace::take_copy(g.features()));
+    let mut fwd_rng = rng.split();
+    let mut ctx = ForwardCtx::new(adj_id, x, degrees, strategy, true, &mut fwd_rng);
+    ctx.fuse = fuse;
+    let logits = model.forward(&mut tape, &binding, &mut ctx);
+    let out = softmax_cross_entropy(tape.value(logits), g.labels(), train_idx);
+    let mut grads = tape.backward(logits, out.grad);
+    let param_grads: Vec<Option<Matrix>> = binding.nodes().iter().map(|&n| grads.take(n)).collect();
+    opt.step(model.store_mut(), &param_grads);
+    for g in param_grads.into_iter().flatten() {
+        workspace::give(g);
+    }
+}
+
+/// One training forward on a fixed RNG stream — the byte-identity probe.
+fn forward_logits(
+    model: &dyn Model,
+    g: &Graph,
+    strategy: &Strategy,
+    full_adj: &Arc<CsrMatrix>,
+    degrees: &[usize],
+    fuse: bool,
+) -> Matrix {
+    let mut tape = Tape::new();
+    let binding = model.store().bind(&mut tape);
+    let adj_id = tape.register_adj(Arc::clone(full_adj));
+    let x = tape.constant_shared(g.features_arc());
+    let mut rng = SplitRng::new(77);
+    let mut ctx = ForwardCtx::new(adj_id, x, degrees, strategy, true, &mut rng);
+    ctx.fuse = fuse;
+    let out = model.forward(&mut tape, &binding, &mut ctx);
+    tape.value(out).clone()
+}
+
+fn main() {
+    let fast = std::env::var("SKIPNODE_BENCH_FAST").is_ok();
+    let mut bench = Bencher::from_env();
+    let g = skewed_graph();
+    let full_adj = g.gcn_adjacency();
+    let degrees = g.degrees();
+    let train_idx: Vec<usize> = (0..g.num_nodes()).step_by(10).collect();
+    let depth = if fast { 8 } else { 16 };
+
+    let mut meta: Vec<(&str, String)> = vec![
+        ("pr", "4".to_string()),
+        ("threads", pool::num_threads().to_string()),
+        (
+            "graph",
+            "planted_partition n=3000 m=15000 power=0.8".to_string(),
+        ),
+        ("depth", depth.to_string()),
+    ];
+    let mut backbones_with_savings = 0usize;
+    let mut fused_summary = Vec::new();
+    let mut unfused_summary = Vec::new();
+    for name in FUSED_BACKBONES {
+        let mut fused_rows = 0u64;
+        let mut unfused_rows = 0u64;
+        for &rate in &[0.25f64, 0.5] {
+            let strategy = Strategy::SkipNode(SkipNodeConfig::new(rate, Sampling::Uniform));
+            // Byte-identity gate: both paths replay one fixed RNG stream
+            // and must agree bit-for-bit before anything is timed.
+            {
+                let mut rng = SplitRng::new(33);
+                let model = require(build_model(
+                    name,
+                    g.feature_dim(),
+                    64,
+                    g.num_classes(),
+                    depth,
+                    0.5,
+                    &mut rng,
+                ));
+                let a = forward_logits(model.as_ref(), &g, &strategy, &full_adj, &degrees, true);
+                let b = forward_logits(model.as_ref(), &g, &strategy, &full_adj, &degrees, false);
+                assert_eq!(
+                    a.as_slice(),
+                    b.as_slice(),
+                    "{name} rho={rate}: fused and unfused logits diverge"
+                );
+            }
+            for fuse in [false, true] {
+                let mut rng = SplitRng::new(33);
+                let mut model = require(build_model(
+                    name,
+                    g.feature_dim(),
+                    64,
+                    g.num_classes(),
+                    depth,
+                    0.5,
+                    &mut rng,
+                ));
+                let mut opt = Adam::new(model.store(), AdamConfig::default());
+                let mut bench_rng = rng.split();
+                // Count SpMM row work over exactly ONE epoch (outside the
+                // timed loop, whose iteration counts differ per path).
+                let before = stats::spmm_rows_computed();
+                one_epoch(
+                    model.as_mut(),
+                    &mut opt,
+                    &g,
+                    &train_idx,
+                    &strategy,
+                    &full_adj,
+                    &degrees,
+                    fuse,
+                    &mut bench_rng,
+                );
+                let delta = stats::spmm_rows_computed() - before;
+                if fuse {
+                    fused_rows += delta;
+                } else {
+                    unfused_rows += delta;
+                }
+                let group = if fuse { "epoch_fused" } else { "epoch_unfused" };
+                bench.run(group, &format!("{name}/rho{rate}"), || {
+                    one_epoch(
+                        model.as_mut(),
+                        &mut opt,
+                        &g,
+                        &train_idx,
+                        &strategy,
+                        &full_adj,
+                        &degrees,
+                        fuse,
+                        &mut bench_rng,
+                    )
+                });
+            }
+        }
+        if fused_rows < unfused_rows {
+            backbones_with_savings += 1;
+        }
+        fused_summary.push(format!("{name}={fused_rows}"));
+        unfused_summary.push(format!("{name}={unfused_rows}"));
+    }
+    meta.push(("spmm_rows_fused", fused_summary.join(" ")));
+    meta.push(("spmm_rows_unfused", unfused_summary.join(" ")));
+    assert!(
+        backbones_with_savings >= 4,
+        "fused kernel must reduce row work for >= 4 backbones, got {backbones_with_savings}"
+    );
+    meta.push(("backbones_with_savings", backbones_with_savings.to_string()));
+    bench.write_json("results/BENCH_PR4.json", &meta);
+}

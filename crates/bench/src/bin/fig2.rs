@@ -8,7 +8,7 @@
 //!
 //! Usage: `cargo run -p skipnode-bench --release --bin fig2 [--epochs N] [--seed N]`
 
-use skipnode_bench::{strategy_by_name, tuned_rho, Executor, ExpArgs, TablePrinter};
+use skipnode_bench::{require, strategy_by_name, tuned_rho, Executor, ExpArgs, TablePrinter};
 use skipnode_graph::{load, semi_supervised_split, DatasetName};
 use skipnode_nn::models::Gcn;
 use skipnode_nn::{train_node_classifier, EpochDiagnostics, TrainConfig};
@@ -44,7 +44,7 @@ fn main() {
     // its own RNG, so results match the serial order exactly.
     let runs = Executor::from_env().run(strategies.len(), |i| {
         let (_, sname, rate) = strategies[i];
-        let strategy = strategy_by_name(sname, rate);
+        let strategy = require(strategy_by_name(sname, rate));
         let mut rng = SplitRng::new(args.seed);
         let split = semi_supervised_split(&g, &mut rng);
         let mut model = Gcn::new(g.feature_dim(), 64, g.num_classes(), layers, 0.5, &mut rng);

@@ -7,7 +7,9 @@
 //! Usage: `cargo run -p skipnode-bench --release --bin fig5
 //!         [--quick] [--epochs N] [--seed N]`
 
-use skipnode_bench::{run_classification, strategy_by_name, ExpArgs, Protocol, TablePrinter};
+use skipnode_bench::{
+    require, run_classification, strategy_by_name, ExpArgs, Protocol, TablePrinter,
+};
 use skipnode_graph::{load, DatasetName};
 use skipnode_nn::TrainConfig;
 
@@ -50,7 +52,7 @@ fn main() {
             &g,
             "gcn",
             layers,
-            &strategy_by_name("-", 0.0),
+            &require(strategy_by_name("-", 0.0)),
             Protocol::SemiSupervised,
             &cfg,
             args.splits,
@@ -65,7 +67,7 @@ fn main() {
                     &g,
                     "gcn",
                     layers,
-                    &strategy_by_name(sname, rho),
+                    &require(strategy_by_name(sname, rho)),
                     Protocol::SemiSupervised,
                     &cfg,
                     args.splits,

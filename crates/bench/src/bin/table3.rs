@@ -7,7 +7,9 @@
 //! The full grid is 7×7×4 = 196 training runs; `--quick` shrinks it to a
 //! 2-backbone, 3-dataset smoke grid.
 
-use skipnode_bench::{run_classification, strategy_by_name, ExpArgs, Protocol, TablePrinter};
+use skipnode_bench::{
+    require, run_classification, strategy_by_name, ExpArgs, Protocol, TablePrinter,
+};
 use skipnode_graph::{load, DatasetName};
 
 fn main() {
@@ -65,7 +67,7 @@ fn main() {
         let mut t = TablePrinter::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
         let mut baseline: Vec<f64> = Vec::new();
         for (sname, rate) in strategies {
-            let strategy = strategy_by_name(sname, rate);
+            let strategy = require(strategy_by_name(sname, rate));
             let mut row = vec![strategy.label()];
             let mut accs = Vec::new();
             for (_, g) in &graphs {

@@ -5,7 +5,7 @@
 //!         [--quick] [--epochs N] [--seed N]`
 
 use skipnode_bench::{
-    run_classification, strategy_by_name, tuned_rho, ExpArgs, Protocol, TablePrinter,
+    require, run_classification, strategy_by_name, tuned_rho, ExpArgs, Protocol, TablePrinter,
 };
 use skipnode_graph::{load, DatasetName};
 
@@ -34,7 +34,7 @@ fn main() {
     header.extend(depths.iter().map(|d| format!("L = {d}")));
     let mut t = TablePrinter::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
     for (sname, rate) in strategies {
-        let mut row = vec![strategy_by_name(sname, rate).label()];
+        let mut row = vec![require(strategy_by_name(sname, rate)).label()];
         for &depth in &depths {
             // ρ is tuned per depth for SkipNode, mirroring the paper's
             // grid search (deeper ⇒ larger ρ).
@@ -43,7 +43,7 @@ fn main() {
             } else {
                 rate
             };
-            let strategy = strategy_by_name(sname, rate);
+            let strategy = require(strategy_by_name(sname, rate));
             let out = run_classification(
                 &g,
                 "gcn",

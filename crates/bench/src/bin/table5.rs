@@ -4,7 +4,7 @@
 //! Usage: `cargo run -p skipnode-bench --release --bin table5
 //!         [--quick] [--epochs N] [--seed N]`
 
-use skipnode_bench::{strategy_by_name, ExpArgs, TablePrinter};
+use skipnode_bench::{require, strategy_by_name, ExpArgs, TablePrinter};
 use skipnode_graph::{link_split, load, DatasetName};
 use skipnode_nn::{train_link_predictor, LinkPredConfig};
 use skipnode_tensor::SplitRng;
@@ -27,7 +27,7 @@ fn main() {
         header.extend(depths.iter().map(|d| format!("L = {d}")));
         let mut t = TablePrinter::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
         for (sname, rate) in strategies {
-            let strategy = strategy_by_name(sname, rate);
+            let strategy = require(strategy_by_name(sname, rate));
             let mut row = vec![strategy.label()];
             for &depth in &depths {
                 let cfg = LinkPredConfig {

@@ -11,7 +11,7 @@
 //!         [--quick] [--epochs N] [--seed N]`
 
 use skipnode_bench::{
-    run_classification, strategy_by_name, tuned_rho, ExpArgs, Protocol, TablePrinter,
+    require, run_classification, strategy_by_name, tuned_rho, ExpArgs, Protocol, TablePrinter,
 };
 use skipnode_graph::{load, DatasetName};
 
@@ -53,7 +53,7 @@ fn main() {
             header.extend(depths.iter().map(|l| format!("L = {l}")));
             let mut t = TablePrinter::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
             for (sname, rate) in strategies {
-                let mut row = vec![strategy_by_name(sname, rate).label()];
+                let mut row = vec![require(strategy_by_name(sname, rate)).label()];
                 for &depth in &depths {
                     // ρ tuned per depth for SkipNode (paper grid-searches
                     // ρ; Figure 5 shows deep models want ρ ≈ 0.8–0.9).
@@ -62,7 +62,7 @@ fn main() {
                     } else {
                         rate
                     };
-                    let strategy = strategy_by_name(sname, rate);
+                    let strategy = require(strategy_by_name(sname, rate));
                     let out = run_classification(
                         &g,
                         backbone,

@@ -4,7 +4,9 @@
 //! Usage: `cargo run -p skipnode-bench --release --bin table7
 //!         [--quick] [--epochs N] [--seed N]`
 
-use skipnode_bench::{run_classification, strategy_by_name, ExpArgs, Protocol, TablePrinter};
+use skipnode_bench::{
+    require, run_classification, strategy_by_name, ExpArgs, Protocol, TablePrinter,
+};
 use skipnode_graph::{load, DatasetName};
 
 fn main() {
@@ -38,7 +40,7 @@ fn main() {
         header.extend(depths.iter().map(|l| format!("L = {l}")));
         let mut t = TablePrinter::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
         for (sname, rate) in strategies {
-            let strategy = strategy_by_name(sname, rate);
+            let strategy = require(strategy_by_name(sname, rate));
             let mut row = vec![strategy.label()];
             for &depth in &depths {
                 let out = run_classification(

@@ -9,7 +9,7 @@
 //! Usage: `cargo run -p skipnode-bench --release --bin table8
 //!         [--quick] [--epochs N] [--seed N]`
 
-use skipnode_bench::{strategy_by_name, ExpArgs, TablePrinter};
+use skipnode_bench::{require, strategy_by_name, ExpArgs, TablePrinter};
 use skipnode_graph::{load, semi_supervised_split, DatasetName};
 use skipnode_nn::models::Gcn;
 use skipnode_nn::{train_node_classifier, TrainConfig};
@@ -40,7 +40,7 @@ fn main() {
     header.extend(depths.iter().map(|l| format!("L = {l}")));
     let mut t = TablePrinter::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
     for (sname, rate) in strategies {
-        let strategy = strategy_by_name(sname, rate);
+        let strategy = require(strategy_by_name(sname, rate));
         let mut row = vec![strategy.label()];
         for &depth in &depths {
             let mut rng = SplitRng::new(args.seed);

@@ -3,7 +3,7 @@
 use crate::executor::Executor;
 use skipnode_core::{Sampling, SkipNodeConfig};
 use skipnode_graph::{full_supervised_split, semi_supervised_split, Graph, Scale, Split};
-use skipnode_nn::models::Model;
+use skipnode_nn::models::{BuildError, Model};
 use skipnode_nn::{train_node_classifier, Strategy, TrainConfig};
 use skipnode_tensor::SplitRng;
 
@@ -146,7 +146,8 @@ impl ExpArgs {
 }
 
 /// Build a backbone by table name (delegates to
-/// [`skipnode_nn::models::build_by_name`]).
+/// [`skipnode_nn::models::build_by_name`]). Unknown names are an `Err`,
+/// so binaries can report them instead of aborting — see [`require`].
 pub fn build_model(
     name: &str,
     in_dim: usize,
@@ -155,8 +156,18 @@ pub fn build_model(
     depth: usize,
     dropout: f64,
     rng: &mut SplitRng,
-) -> Box<dyn Model> {
+) -> Result<Box<dyn Model>, BuildError> {
     skipnode_nn::models::build_by_name(name, in_dim, hidden, out_dim, depth, dropout, rng)
+}
+
+/// Unwrap a factory result, or print the error and exit with status 2 —
+/// the graceful-reporting path bench binaries take for unknown
+/// backbone/strategy names from the CLI.
+pub fn require<T>(result: Result<T, BuildError>) -> T {
+    result.unwrap_or_else(|err| {
+        eprintln!("error: {err}");
+        std::process::exit(2);
+    })
 }
 
 /// The depth-tuned SkipNode sampling rate, mirroring the paper's per-cell
@@ -171,17 +182,18 @@ pub fn tuned_rho(depth: usize) -> f64 {
 }
 
 /// Build a strategy by table name (`-`, `dropedge`, `dropnode`,
-/// `pairnorm`, `skipnode-u`, `skipnode-b`) with the given rate.
-pub fn strategy_by_name(name: &str, rate: f64) -> Strategy {
-    match name {
+/// `pairnorm`, `skipnode-u`, `skipnode-b`) with the given rate. Unknown
+/// names are an `Err`, not a panic — see [`require`].
+pub fn strategy_by_name(name: &str, rate: f64) -> Result<Strategy, BuildError> {
+    Ok(match name {
         "-" | "none" => Strategy::None,
         "dropedge" => Strategy::DropEdge { rate },
         "dropnode" => Strategy::DropNode { rate },
         "pairnorm" => Strategy::PairNorm { scale: 1.0 },
         "skipnode-u" => Strategy::SkipNode(SkipNodeConfig::new(rate, Sampling::Uniform)),
         "skipnode-b" => Strategy::SkipNode(SkipNodeConfig::new(rate, Sampling::Biased)),
-        other => panic!("unknown strategy {other}"),
-    }
+        other => return Err(BuildError::UnknownStrategy(other.to_string())),
+    })
 }
 
 /// Outcome of a repeated-split classification experiment.
@@ -229,7 +241,7 @@ pub fn run_classification(
             Protocol::SemiSupervised => semi_supervised_split(graph, &mut rng),
             Protocol::FullSupervised => full_supervised_split(graph, &mut rng),
         };
-        let mut model = build_model(
+        let mut model = require(build_model(
             backbone,
             graph.feature_dim(),
             hidden,
@@ -237,7 +249,7 @@ pub fn run_classification(
             depth,
             dropout,
             &mut rng,
-        );
+        ));
         let result = train_node_classifier(model.as_mut(), graph, &split, strategy, cfg, &mut rng);
         (result.test_accuracy * 100.0, result.final_mad)
     });
@@ -301,28 +313,33 @@ mod tests {
             "grand",
             "sgc",
         ] {
-            let m = build_model(name, 8, 4, 3, 3, 0.1, &mut rng);
+            let m = build_model(name, 8, 4, 3, 3, 0.1, &mut rng).expect("known backbone");
             assert!(!m.store().is_empty(), "{name} has no params");
         }
     }
 
     #[test]
     fn strategy_factory_round_trip() {
-        assert_eq!(strategy_by_name("-", 0.0), Strategy::None);
+        assert_eq!(strategy_by_name("-", 0.0), Ok(Strategy::None));
         assert_eq!(
             strategy_by_name("dropedge", 0.3),
-            Strategy::DropEdge { rate: 0.3 }
+            Ok(Strategy::DropEdge { rate: 0.3 })
         );
         assert!(matches!(
             strategy_by_name("skipnode-b", 0.5),
-            Strategy::SkipNode(_)
+            Ok(Strategy::SkipNode(_))
         ));
     }
 
     #[test]
-    #[should_panic(expected = "unknown backbone")]
-    fn unknown_backbone_panics() {
+    fn unknown_names_are_errors_not_panics() {
         let mut rng = SplitRng::new(1);
-        let _ = build_model("nope", 8, 4, 3, 3, 0.1, &mut rng);
+        let err = build_model("nope", 8, 4, 3, 3, 0.1, &mut rng)
+            .err()
+            .expect("unknown backbone must be rejected");
+        assert_eq!(err, BuildError::UnknownBackbone("nope".to_string()));
+        assert!(err.to_string().contains("unknown backbone"));
+        let err = strategy_by_name("nope", 0.5).expect_err("unknown strategy must be rejected");
+        assert_eq!(err, BuildError::UnknownStrategy("nope".to_string()));
     }
 }

@@ -3,7 +3,7 @@
 //! validation accuracy, then tune only the strategy rate on top.
 
 use crate::executor::Executor;
-use crate::harness::{build_model, strategy_by_name, Protocol};
+use crate::harness::{build_model, require, strategy_by_name, Protocol};
 use skipnode_graph::{full_supervised_split, semi_supervised_split, Graph};
 use skipnode_nn::{train_node_classifier, AdamConfig, Strategy, TrainConfig};
 use skipnode_tensor::SplitRng;
@@ -84,7 +84,7 @@ pub fn sweep_backbone(
     let results = Executor::from_env().run(configs.len(), |i| {
         let (dropout, weight_decay, lr) = configs[i];
         let mut rng = rng0.clone();
-        let mut model = build_model(
+        let mut model = require(build_model(
             backbone,
             graph.feature_dim(),
             64,
@@ -92,7 +92,7 @@ pub fn sweep_backbone(
             depth,
             dropout,
             &mut rng,
-        );
+        ));
         let cfg = TrainConfig {
             epochs,
             patience: (epochs / 4).max(10),
@@ -161,9 +161,9 @@ pub fn sweep_rate(
     };
     let results = Executor::from_env().run(rates.len(), |i| {
         let rate = rates[i];
-        let strategy = strategy_by_name(strategy_name, rate);
+        let strategy = require(strategy_by_name(strategy_name, rate));
         let mut rng = rng0.clone();
-        let mut model = build_model(
+        let mut model = require(build_model(
             backbone,
             graph.feature_dim(),
             64,
@@ -171,7 +171,7 @@ pub fn sweep_rate(
             depth,
             tuned.dropout,
             &mut rng,
-        );
+        ));
         let cfg = TrainConfig {
             epochs,
             patience: (epochs / 4).max(10),

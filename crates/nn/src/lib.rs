@@ -35,6 +35,7 @@ mod minibatch;
 pub mod models;
 mod optim;
 mod param;
+pub mod plan;
 mod schedule;
 mod trainer;
 
@@ -45,8 +46,9 @@ pub use energy::dirichlet_energy;
 pub use linkpred::{train_link_predictor, LinkPredConfig, LinkPredResult};
 pub use metrics::{accuracy, hits_at_k, mean_average_distance};
 pub use minibatch::{train_node_classifier_minibatch, MiniBatchConfig};
-pub use models::Model;
+pub use models::{BackboneSpec, BuildError, Model};
 pub use optim::{Adam, AdamConfig};
-pub use param::{Binding, ParamId, ParamStore};
+pub use param::{Binding, LayerInit, ParamId, ParamStore};
+pub use plan::{LayerPlan, PlanBuilder, PlanExecutor, PlanOp, Reg};
 pub use schedule::{clip_global_norm, LrSchedule};
 pub use trainer::{evaluate, train_node_classifier, TrainConfig, TrainResult};

@@ -1,10 +1,9 @@
 //! APPNP [8]: predict (MLP) then propagate (personalized PageRank).
 
-use super::{dense, Model};
-use crate::context::ForwardCtx;
-use crate::param::{Binding, ParamId, ParamStore};
-use skipnode_autograd::{NodeId, Tape};
-use skipnode_tensor::{glorot_uniform, Matrix, SplitRng};
+use super::Model;
+use crate::param::{LayerInit, ParamId, ParamStore};
+use crate::plan::{LayerPlan, PlanBuilder};
+use skipnode_tensor::SplitRng;
 
 /// APPNP: a 2-layer MLP produces per-node predictions `H`, then `K`
 /// personalized-PageRank steps `Z ← (1−α) Ã Z + α H` diffuse them. The
@@ -34,10 +33,9 @@ impl Appnp {
     ) -> Self {
         assert!(k >= 1, "APPNP needs at least one propagation step");
         let mut store = ParamStore::new();
-        let w1 = store.add("w1", glorot_uniform(in_dim, hidden, rng));
-        let b1 = store.add("b1", Matrix::zeros(1, hidden));
-        let w2 = store.add("w2", glorot_uniform(hidden, out_dim, rng));
-        let b2 = store.add("b2", Matrix::zeros(1, out_dim));
+        let mut init = LayerInit::new(&mut store, rng);
+        let (w1, b1) = init.linear("w1", "b1", in_dim, hidden);
+        let (w2, b2) = init.linear("w2", "b2", hidden, out_dim);
         Self {
             store,
             w1,
@@ -69,29 +67,29 @@ impl Model for Appnp {
         &mut self.store
     }
 
-    fn forward(&self, tape: &mut Tape, binding: &Binding, ctx: &mut ForwardCtx) -> NodeId {
-        let x = ctx.dropout(tape, ctx.x, self.dropout);
-        let h = dense(tape, binding, x, self.w1, self.b1);
-        let h = tape.relu(h);
-        ctx.penultimate = Some(h);
-        let h = ctx.dropout(tape, h, self.dropout);
-        let h0 = dense(tape, binding, h, self.w2, self.b2);
+    fn plan(&self) -> Option<LayerPlan> {
+        let mut b = PlanBuilder::new();
+        let x = b.dropout(PlanBuilder::input(), self.dropout);
+        let h = b.dense(x, self.w1, self.b1);
+        let h = b.relu(h);
+        b.penultimate(h);
+        let h = b.dropout(h, self.dropout);
+        let h0 = b.dense(h, self.w2, self.b2);
         let mut z = h0;
         for _ in 0..self.k {
-            let z_prev = z;
-            let p = tape.spmm(ctx.adj, z);
-            let step = tape.lin_comb(&[(p, 1.0 - self.alpha), (h0, self.alpha)]);
-            z = ctx.post_conv(tape, step, z_prev);
+            z = b.propagate(z, z, Some((h0, self.alpha)));
         }
-        z
+        Some(b.finish(z))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::context::Strategy;
+    use crate::context::{ForwardCtx, Strategy};
+    use skipnode_autograd::Tape;
     use skipnode_graph::{load, DatasetName, Scale};
+    use skipnode_tensor::Matrix;
 
     fn run(k: usize) -> Matrix {
         let g = load(DatasetName::Cornell, Scale::Bench, 7);

@@ -1,10 +1,9 @@
 //! Vanilla GCN [5] and ResGCN (GCN + skip connections [33]).
 
-use super::{conv, conv_activated, Model};
-use crate::context::ForwardCtx;
-use crate::param::{Binding, ParamId, ParamStore};
-use skipnode_autograd::{NodeId, Tape};
-use skipnode_tensor::{glorot_uniform, Matrix, SplitRng};
+use super::Model;
+use crate::param::{LayerInit, ParamId, ParamStore};
+use crate::plan::{LayerPlan, PlanBuilder};
+use skipnode_tensor::SplitRng;
 
 /// Multi-layer GCN: `X^(l) = ReLU(Ã X^(l-1) W^(l))` with a linear
 /// classification layer on top, optionally with residual connections
@@ -62,6 +61,7 @@ impl Gcn {
         let mut store = ParamStore::new();
         let mut weights = Vec::with_capacity(layers);
         let mut biases = Vec::with_capacity(layers);
+        let mut init = LayerInit::new(&mut store, rng);
         for l in 0..layers {
             let (fi, fo) = if l == 0 {
                 (in_dim, hidden)
@@ -70,8 +70,9 @@ impl Gcn {
             } else {
                 (hidden, hidden)
             };
-            weights.push(store.add(format!("w{l}"), glorot_uniform(fi, fo, rng)));
-            biases.push(store.add(format!("b{l}"), Matrix::zeros(1, fo)));
+            let (w, b) = init.linear(format!("w{l}"), format!("b{l}"), fi, fo);
+            weights.push(w);
+            biases.push(b);
         }
         Self {
             store,
@@ -102,40 +103,38 @@ impl Model for Gcn {
         &mut self.store
     }
 
-    fn forward(&self, tape: &mut Tape, binding: &Binding, ctx: &mut ForwardCtx) -> NodeId {
+    fn plan(&self) -> Option<LayerPlan> {
         let layers = self.layers();
-        let mut h = ctx.x;
+        let mut b = PlanBuilder::new();
+        let mut h = PlanBuilder::input();
         for l in 0..layers {
             let last = l == layers - 1;
             if last {
-                ctx.penultimate = Some(h);
+                b.penultimate(h);
             }
-            let h_in = ctx.dropout(tape, h, self.dropout);
-            if last {
-                h = conv(tape, ctx, binding, h_in, self.weights[l], self.biases[l]);
+            let h_in = b.dropout(h, self.dropout);
+            h = if last {
+                b.conv(h_in, self.weights[l], self.biases[l])
             } else if self.residual {
-                // The residual add sits between ReLU and post_conv, so this
-                // path stays on the unfused op chain.
-                let z = conv(tape, ctx, binding, h_in, self.weights[l], self.biases[l]);
-                let mut a = tape.relu(z);
-                if tape.shape(a) == tape.shape(h) {
-                    a = tape.add(a, h);
-                }
-                h = ctx.post_conv(tape, a, h);
+                // ResGCN: identity skip added after the ReLU; the executor
+                // gates it (and the fused path) on shape compatibility.
+                b.activated_conv_residual(h_in, h, self.weights[l], self.biases[l], h)
             } else {
-                h = conv_activated(tape, ctx, binding, h_in, h, self.weights[l], self.biases[l]);
-            }
+                b.activated_conv(h_in, h, self.weights[l], self.biases[l])
+            };
         }
-        h
+        Some(b.finish(h))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::context::Strategy;
+    use crate::context::{ForwardCtx, Strategy};
+    use skipnode_autograd::Tape;
     use skipnode_core::{Sampling, SkipNodeConfig};
     use skipnode_graph::{load, DatasetName, Scale};
+    use skipnode_tensor::Matrix;
 
     fn forward_logits(strategy: &Strategy, train: bool, layers: usize) -> Matrix {
         let g = load(DatasetName::Cornell, Scale::Bench, 7);

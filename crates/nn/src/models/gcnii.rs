@@ -3,11 +3,10 @@
 //! `H^(l+1) = σ( ((1−α) Ã H^(l) + α H^(0)) ((1−β_l) I + β_l W^(l)) )`
 //! with `β_l = ln(λ/l + 1)`.
 
-use super::{dense, Model};
-use crate::context::ForwardCtx;
-use crate::param::{Binding, ParamId, ParamStore};
-use skipnode_autograd::{NodeId, Tape};
-use skipnode_tensor::{glorot_uniform, Matrix, SplitRng};
+use super::Model;
+use crate::param::{LayerInit, ParamId, ParamStore};
+use crate::plan::{LayerPlan, PlanBuilder};
+use skipnode_tensor::SplitRng;
 
 /// GCNII with the paper's standard hyperparameters (α = 0.1, λ = 0.5).
 pub struct Gcnii {
@@ -35,13 +34,12 @@ impl Gcnii {
     ) -> Self {
         assert!(layers >= 1, "GCNII needs at least 1 block");
         let mut store = ParamStore::new();
-        let in_w = store.add("in_w", glorot_uniform(in_dim, hidden, rng));
-        let in_b = store.add("in_b", Matrix::zeros(1, hidden));
+        let mut init = LayerInit::new(&mut store, rng);
+        let (in_w, in_b) = init.linear("in_w", "in_b", in_dim, hidden);
         let mids = (0..layers)
-            .map(|l| store.add(format!("w{l}"), glorot_uniform(hidden, hidden, rng)))
+            .map(|l| init.weight(format!("w{l}"), hidden, hidden))
             .collect();
-        let out_w = store.add("out_w", glorot_uniform(hidden, out_dim, rng));
-        let out_b = store.add("out_b", Matrix::zeros(1, out_dim));
+        let (out_w, out_b) = init.linear("out_w", "out_b", hidden, out_dim);
         Self {
             store,
             in_w,
@@ -74,33 +72,29 @@ impl Model for Gcnii {
         &mut self.store
     }
 
-    fn forward(&self, tape: &mut Tape, binding: &Binding, ctx: &mut ForwardCtx) -> NodeId {
-        let x = ctx.dropout(tape, ctx.x, self.dropout);
-        let h0 = {
-            let z = dense(tape, binding, x, self.in_w, self.in_b);
-            tape.relu(z)
-        };
+    fn plan(&self) -> Option<LayerPlan> {
+        let mut b = PlanBuilder::new();
+        let x = b.dropout(PlanBuilder::input(), self.dropout);
+        let z = b.dense(x, self.in_w, self.in_b);
+        let h0 = b.relu(z);
         let mut h = h0;
         for (l, &w) in self.mids.iter().enumerate() {
             let beta = (self.lambda / (l + 1) as f64 + 1.0).ln() as f32;
-            let h_in = ctx.dropout(tape, h, self.dropout);
-            let p = tape.spmm(ctx.adj, h_in);
-            let support = tape.lin_comb(&[(p, 1.0 - self.alpha), (h0, self.alpha)]);
-            let sw = tape.matmul(support, binding.node(w));
-            let z = tape.lin_comb(&[(support, 1.0 - beta), (sw, beta)]);
-            let a = tape.relu(z);
-            h = ctx.post_conv(tape, a, h);
+            let h_in = b.dropout(h, self.dropout);
+            h = b.activated_conv_gcnii(h_in, h, w, h0, self.alpha, beta);
         }
-        ctx.penultimate = Some(h);
-        let h = ctx.dropout(tape, h, self.dropout);
-        dense(tape, binding, h, self.out_w, self.out_b)
+        b.penultimate(h);
+        let h = b.dropout(h, self.dropout);
+        let out = b.dense(h, self.out_w, self.out_b);
+        Some(b.finish(out))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::context::Strategy;
+    use crate::context::{ForwardCtx, Strategy};
+    use skipnode_autograd::Tape;
     use skipnode_graph::{load, DatasetName, Scale};
 
     #[test]

@@ -1,10 +1,9 @@
 //! GPRGNN [7]: generalized PageRank with *learnable* hop weights.
 
-use super::{dense, Model};
-use crate::context::ForwardCtx;
-use crate::param::{Binding, ParamId, ParamStore};
-use skipnode_autograd::{NodeId, Tape};
-use skipnode_tensor::{glorot_uniform, Matrix, SplitRng};
+use super::Model;
+use crate::param::{LayerInit, ParamId, ParamStore};
+use crate::plan::{LayerPlan, PlanBuilder};
+use skipnode_tensor::{Matrix, SplitRng};
 
 /// GPRGNN: `Z = Σ_{k=0}^{K} γ_k Ã^k H` where `H` is an MLP's output and the
 /// `γ_k` are trained. Initialized PPR-style: `γ_k = α(1−α)^k`,
@@ -34,10 +33,9 @@ impl GprGnn {
     ) -> Self {
         assert!(k >= 1, "GPRGNN needs at least one hop");
         let mut store = ParamStore::new();
-        let w1 = store.add("w1", glorot_uniform(in_dim, hidden, rng));
-        let b1 = store.add("b1", Matrix::zeros(1, hidden));
-        let w2 = store.add("w2", glorot_uniform(hidden, out_dim, rng));
-        let b2 = store.add("b2", Matrix::zeros(1, out_dim));
+        let mut init = LayerInit::new(&mut store, rng);
+        let (w1, b1) = init.linear("w1", "b1", in_dim, hidden);
+        let (w2, b2) = init.linear("w2", "b2", hidden, out_dim);
         let mut g = Matrix::zeros(1, k + 1);
         for i in 0..=k {
             let v = if i == k {
@@ -79,30 +77,31 @@ impl Model for GprGnn {
         &mut self.store
     }
 
-    fn forward(&self, tape: &mut Tape, binding: &Binding, ctx: &mut ForwardCtx) -> NodeId {
-        let x = ctx.dropout(tape, ctx.x, self.dropout);
-        let h = dense(tape, binding, x, self.w1, self.b1);
-        let h = tape.relu(h);
-        ctx.penultimate = Some(h);
-        let h = ctx.dropout(tape, h, self.dropout);
-        let h0 = dense(tape, binding, h, self.w2, self.b2);
+    fn plan(&self) -> Option<LayerPlan> {
+        let mut b = PlanBuilder::new();
+        let x = b.dropout(PlanBuilder::input(), self.dropout);
+        let h = b.dense(x, self.w1, self.b1);
+        let h = b.relu(h);
+        b.penultimate(h);
+        let h = b.dropout(h, self.dropout);
+        let h0 = b.dense(h, self.w2, self.b2);
         let mut hops = Vec::with_capacity(self.k + 1);
         hops.push(h0);
         let mut z = h0;
         for _ in 0..self.k {
-            let z_prev = z;
-            let p = tape.spmm(ctx.adj, z);
-            z = ctx.post_conv(tape, p, z_prev);
+            z = b.propagate(z, z, None);
             hops.push(z);
         }
-        tape.weighted_sum(&hops, binding.node(self.gamma))
+        let out = b.weighted_sum(hops, self.gamma);
+        Some(b.finish(out))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::context::Strategy;
+    use crate::context::{ForwardCtx, Strategy};
+    use skipnode_autograd::Tape;
     use skipnode_graph::{load, DatasetName, Scale};
 
     #[test]

@@ -6,11 +6,12 @@
 //! trainer adds a consistency penalty pulling the `S` predictive
 //! distributions toward their sharpened mean.
 
-use super::{dense, Consistency, Model};
+use super::{Consistency, Model};
 use crate::context::ForwardCtx;
-use crate::param::{Binding, ParamId, ParamStore};
+use crate::param::{Binding, LayerInit, ParamId, ParamStore};
+use crate::plan::{LayerPlan, PlanBuilder};
 use skipnode_autograd::{NodeId, Tape};
-use skipnode_tensor::{glorot_uniform, Matrix, SplitRng};
+use skipnode_tensor::SplitRng;
 
 /// GRAND with a 2-layer MLP head.
 pub struct Grand {
@@ -43,10 +44,9 @@ impl Grand {
         assert!(order >= 1, "GRAND needs propagation order >= 1");
         assert!(heads >= 1, "GRAND needs at least one head");
         let mut store = ParamStore::new();
-        let w1 = store.add("w1", glorot_uniform(in_dim, hidden, rng));
-        let b1 = store.add("b1", Matrix::zeros(1, hidden));
-        let w2 = store.add("w2", glorot_uniform(hidden, out_dim, rng));
-        let b2 = store.add("b2", Matrix::zeros(1, out_dim));
+        let mut init = LayerInit::new(&mut store, rng);
+        let (w1, b1) = init.linear("w1", "b1", in_dim, hidden);
+        let (w2, b2) = init.linear("w2", "b2", hidden, out_dim);
         Self {
             store,
             w1,
@@ -63,34 +63,6 @@ impl Grand {
             },
         }
     }
-
-    fn one_head(&self, tape: &mut Tape, binding: &Binding, ctx: &mut ForwardCtx) -> NodeId {
-        // Random propagation: x' = row-dropout(x); x̄ = mean_k Ã^k x'.
-        let x = if ctx.train && self.drop_node > 0.0 {
-            tape.dropout_rows(ctx.x, self.drop_node, ctx.rng)
-        } else {
-            ctx.x
-        };
-        let mut powers = Vec::with_capacity(self.order + 1);
-        powers.push(x);
-        let mut z = x;
-        for _ in 0..self.order {
-            let z_prev = z;
-            let p = tape.spmm(ctx.adj, z);
-            z = ctx.post_conv(tape, p, z_prev);
-            powers.push(z);
-        }
-        let coef = 1.0 / (self.order + 1) as f32;
-        let parts: Vec<(NodeId, f32)> = powers.into_iter().map(|p| (p, coef)).collect();
-        let xbar = tape.lin_comb(&parts);
-        // MLP head.
-        let h_in = ctx.dropout(tape, xbar, self.dropout);
-        let h = dense(tape, binding, h_in, self.w1, self.b1);
-        let h = tape.relu(h);
-        ctx.penultimate = Some(h);
-        let h = ctx.dropout(tape, h, self.dropout);
-        dense(tape, binding, h, self.w2, self.b2)
-    }
 }
 
 impl Model for Grand {
@@ -106,8 +78,28 @@ impl Model for Grand {
         &mut self.store
     }
 
-    fn forward(&self, tape: &mut Tape, binding: &Binding, ctx: &mut ForwardCtx) -> NodeId {
-        self.one_head(tape, binding, ctx)
+    /// One stochastic head: random propagation (row dropout + power mean)
+    /// feeding the shared MLP. [`Model::forward_heads`] executes this plan
+    /// `S` times during training, drawing fresh augmentations each run.
+    fn plan(&self) -> Option<LayerPlan> {
+        let mut b = PlanBuilder::new();
+        let x = b.drop_rows(PlanBuilder::input(), self.drop_node);
+        let mut powers = Vec::with_capacity(self.order + 1);
+        powers.push(x);
+        let mut z = x;
+        for _ in 0..self.order {
+            z = b.propagate(z, z, None);
+            powers.push(z);
+        }
+        let coef = 1.0 / (self.order + 1) as f32;
+        let xbar = b.lin_comb(powers.into_iter().map(|p| (p, coef)).collect());
+        let h_in = b.dropout(xbar, self.dropout);
+        let h = b.dense(h_in, self.w1, self.b1);
+        let h = b.relu(h);
+        b.penultimate(h);
+        let h = b.dropout(h, self.dropout);
+        let out = b.dense(h, self.w2, self.b2);
+        Some(b.finish(out))
     }
 
     fn forward_heads(
@@ -117,7 +109,7 @@ impl Model for Grand {
         ctx: &mut ForwardCtx,
     ) -> Vec<NodeId> {
         let s = if ctx.train { self.heads } else { 1 };
-        (0..s).map(|_| self.one_head(tape, binding, ctx)).collect()
+        (0..s).map(|_| self.forward(tape, binding, ctx)).collect()
     }
 
     fn consistency(&self) -> Option<Consistency> {

@@ -6,11 +6,10 @@
 //! most `MAX_BRANCHES` towers whose depths are spread evenly up to `L`
 //! (documented adaptation; the receptive-field mixture is what matters).
 
-use super::{conv, dense, Model};
-use crate::context::ForwardCtx;
-use crate::param::{Binding, ParamId, ParamStore};
-use skipnode_autograd::{NodeId, Tape};
-use skipnode_tensor::{glorot_uniform, Matrix, SplitRng};
+use super::{JkAggregate, Model};
+use crate::param::{LayerInit, ParamId, ParamStore};
+use crate::plan::{LayerPlan, PlanBuilder};
+use skipnode_tensor::SplitRng;
 
 const MAX_BRANCHES: usize = 4;
 
@@ -45,18 +44,19 @@ impl InceptGcn {
             .map(|i| ((layers * i) as f64 / b as f64).round().max(1.0) as usize)
             .collect();
         let mut branches = Vec::with_capacity(b);
+        let mut init = LayerInit::new(&mut store, rng);
         for (bi, &depth) in depths.iter().enumerate() {
             let mut weights = Vec::with_capacity(depth);
             let mut biases = Vec::with_capacity(depth);
             for l in 0..depth {
                 let fi = if l == 0 { in_dim } else { hidden };
-                weights.push(store.add(format!("b{bi}_w{l}"), glorot_uniform(fi, hidden, rng)));
-                biases.push(store.add(format!("b{bi}_b{l}"), Matrix::zeros(1, hidden)));
+                let (w, b) = init.linear(format!("b{bi}_w{l}"), format!("b{bi}_b{l}"), fi, hidden);
+                weights.push(w);
+                biases.push(b);
             }
             branches.push(Branch { weights, biases });
         }
-        let out_w = store.add("out_w", glorot_uniform(hidden * b, out_dim, rng));
-        let out_b = store.add("out_b", Matrix::zeros(1, out_dim));
+        let (out_w, out_b) = init.linear("out_w", "out_b", hidden * b, out_dim);
         Self {
             store,
             branches,
@@ -85,37 +85,30 @@ impl Model for InceptGcn {
         &mut self.store
     }
 
-    fn forward(&self, tape: &mut Tape, binding: &Binding, ctx: &mut ForwardCtx) -> NodeId {
+    fn plan(&self) -> Option<LayerPlan> {
+        let mut b = PlanBuilder::new();
         let mut outs = Vec::with_capacity(self.branches.len());
         for branch in &self.branches {
-            let mut h = ctx.x;
+            let mut h = PlanBuilder::input();
             for l in 0..branch.weights.len() {
-                let h_in = ctx.dropout(tape, h, self.dropout);
-                let z = conv(
-                    tape,
-                    ctx,
-                    binding,
-                    h_in,
-                    branch.weights[l],
-                    branch.biases[l],
-                );
-                let a = tape.relu(z);
-                let a = ctx.post_conv(tape, a, h);
-                h = a;
+                let h_in = b.dropout(h, self.dropout);
+                h = b.activated_conv(h_in, h, branch.weights[l], branch.biases[l]);
             }
             outs.push(h);
         }
-        let rep = tape.concat_cols(&outs);
-        ctx.penultimate = Some(rep);
-        let rep = ctx.dropout(tape, rep, self.dropout);
-        dense(tape, binding, rep, self.out_w, self.out_b)
+        let rep = b.aggregate(outs, JkAggregate::Concat);
+        b.penultimate(rep);
+        let rep = b.dropout(rep, self.dropout);
+        let out = b.dense(rep, self.out_w, self.out_b);
+        Some(b.finish(out))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::context::Strategy;
+    use crate::context::{ForwardCtx, Strategy};
+    use skipnode_autograd::Tape;
     use skipnode_graph::{load, DatasetName, Scale};
 
     #[test]

@@ -1,10 +1,9 @@
 //! JKNet [6]: jumping-knowledge network aggregating all layer outputs.
 
-use super::{conv_activated, dense, Model};
-use crate::context::ForwardCtx;
-use crate::param::{Binding, ParamId, ParamStore};
-use skipnode_autograd::{NodeId, Tape};
-use skipnode_tensor::{glorot_uniform, Matrix, SplitRng};
+use super::Model;
+use crate::param::{LayerInit, ParamId, ParamStore};
+use crate::plan::{LayerPlan, PlanBuilder};
+use skipnode_tensor::SplitRng;
 
 /// How JKNet fuses per-layer representations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,17 +41,18 @@ impl JkNet {
         let mut store = ParamStore::new();
         let mut weights = Vec::with_capacity(layers);
         let mut biases = Vec::with_capacity(layers);
+        let mut init = LayerInit::new(&mut store, rng);
         for l in 0..layers {
             let fi = if l == 0 { in_dim } else { hidden };
-            weights.push(store.add(format!("w{l}"), glorot_uniform(fi, hidden, rng)));
-            biases.push(store.add(format!("b{l}"), Matrix::zeros(1, hidden)));
+            let (w, b) = init.linear(format!("w{l}"), format!("b{l}"), fi, hidden);
+            weights.push(w);
+            biases.push(b);
         }
         let head_in = match aggregate {
             JkAggregate::Concat => hidden * layers,
             JkAggregate::MaxPool => hidden,
         };
-        let out_w = store.add("out_w", glorot_uniform(head_in, out_dim, rng));
-        let out_b = store.add("out_b", Matrix::zeros(1, out_dim));
+        let (out_w, out_b) = init.linear("out_w", "out_b", head_in, out_dim);
         Self {
             store,
             weights,
@@ -83,30 +83,30 @@ impl Model for JkNet {
         &mut self.store
     }
 
-    fn forward(&self, tape: &mut Tape, binding: &Binding, ctx: &mut ForwardCtx) -> NodeId {
-        let mut h = ctx.x;
+    fn plan(&self) -> Option<LayerPlan> {
+        let mut b = PlanBuilder::new();
+        let mut h = PlanBuilder::input();
         let mut collected = Vec::with_capacity(self.layers());
         for l in 0..self.layers() {
-            let h_in = ctx.dropout(tape, h, self.dropout);
-            let a = conv_activated(tape, ctx, binding, h_in, h, self.weights[l], self.biases[l]);
-            collected.push(a);
-            h = a;
+            let h_in = b.dropout(h, self.dropout);
+            h = b.activated_conv(h_in, h, self.weights[l], self.biases[l]);
+            collected.push(h);
         }
-        let rep = match self.aggregate {
-            JkAggregate::Concat => tape.concat_cols(&collected),
-            JkAggregate::MaxPool => tape.max_pool(&collected),
-        };
-        ctx.penultimate = Some(rep);
-        let rep = ctx.dropout(tape, rep, self.dropout);
-        dense(tape, binding, rep, self.out_w, self.out_b)
+        let rep = b.aggregate(collected, self.aggregate);
+        b.penultimate(rep);
+        let rep = b.dropout(rep, self.dropout);
+        let out = b.dense(rep, self.out_w, self.out_b);
+        Some(b.finish(out))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::context::Strategy;
+    use crate::context::{ForwardCtx, Strategy};
+    use skipnode_autograd::Tape;
     use skipnode_graph::{load, DatasetName, Scale};
+    use skipnode_tensor::Matrix;
 
     fn run(aggregate: JkAggregate) -> Matrix {
         let g = load(DatasetName::Cornell, Scale::Bench, 7);

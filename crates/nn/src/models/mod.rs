@@ -35,6 +35,7 @@ pub use sgc::Sgc;
 
 use crate::context::ForwardCtx;
 use crate::param::{Binding, ParamStore};
+use crate::plan::{LayerPlan, PlanExecutor};
 use skipnode_autograd::{NodeId, Tape};
 
 /// Consistency-regularization settings (GRAND's multi-head objective).
@@ -57,8 +58,30 @@ pub trait Model {
     /// Mutable access for the optimizer.
     fn store_mut(&mut self) -> &mut ParamStore;
 
+    /// Compile this backbone into the layer-plan IR (see [`crate::plan`]).
+    ///
+    /// Every paper backbone returns `Some`; strategy injection, dropout
+    /// placement, fused-kernel selection, and RNG ordering then live in
+    /// the shared [`PlanExecutor`] instead of per-model forward loops.
+    /// Bespoke models (GAT's attention aggregation has no plan-op
+    /// equivalent) return `None` and override [`Model::forward`] instead.
+    fn plan(&self) -> Option<LayerPlan> {
+        None
+    }
+
     /// Single forward pass producing logits (`n × C`).
-    fn forward(&self, tape: &mut Tape, binding: &Binding, ctx: &mut ForwardCtx) -> NodeId;
+    ///
+    /// The default executes [`Model::plan`] through [`PlanExecutor`];
+    /// models without a plan must override this.
+    fn forward(&self, tape: &mut Tape, binding: &Binding, ctx: &mut ForwardCtx) -> NodeId {
+        let plan = self.plan().unwrap_or_else(|| {
+            panic!(
+                "{} provides neither a layer plan nor a forward override",
+                self.name()
+            )
+        });
+        PlanExecutor::run(&plan, tape, binding, ctx)
+    }
 
     /// Multi-head forward (GRAND trains several stochastic heads). The
     /// default is the single [`Model::forward`] head.
@@ -90,13 +113,162 @@ pub const BACKBONE_NAMES: [&str; 9] = [
     "sgc",
 ];
 
-/// Build any backbone by its table name with shared depth semantics
-/// (stacked convolutions for GCN-family models, propagation steps for
-/// APPNP / GPRGNN / GRAND / SGC).
-///
-/// # Panics
-/// Panics on an unknown name — validate against [`BACKBONE_NAMES`] first
-/// if the name is user input you want to reject gracefully.
+/// Why a backbone or strategy could not be built from a name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The backbone name is not one of [`BACKBONE_NAMES`].
+    UnknownBackbone(String),
+    /// The strategy name is not recognized by the caller's parser.
+    UnknownStrategy(String),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::UnknownBackbone(name) => {
+                write!(
+                    f,
+                    "unknown backbone {name:?}; expected one of {BACKBONE_NAMES:?}"
+                )
+            }
+            BuildError::UnknownStrategy(name) => {
+                write!(f, "unknown strategy {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Declarative recipe for building any paper backbone by its table name,
+/// with shared depth semantics (stacked convolutions for GCN-family
+/// models, propagation steps for APPNP / GPRGNN / GRAND / SGC).
+#[derive(Debug, Clone)]
+pub struct BackboneSpec {
+    /// Backbone name (one of [`BACKBONE_NAMES`]).
+    pub name: String,
+    /// Input feature dimension.
+    pub in_dim: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Number of classes.
+    pub out_dim: usize,
+    /// Depth knob (clamped per-backbone to its minimum).
+    pub depth: usize,
+    /// Dropout rate.
+    pub dropout: f64,
+}
+
+impl BackboneSpec {
+    /// New spec.
+    pub fn new(
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        out_dim: usize,
+        depth: usize,
+        dropout: f64,
+    ) -> Self {
+        Self {
+            name: name.to_string(),
+            in_dim,
+            hidden,
+            out_dim,
+            depth,
+            dropout,
+        }
+    }
+
+    /// Build the backbone, consuming initialization draws from `rng`.
+    /// Unknown names return [`BuildError::UnknownBackbone`] instead of
+    /// panicking, so CLI and bench binaries can report them gracefully.
+    pub fn build(&self, rng: &mut skipnode_tensor::SplitRng) -> Result<Box<dyn Model>, BuildError> {
+        let &Self {
+            in_dim,
+            hidden,
+            out_dim,
+            depth,
+            dropout,
+            ..
+        } = self;
+        Ok(match self.name.as_str() {
+            "gcn" => Box::new(Gcn::new(
+                in_dim,
+                hidden,
+                out_dim,
+                depth.max(2),
+                dropout,
+                rng,
+            )),
+            "resgcn" => Box::new(Gcn::residual(
+                in_dim,
+                hidden,
+                out_dim,
+                depth.max(2),
+                dropout,
+                rng,
+            )),
+            "jknet" => Box::new(JkNet::new(
+                in_dim,
+                hidden,
+                out_dim,
+                depth.max(1),
+                dropout,
+                JkAggregate::Concat,
+                rng,
+            )),
+            "inceptgcn" => Box::new(InceptGcn::new(
+                in_dim,
+                hidden,
+                out_dim,
+                depth.max(1),
+                dropout,
+                rng,
+            )),
+            "gcnii" => Box::new(Gcnii::new(
+                in_dim,
+                hidden,
+                out_dim,
+                depth.max(1),
+                dropout,
+                rng,
+            )),
+            "appnp" => Box::new(Appnp::new(
+                in_dim,
+                hidden,
+                out_dim,
+                depth.max(1),
+                0.1,
+                dropout,
+                rng,
+            )),
+            "gprgnn" => Box::new(GprGnn::new(
+                in_dim,
+                hidden,
+                out_dim,
+                depth.max(1),
+                0.1,
+                dropout,
+                rng,
+            )),
+            "grand" => Box::new(Grand::new(
+                in_dim,
+                hidden,
+                out_dim,
+                depth.max(1),
+                2,
+                0.5,
+                dropout,
+                rng,
+            )),
+            "sgc" => Box::new(Sgc::new(in_dim, out_dim, depth.max(1), dropout, rng)),
+            other => return Err(BuildError::UnknownBackbone(other.to_string())),
+        })
+    }
+}
+
+/// Build any backbone by its table name — shorthand for
+/// [`BackboneSpec::build`]. Unknown names are an `Err`, not a panic.
 pub fn build_by_name(
     name: &str,
     in_dim: usize,
@@ -105,132 +277,19 @@ pub fn build_by_name(
     depth: usize,
     dropout: f64,
     rng: &mut skipnode_tensor::SplitRng,
-) -> Box<dyn Model> {
-    match name {
-        "gcn" => Box::new(Gcn::new(
-            in_dim,
-            hidden,
-            out_dim,
-            depth.max(2),
-            dropout,
-            rng,
-        )),
-        "resgcn" => Box::new(Gcn::residual(
-            in_dim,
-            hidden,
-            out_dim,
-            depth.max(2),
-            dropout,
-            rng,
-        )),
-        "jknet" => Box::new(JkNet::new(
-            in_dim,
-            hidden,
-            out_dim,
-            depth.max(1),
-            dropout,
-            JkAggregate::Concat,
-            rng,
-        )),
-        "inceptgcn" => Box::new(InceptGcn::new(
-            in_dim,
-            hidden,
-            out_dim,
-            depth.max(1),
-            dropout,
-            rng,
-        )),
-        "gcnii" => Box::new(Gcnii::new(
-            in_dim,
-            hidden,
-            out_dim,
-            depth.max(1),
-            dropout,
-            rng,
-        )),
-        "appnp" => Box::new(Appnp::new(
-            in_dim,
-            hidden,
-            out_dim,
-            depth.max(1),
-            0.1,
-            dropout,
-            rng,
-        )),
-        "gprgnn" => Box::new(GprGnn::new(
-            in_dim,
-            hidden,
-            out_dim,
-            depth.max(1),
-            0.1,
-            dropout,
-            rng,
-        )),
-        "grand" => Box::new(Grand::new(
-            in_dim,
-            hidden,
-            out_dim,
-            depth.max(1),
-            2,
-            0.5,
-            dropout,
-            rng,
-        )),
-        "sgc" => Box::new(Sgc::new(in_dim, out_dim, depth.max(1), dropout, rng)),
-        other => panic!("unknown backbone {other}; expected one of {BACKBONE_NAMES:?}"),
-    }
-}
-
-/// Shared helper: one graph convolution `Ã · h · W + b`.
-pub(crate) fn conv(
-    tape: &mut Tape,
-    ctx: &ForwardCtx,
-    binding: &Binding,
-    h: NodeId,
-    w: crate::param::ParamId,
-    b: crate::param::ParamId,
-) -> NodeId {
-    let p = tape.spmm(ctx.adj, h);
-    let z = tape.matmul(p, binding.node(w));
-    tape.add_bias(z, binding.node(b))
-}
-
-/// Shared helper: one *activated middle layer*
-/// `post_conv(relu(Ã · h_in · W + b), h_prev)`.
-///
-/// When the SkipNode strategy is active and the layer is hidden→hidden,
-/// this routes through the fused masked kernel
-/// ([`skipnode_autograd::Tape::skip_conv`]): skipped rows copy `h_prev`
-/// and never enter the SpMM/GEMM. Every other strategy — and shape-changing
-/// layers — takes the unfused op chain, so this helper is a drop-in for the
-/// `conv → relu → post_conv` sequence.
-pub(crate) fn conv_activated(
-    tape: &mut Tape,
-    ctx: &mut ForwardCtx,
-    binding: &Binding,
-    h_in: NodeId,
-    h_prev: NodeId,
-    w: crate::param::ParamId,
-    b: crate::param::ParamId,
-) -> NodeId {
-    let conv_shape = (tape.shape(h_in).0, tape.shape(binding.node(w)).1);
-    let prev_shape = tape.shape(h_prev);
-    if let Some(mask) = ctx.fused_skip_mask(conv_shape, prev_shape) {
-        return tape.skip_conv(
-            ctx.adj,
-            h_in,
-            h_prev,
-            binding.node(w),
-            binding.node(b),
-            &mask,
-        );
-    }
-    let z = conv(tape, ctx, binding, h_in, w, b);
-    let a = tape.relu(z);
-    ctx.post_conv(tape, a, h_prev)
+) -> Result<Box<dyn Model>, BuildError> {
+    BackboneSpec::new(name, in_dim, hidden, out_dim, depth, dropout).build(rng)
 }
 
 /// Shared helper: dense `h · W + b`.
+///
+/// Graph convolutions and activated middle layers used to have sibling
+/// helpers here (`conv`, `conv_activated`); those are superseded by the
+/// layer-plan IR — [`crate::plan::PlanOp::Conv`] and
+/// [`crate::plan::PlanOp::ActivatedConv`], executed by
+/// [`crate::plan::PlanExecutor`], which owns fused-kernel selection for
+/// every backbone. This helper remains for bespoke models (GAT) that
+/// stay outside the IR.
 pub(crate) fn dense(
     tape: &mut Tape,
     binding: &Binding,

@@ -5,11 +5,10 @@
 //! family of over-smoothing workarounds; it serves here as a cheap extra
 //! baseline whose propagation `Ã^K X` can optionally be precomputed.
 
-use super::{dense, Model};
-use crate::context::ForwardCtx;
-use crate::param::{Binding, ParamId, ParamStore};
-use skipnode_autograd::{NodeId, Tape};
-use skipnode_tensor::{glorot_uniform, Matrix, SplitRng};
+use super::Model;
+use crate::param::{LayerInit, ParamId, ParamStore};
+use crate::plan::{LayerPlan, PlanBuilder};
+use skipnode_tensor::SplitRng;
 
 /// SGC: `K` linear propagation steps followed by one linear classifier.
 pub struct Sgc {
@@ -25,8 +24,8 @@ impl Sgc {
     pub fn new(in_dim: usize, out_dim: usize, k: usize, dropout: f64, rng: &mut SplitRng) -> Self {
         assert!(k >= 1, "SGC needs at least one hop");
         let mut store = ParamStore::new();
-        let w = store.add("w", glorot_uniform(in_dim, out_dim, rng));
-        let b = store.add("b", Matrix::zeros(1, out_dim));
+        let mut init = LayerInit::new(&mut store, rng);
+        let (w, b) = init.linear("w", "b", in_dim, out_dim);
         Self {
             store,
             w,
@@ -55,23 +54,24 @@ impl Model for Sgc {
         &mut self.store
     }
 
-    fn forward(&self, tape: &mut Tape, binding: &Binding, ctx: &mut ForwardCtx) -> NodeId {
-        let mut h = ctx.x;
+    fn plan(&self) -> Option<LayerPlan> {
+        let mut b = PlanBuilder::new();
+        let mut h = PlanBuilder::input();
         for _ in 0..self.k {
-            let h_prev = h;
-            let p = tape.spmm(ctx.adj, h);
-            h = ctx.post_conv(tape, p, h_prev);
+            h = b.propagate(h, h, None);
         }
-        ctx.penultimate = Some(h);
-        let h = ctx.dropout(tape, h, self.dropout);
-        dense(tape, binding, h, self.w, self.b)
+        b.penultimate(h);
+        let h = b.dropout(h, self.dropout);
+        let out = b.dense(h, self.w, self.b);
+        Some(b.finish(out))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::context::Strategy;
+    use crate::context::{ForwardCtx, Strategy};
+    use skipnode_autograd::Tape;
     use skipnode_graph::{load, DatasetName, Scale};
 
     #[test]

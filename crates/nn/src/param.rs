@@ -5,7 +5,7 @@
 //! the optimizer reads gradients back out by [`ParamId`].
 
 use skipnode_autograd::{NodeId, Tape};
-use skipnode_tensor::Matrix;
+use skipnode_tensor::{glorot_uniform, Matrix, SplitRng};
 
 /// Handle to a parameter in a [`ParamStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -91,6 +91,47 @@ impl ParamStore {
                 .map(|p| tape.param(p.value.clone()))
                 .collect(),
         }
+    }
+}
+
+/// Glorot layer registration, deduplicating the per-model `w`/`b` dance.
+///
+/// Every backbone used to repeat
+/// `store.add(name_w, glorot_uniform(fi, fo, rng)); store.add(name_b,
+/// Matrix::zeros(1, fo))` by hand. `LayerInit` wraps one store and one
+/// RNG so constructors register layers in a single call — with the exact
+/// same parameter names and RNG draw order as before (one Glorot draw per
+/// weight, in registration order), so checkpoints and seeded inits stay
+/// byte-compatible.
+pub struct LayerInit<'a> {
+    store: &'a mut ParamStore,
+    rng: &'a mut SplitRng,
+}
+
+impl<'a> LayerInit<'a> {
+    /// Wrap a store and the initialization RNG.
+    pub fn new(store: &'a mut ParamStore, rng: &'a mut SplitRng) -> Self {
+        Self { store, rng }
+    }
+
+    /// Register a Glorot-initialized `fi × fo` weight plus its zero
+    /// `1 × fo` bias.
+    pub fn linear(
+        &mut self,
+        w_name: impl Into<String>,
+        b_name: impl Into<String>,
+        fi: usize,
+        fo: usize,
+    ) -> (ParamId, ParamId) {
+        let w = self.weight(w_name, fi, fo);
+        let b = self.store.add(b_name, Matrix::zeros(1, fo));
+        (w, b)
+    }
+
+    /// Register a bias-free Glorot-initialized `fi × fo` weight (GCNII's
+    /// middle blocks).
+    pub fn weight(&mut self, name: impl Into<String>, fi: usize, fo: usize) -> ParamId {
+        self.store.add(name, glorot_uniform(fi, fo, self.rng))
     }
 }
 

@@ -1,0 +1,76 @@
+//! The layer-plan IR must actually *extend* fused-kernel coverage: under
+//! an active SkipNode strategy, every conv-stack backbone's middle layers
+//! run through the masked kernel, so SpMM row work drops below the
+//! unfused chain's — including the three backbones the seed never fused
+//! (ResGCN's matching-shape layers, InceptGCN, GCNII). Kept alone in this
+//! file: the row counter is process-global, and a dedicated test binary
+//! keeps concurrent tests from polluting the deltas (same convention as
+//! `crates/autograd/tests/work_scaling.rs`).
+
+use skipnode_autograd::Tape;
+use skipnode_core::{Sampling, SkipNodeConfig};
+use skipnode_graph::{partition_graph, FeatureStyle, Graph, PartitionConfig};
+use skipnode_nn::models::build_by_name;
+use skipnode_nn::{ForwardCtx, Model, Strategy};
+use skipnode_sparse::stats;
+use skipnode_tensor::{Matrix, SplitRng};
+
+fn graph() -> Graph {
+    partition_graph(
+        &PartitionConfig {
+            n: 120,
+            m: 500,
+            classes: 4,
+            homophily: 0.8,
+            power: 0.3,
+        },
+        24,
+        FeatureStyle::BinaryBagOfWords {
+            active: 6,
+            fidelity: 0.9,
+            confusion: 0.1,
+        },
+        &mut SplitRng::new(11),
+    )
+}
+
+/// One training forward with the fused kernel on/off; returns the logits
+/// and the SpMM row-work delta.
+fn forward_rows(model: &dyn Model, g: &Graph, strategy: &Strategy, fuse: bool) -> (Matrix, u64) {
+    let mut tape = Tape::new();
+    let binding = model.store().bind(&mut tape);
+    let adj = tape.register_adj(g.gcn_adjacency());
+    let x = tape.constant_shared(g.features_arc());
+    let degrees = g.degrees();
+    let mut rng = SplitRng::new(77);
+    let mut ctx = ForwardCtx::new(adj, x, &degrees, strategy, true, &mut rng);
+    ctx.fuse = fuse;
+    let before = stats::spmm_rows_computed();
+    let out = model.forward(&mut tape, &binding, &mut ctx);
+    let rows = stats::spmm_rows_computed() - before;
+    (tape.value(out).clone(), rows)
+}
+
+#[test]
+fn fused_coverage_extends_to_every_conv_stack_backbone() {
+    let g = graph();
+    let strategy = Strategy::SkipNode(SkipNodeConfig::new(0.5, Sampling::Uniform));
+    for name in ["gcn", "resgcn", "jknet", "inceptgcn", "gcnii"] {
+        let mut rng = SplitRng::new(29);
+        let model = build_by_name(name, g.feature_dim(), 16, g.num_classes(), 4, 0.4, &mut rng)
+            .expect("known backbone");
+        let (fused, rows_fused) = forward_rows(model.as_ref(), &g, &strategy, true);
+        let (unfused, rows_unfused) = forward_rows(model.as_ref(), &g, &strategy, false);
+        assert_eq!(fused.shape(), unfused.shape(), "{name}: shape mismatch");
+        assert_eq!(
+            fused.as_slice(),
+            unfused.as_slice(),
+            "{name}: fused and unfused logits diverge"
+        );
+        assert!(
+            rows_fused < rows_unfused,
+            "{name}: fused kernel did not reduce SpMM row work \
+             ({rows_fused} vs {rows_unfused})"
+        );
+    }
+}

@@ -64,7 +64,8 @@ fn inference_matches_eager_for_every_backbone() {
     let g = graph();
     for name in BACKBONE_NAMES {
         let mut rng = SplitRng::new(5);
-        let model = build_by_name(name, g.feature_dim(), 16, g.num_classes(), 4, 0.3, &mut rng);
+        let model = build_by_name(name, g.feature_dim(), 16, g.num_classes(), 4, 0.3, &mut rng)
+            .expect("known backbone");
         let eager = forward_logits(model.as_ref(), &g, &Strategy::None, false);
         let inferred = forward_logits(model.as_ref(), &g, &Strategy::None, true);
         assert_bitwise_equal(name, &eager, &inferred);
@@ -85,7 +86,8 @@ fn inference_matches_eager_under_pairnorm() {
         4,
         0.3,
         &mut rng,
-    );
+    )
+    .expect("known backbone");
     let strategy = Strategy::PairNorm { scale: 1.0 };
     let eager = forward_logits(model.as_ref(), &g, &strategy, false);
     let inferred = forward_logits(model.as_ref(), &g, &strategy, true);
@@ -108,7 +110,8 @@ fn inference_matches_eager_with_fused_skip_conv() {
             6,
             0.3,
             &mut rng,
-        );
+        )
+        .expect("known backbone");
         let strategy = Strategy::SkipNodeTrainEval(SkipNodeConfig::new(0.5, sampling));
         let eager = forward_logits(model.as_ref(), &g, &strategy, false);
         let inferred = forward_logits(model.as_ref(), &g, &strategy, true);
