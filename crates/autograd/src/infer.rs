@@ -25,10 +25,10 @@ use crate::tape::{NodeId, Op, Tape, Value};
 use skipnode_tensor::{workspace, Matrix};
 
 /// Sentinel for "no consumer".
-const NO_USE: usize = usize::MAX;
+pub(crate) const NO_USE: usize = usize::MAX;
 
 /// Visit the raw node indices an op reads.
-fn op_inputs(op: &Op, f: &mut dyn FnMut(usize)) {
+pub(crate) fn op_inputs(op: &Op, f: &mut dyn FnMut(usize)) {
     match op {
         Op::Leaf => {}
         Op::MatMul(a, b) | Op::Hadamard(a, b) | Op::AddBias(a, b) => {
@@ -121,7 +121,7 @@ impl Tape {
         let mut inputs: Vec<usize> = Vec::new();
         for (idx, _) in needed.iter().enumerate().filter(|(_, &nd)| nd) {
             if matches!(self.nodes[idx].value, Value::Pending { .. }) {
-                self.eval_node(idx, &last_use, &pinned);
+                self.eval_node(idx, &last_use, &pinned, false);
             }
             inputs.clear();
             op_inputs(&self.nodes[idx].op, &mut |p| inputs.push(p));
@@ -138,7 +138,7 @@ impl Tape {
     /// Drop a node's buffer back to the workspace, leaving a shape-only
     /// placeholder. No-op if the value was already stolen for in-place
     /// reuse; shared constants just drop their `Arc`.
-    fn release(&mut self, idx: usize) {
+    pub(crate) fn release(&mut self, idx: usize) {
         let (rows, cols) = self.nodes[idx].value.shape();
         if let Value::Owned(m) =
             std::mem::replace(&mut self.nodes[idx].value, Value::Pending { rows, cols })
@@ -176,9 +176,22 @@ impl Tape {
 
     /// Execute one pending op. The op record is temporarily swapped out so
     /// buffer-stealing (`&mut self`) can coexist with reading it.
-    fn eval_node(&mut self, idx: usize, last_use: &[usize], pinned: &[bool]) {
-        let op = std::mem::replace(&mut self.nodes[idx].op, Op::Leaf);
-        let value = match &op {
+    ///
+    /// With `retain: true` (compiled training replay,
+    /// [`crate::train_exec`]) the backward-only op records are refreshed
+    /// alongside the value: the fused SkipNode layer's `p_active` /
+    /// `relu_active` caches are written back instead of recycled, and
+    /// max-pool recomputes its `argmax`. Inference passes `false` and
+    /// skips that bookkeeping.
+    pub(crate) fn eval_node(
+        &mut self,
+        idx: usize,
+        last_use: &[usize],
+        pinned: &[bool],
+        retain: bool,
+    ) {
+        let mut op = std::mem::replace(&mut self.nodes[idx].op, Op::Leaf);
+        let value = match &mut op {
             Op::Leaf => unreachable!("a leaf is never pending"),
             Op::MatMul(a, b) => self.val(a.0).matmul(self.val(b.0)),
             Op::Spmm { adj, x } => self.adjs[*adj].mat.spmm(self.val(x.0)),
@@ -209,14 +222,14 @@ impl Tape {
                 }
                 v
             }
-            Op::Mask { x, mask } => {
+            Op::Mask { x, mask, .. } => {
                 let mut v = self.reuse_or_copy(x.0, idx, last_use, pinned, &[]);
-                for (t, &m) in v.as_mut_slice().iter_mut().zip(mask) {
+                for (t, &m) in v.as_mut_slice().iter_mut().zip(mask.iter()) {
                     *t *= m;
                 }
                 v
             }
-            Op::RowMask { x, factors } => {
+            Op::RowMask { x, factors, .. } => {
                 let mut v = self.reuse_or_copy(x.0, idx, last_use, pinned, &[]);
                 for (r, &f) in factors.iter().enumerate() {
                     for t in v.row_mut(r) {
@@ -261,9 +274,14 @@ impl Tape {
                 };
                 let (value, p_active, relu_active) =
                     skip_conv_compute(&args, &cache.active, &cache.col_map);
-                // Backward-only caches; recycle them immediately.
-                workspace::give(p_active);
-                if relu_active.rows() > 0 {
+                if retain {
+                    // Replay keeps the backward caches; recycle last
+                    // epoch's buffers (`give` ignores the 0×0 case).
+                    workspace::give(std::mem::replace(&mut cache.p_active, p_active));
+                    workspace::give(std::mem::replace(&mut cache.relu_active, relu_active));
+                } else {
+                    // Backward-only caches; recycle them immediately.
+                    workspace::give(p_active);
                     workspace::give(relu_active);
                 }
                 value
@@ -272,14 +290,29 @@ impl Tape {
                 let mats: Vec<&Matrix> = parts.iter().map(|p| self.val(p.0)).collect();
                 Matrix::hcat(&mats)
             }
-            Op::MaxPool { xs, .. } => {
+            Op::MaxPool { xs, argmax } => {
                 let aliases: Vec<usize> = xs[1..].iter().map(|p| p.0).collect();
                 let mut v = self.reuse_or_copy(xs[0].0, idx, last_use, pinned, &aliases);
-                for p in &xs[1..] {
+                if retain {
+                    // Refresh the backward argmax record for replay.
+                    argmax.clear();
+                    argmax.resize(v.len(), 0);
+                }
+                for (k, p) in xs.iter().enumerate().skip(1) {
                     let pv = self.val(p.0);
-                    for (t, &cand) in v.as_mut_slice().iter_mut().zip(pv.as_slice()) {
-                        if cand > *t {
-                            *t = cand;
+                    if retain {
+                        for (i, &cand) in pv.as_slice().iter().enumerate() {
+                            let t = &mut v.as_mut_slice()[i];
+                            if cand > *t {
+                                *t = cand;
+                                argmax[i] = k as u8;
+                            }
+                        }
+                    } else {
+                        for (t, &cand) in v.as_mut_slice().iter_mut().zip(pv.as_slice()) {
+                            if cand > *t {
+                                *t = cand;
+                            }
                         }
                     }
                 }
@@ -296,7 +329,7 @@ impl Tape {
             Op::LinComb(parts) => {
                 let (rows, cols) = self.nodes[idx].value.shape();
                 let mut v = workspace::take(rows, cols);
-                for &(p, c) in parts {
+                for &(p, c) in parts.iter() {
                     v.add_scaled(self.val(p.0), c);
                 }
                 v

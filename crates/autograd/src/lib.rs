@@ -31,9 +31,11 @@ mod infer;
 mod loss;
 mod ops;
 mod tape;
+mod train_exec;
 
 pub use attention::AttentionGraph;
 pub use gradcheck::finite_difference_check;
 pub use loss::{bce_with_logits, softmax_cross_entropy, LossOutput};
 pub use ops::FusedStep;
 pub use tape::{AdjId, NodeId, Tape};
+pub use train_exec::{CompileError, EpochSampler, TrainProgram};

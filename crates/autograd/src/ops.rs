@@ -259,14 +259,14 @@ impl Tape {
             .map(|_| if rng.bernoulli(p) { 0.0 } else { scale })
             .collect();
         if self.infer() {
-            return self.push_pending(rows, cols, Op::Mask { x, mask });
+            return self.push_pending(rows, cols, Op::Mask { x, mask, rate: p });
         }
         let mut value = workspace::take_copy(self.value(x));
         for (v, &m) in value.as_mut_slice().iter_mut().zip(&mask) {
             *v *= m;
         }
         let rg = self.rg(x);
-        self.push(value, Op::Mask { x, mask }, rg)
+        self.push(value, Op::Mask { x, mask, rate: p }, rg)
     }
 
     /// Row-level dropout (GRAND's random propagation masks whole node
@@ -282,7 +282,15 @@ impl Tape {
             .map(|_| if rng.bernoulli(p) { 0.0 } else { scale })
             .collect();
         if self.infer() {
-            return self.push_pending(rows, cols, Op::RowMask { x, factors });
+            return self.push_pending(
+                rows,
+                cols,
+                Op::RowMask {
+                    x,
+                    factors,
+                    rate: p,
+                },
+            );
         }
         let mut value = workspace::take_copy(self.value(x));
         for (r, &f) in factors.iter().enumerate() {
@@ -291,7 +299,15 @@ impl Tape {
             }
         }
         let rg = self.rg(x);
-        self.push(value, Op::RowMask { x, factors }, rg)
+        self.push(
+            value,
+            Op::RowMask {
+                x,
+                factors,
+                rate: p,
+            },
+            rg,
+        )
     }
 
     /// SkipNode combine (Eq. 4): row `i` of the output is `skip`'s row when

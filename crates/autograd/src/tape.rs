@@ -47,14 +47,18 @@ pub(crate) enum Op {
     AddBias(NodeId, NodeId),
     Relu(NodeId),
     /// Elementwise mask multiply (inverted-dropout mask, already scaled).
+    /// `rate` keeps the original drop probability so compiled replay
+    /// ([`crate::train_exec`]) can redraw the mask each epoch.
     Mask {
         x: NodeId,
         mask: Vec<f32>,
+        rate: f64,
     },
     /// Per-row mask multiply (GRAND-style row dropout; factors scaled).
     RowMask {
         x: NodeId,
         factors: Vec<f32>,
+        rate: f64,
     },
     /// SkipNode combine: row i comes from `skip` when `take_skip[i]`,
     /// otherwise from `conv`.
@@ -350,6 +354,19 @@ impl Tape {
         id
     }
 
+    /// Swap an already-registered adjacency for a new matrix (compiled
+    /// replay re-points the recorded slot at each epoch's sampled
+    /// adjacency). Symmetry/transpose metadata comes from the matrix's own
+    /// caches, exactly as in [`Tape::register_adj`].
+    pub(crate) fn replace_adj(&mut self, idx: usize, mat: Arc<CsrMatrix>) {
+        let transpose = if mat.is_symmetric_cached() {
+            None
+        } else {
+            Some(mat.transpose_arc())
+        };
+        self.adjs[idx] = AdjEntry { mat, transpose };
+    }
+
     /// Value of a node.
     ///
     /// # Panics
@@ -486,7 +503,7 @@ impl Tape {
                     accum(grads, *x, dx);
                 }
             }
-            Op::Mask { x, mask } => {
+            Op::Mask { x, mask, .. } => {
                 if self.nodes[x.0].requires_grad {
                     let mut dx = workspace::take_copy(g);
                     for (v, &m) in dx.as_mut_slice().iter_mut().zip(mask) {
@@ -495,7 +512,7 @@ impl Tape {
                     accum(grads, *x, dx);
                 }
             }
-            Op::RowMask { x, factors } => {
+            Op::RowMask { x, factors, .. } => {
                 if self.nodes[x.0].requires_grad {
                     let mut dx = workspace::take_copy(g);
                     for (r, &f) in factors.iter().enumerate() {
@@ -775,7 +792,7 @@ pub(crate) fn pairnorm_forward(x: &Matrix, s: f32) -> Matrix {
     xc
 }
 
-fn pairnorm_backward(x: &Matrix, g: &Matrix, s: f32) -> Matrix {
+pub(crate) fn pairnorm_backward(x: &Matrix, g: &Matrix, s: f32) -> Matrix {
     // y = α Xc / r with α = s·sqrt(n), Xc = X − 1·mean, r = ||Xc||_F.
     // dXc = α/r · G − α ⟨G, Xc⟩ / r³ · Xc ; dX = dXc − colmean(dXc).
     let mean = x.col_mean();
@@ -810,7 +827,7 @@ fn pairnorm_backward(x: &Matrix, g: &Matrix, s: f32) -> Matrix {
 
 /// Accumulate an owned delta. On first touch the buffer is stored as the
 /// gradient (no copy); otherwise it is added and recycled to the workspace.
-fn accum(grads: &mut [Option<Matrix>], id: NodeId, delta: Matrix) {
+pub(crate) fn accum(grads: &mut [Option<Matrix>], id: NodeId, delta: Matrix) {
     match &mut grads[id.0] {
         Some(g) => {
             g.add_scaled(&delta, 1.0);
@@ -822,7 +839,7 @@ fn accum(grads: &mut [Option<Matrix>], id: NodeId, delta: Matrix) {
 
 /// Accumulate a borrowed delta; first touch copies it into a recycled
 /// workspace buffer.
-fn accum_ref(grads: &mut [Option<Matrix>], id: NodeId, delta: &Matrix) {
+pub(crate) fn accum_ref(grads: &mut [Option<Matrix>], id: NodeId, delta: &Matrix) {
     match &mut grads[id.0] {
         Some(g) => g.add_scaled(delta, 1.0),
         slot @ None => *slot = Some(workspace::take_copy(delta)),

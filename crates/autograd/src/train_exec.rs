@@ -1,0 +1,1074 @@
+//! Compiled training: record a tape once, replay it every epoch.
+//!
+//! Eager training rebuilds the whole [`Tape`] per epoch — re-pushing every
+//! node, re-cloning every parameter, and running a backward pass that
+//! allocates a fresh gradient matrix per node. [`TrainProgram`] compiles a
+//! recorded tape into a fixed forward+backward schedule executed against
+//! the same node storage each epoch:
+//!
+//! - **Record once / replay many.** The tape's op records (and their
+//!   shapes) depend only on the model plan and strategy, never on drawn
+//!   values, so one probe forward fixes the schedule. Stochastic records —
+//!   dropout masks, GRAND row masks, SkipNode skip sets — are refreshed per
+//!   epoch by [`TrainProgram::begin_epoch`] in node order, consuming the
+//!   per-epoch RNG stream exactly as the eager constructors do, which keeps
+//!   replayed values byte-identical to a freshly recorded tape.
+//! - **Whole-program liveness.** Forward and backward are laid out on one
+//!   combined timeline (forward op `j` at position `j`, backward step of
+//!   node `j` at position `2N−1−j`); every node value's true last read is
+//!   computed at compile time, and the buffer is recycled to the
+//!   [`workspace`] free-list the moment that read has happened — including
+//!   reads *by the backward pass* (ReLU masks, GEMM operands), which the
+//!   eager tape must keep alive wholesale.
+//! - **Gradient recycling.** Each backward step owns its upstream gradient:
+//!   elementwise ops mutate it in place and pass it down, dying forward
+//!   intermediates are stolen for gradient math (ReLU), and every buffer
+//!   that stops flowing is given back to the workspace instead of parking
+//!   in a per-epoch `Vec<Option<Matrix>>`.
+//!
+//! The eager tape remains the reference implementation: equivalence tests
+//! assert replayed losses, values, and parameter gradients are
+//! bit-identical to it. Ops with no replay support (GAT's fused attention
+//! keeps per-forward caches the schedule cannot refresh) are rejected at
+//! compile time with [`CompileError::UnsupportedOp`] — callers fall back to
+//! eager recording explicitly, never silently.
+
+use crate::infer::{op_inputs, NO_USE};
+use crate::tape::{accum, pairnorm_backward, NodeId, Op, Tape, Value};
+use skipnode_sparse::{CsrMatrix, COL_SKIP};
+use skipnode_tensor::{workspace, Matrix, SplitRng};
+use std::sync::Arc;
+
+/// Why a recorded tape could not be compiled into a [`TrainProgram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A live node's op has no compiled-replay support.
+    UnsupportedOp {
+        /// Raw tape index of the offending node.
+        node: usize,
+        /// Op name, for the error message.
+        op: &'static str,
+    },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::UnsupportedOp { node, op } => write!(
+                f,
+                "tape node {node} uses op {op}, which has no compiled-replay \
+                 support; record this model eagerly instead"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Per-epoch source of SkipNode sampling decisions.
+///
+/// The compiled program knows *where* skip masks sit on the tape but not
+/// the sampling distribution (uniform vs degree-biased lives in the model
+/// crates); the sampler fills each mask from the epoch RNG with exactly the
+/// draws the eager forward would have made.
+pub trait EpochSampler {
+    /// Fill `out` with this layer's skip decisions (`true` = skip the
+    /// node), consuming `rng` exactly as the eager strategy does.
+    fn skip_mask(&mut self, rng: &mut SplitRng, out: &mut [bool]);
+}
+
+/// A compiled, epoch-resident training step. See the module docs.
+pub struct TrainProgram {
+    tape: Tape,
+    heads: Vec<NodeId>,
+    param_nodes: Vec<NodeId>,
+    /// Raw node index → slot in [`TrainProgram::backward`]'s result
+    /// (`u32::MAX` for non-parameter nodes).
+    param_slot: Vec<u32>,
+    /// Nodes the heads transitively depend on (dead nodes are never
+    /// computed — their stochastic records still consume RNG draws).
+    needed: Vec<bool>,
+    /// Never freed or stolen: leaves and heads.
+    pinned: Vec<bool>,
+    /// Last read of each node's value on the combined forward+backward
+    /// timeline: forward op `j` reads at position `j`, the backward step of
+    /// node `j` reads at position `2N−1−j`.
+    last_value_use: Vec<usize>,
+    /// Values to recycle after forward step / backward step of each node.
+    free_after_fwd: Vec<Vec<u32>>,
+    free_after_bwd: Vec<Vec<u32>>,
+    /// Gradient slots, all `None` between epochs (kept for capacity).
+    grads: Vec<Option<Matrix>>,
+    /// Scratch for redrawing fused skip masks.
+    mask_scratch: Vec<bool>,
+}
+
+impl TrainProgram {
+    /// Compile a recorded (eager) tape into a replayable program.
+    ///
+    /// `heads` are the loss outputs: they are pinned across the forward
+    /// pass, and dead-code elimination keeps only their dependencies.
+    pub fn compile(tape: Tape, heads: Vec<NodeId>) -> Result<Self, CompileError> {
+        assert!(
+            !tape.is_inference(),
+            "TrainProgram compiles eagerly recorded tapes; inference tapes \
+             hold no gradient bookkeeping"
+        );
+        let n = tape.len();
+        let mut needed = vec![false; n];
+        let mut pinned = vec![false; n];
+        for &h in &heads {
+            needed[h.0] = true;
+            pinned[h.0] = true;
+        }
+        for idx in (0..n).rev() {
+            if needed[idx] {
+                op_inputs(&tape.nodes[idx].op, &mut |p| needed[p] = true);
+            }
+        }
+        for (idx, node) in tape.nodes.iter().enumerate() {
+            if matches!(node.op, Op::Leaf) {
+                pinned[idx] = true;
+            }
+            if needed[idx] {
+                if let Op::GatAggregate { .. } = node.op {
+                    return Err(CompileError::UnsupportedOp {
+                        node: idx,
+                        op: "GatAggregate",
+                    });
+                }
+            }
+        }
+
+        // Combined-timeline liveness: process reads in execution order
+        // (forward ascending, then backward descending over node indices)
+        // and overwrite unconditionally — the final write is the last read.
+        let mut last_value_use = vec![NO_USE; n];
+        for (idx, &live) in needed.iter().enumerate() {
+            if live {
+                op_inputs(&tape.nodes[idx].op, &mut |p| last_value_use[p] = idx);
+            }
+        }
+        for idx in (0..n).rev() {
+            // A backward step executes exactly for needed nodes that
+            // require gradients (every such node receives a gradient from
+            // the seeded heads through an all-requires-grad consumer
+            // chain).
+            if needed[idx] && tape.nodes[idx].requires_grad {
+                let pos = 2 * n - 1 - idx;
+                backward_value_reads(&tape, idx, &mut |p| last_value_use[p] = pos);
+            }
+        }
+
+        let mut free_after_fwd = vec![Vec::new(); n];
+        let mut free_after_bwd = vec![Vec::new(); n];
+        for v in 0..n {
+            if pinned[v] || !needed[v] || last_value_use[v] == NO_USE {
+                continue;
+            }
+            let last = last_value_use[v];
+            if last < n {
+                free_after_fwd[last].push(v as u32);
+            } else {
+                free_after_bwd[2 * n - 1 - last].push(v as u32);
+            }
+        }
+
+        let param_nodes = tape.params().to_vec();
+        let mut param_slot = vec![u32::MAX; n];
+        for (slot, id) in param_nodes.iter().enumerate() {
+            param_slot[id.0] = slot as u32;
+        }
+        let grads = (0..n).map(|_| None).collect();
+        Ok(Self {
+            tape,
+            heads,
+            param_nodes,
+            param_slot,
+            needed,
+            pinned,
+            last_value_use,
+            free_after_fwd,
+            free_after_bwd,
+            grads,
+            mask_scratch: Vec::new(),
+        })
+    }
+
+    /// The loss heads, in recording order.
+    pub fn heads(&self) -> &[NodeId] {
+        &self.heads
+    }
+
+    /// Parameter nodes in registration (binding) order — gradient slots in
+    /// [`TrainProgram::backward`]'s result use the same order.
+    pub fn param_nodes(&self) -> &[NodeId] {
+        &self.param_nodes
+    }
+
+    /// Value of a node (heads stay materialized until the next
+    /// [`TrainProgram::begin_epoch`]).
+    pub fn value(&self, id: NodeId) -> &Matrix {
+        self.tape.value(id)
+    }
+
+    /// Re-point the program's registered adjacency at this epoch's sampled
+    /// matrix. Transpose/symmetry metadata is cached on the matrix itself,
+    /// so re-setting the same `Arc` every epoch is O(1), exactly like the
+    /// eager path's per-epoch [`Tape::register_adj`].
+    ///
+    /// # Panics
+    /// Panics if the recorded tape registered anything other than exactly
+    /// one adjacency.
+    pub fn set_adjacency(&mut self, mat: Arc<CsrMatrix>) {
+        assert_eq!(
+            self.tape.adjs.len(),
+            1,
+            "compiled replay expects exactly one registered adjacency"
+        );
+        self.tape.replace_adj(0, mat);
+    }
+
+    /// Copy current parameter values into the program's leaf slots
+    /// (replaces the eager path's per-epoch parameter cloning; the copy is
+    /// into buffers that already live on the tape).
+    ///
+    /// # Panics
+    /// Panics on a count or shape mismatch with the recorded parameters.
+    pub fn load_params<'a>(&mut self, values: impl IntoIterator<Item = &'a Matrix>) {
+        let mut count = 0;
+        for (slot, v) in values.into_iter().enumerate() {
+            let id = self
+                .param_nodes
+                .get(slot)
+                .unwrap_or_else(|| panic!("more parameter values than recorded parameters"));
+            match &mut self.tape.nodes[id.0].value {
+                Value::Owned(m) => {
+                    assert_eq!(m.shape(), v.shape(), "parameter {slot} shape mismatch");
+                    m.as_mut_slice().copy_from_slice(v.as_slice());
+                }
+                _ => unreachable!("parameters are owned leaves"),
+            }
+            count += 1;
+        }
+        assert_eq!(
+            count,
+            self.param_nodes.len(),
+            "fewer parameter values than recorded parameters"
+        );
+    }
+
+    /// Start an epoch: recycle every non-leaf value from the previous
+    /// replay and redraw all stochastic records in node order, consuming
+    /// `rng` exactly as the eager constructors would (dead nodes included —
+    /// the eager forward drew their masks too, so skipping them would
+    /// desynchronize the stream).
+    pub fn begin_epoch<S: EpochSampler>(&mut self, sampler: &mut S, rng: &mut SplitRng) {
+        let mut scratch = std::mem::take(&mut self.mask_scratch);
+        for idx in 0..self.tape.len() {
+            if !matches!(self.tape.nodes[idx].op, Op::Leaf) {
+                self.tape.release(idx);
+            }
+            match &mut self.tape.nodes[idx].op {
+                Op::Mask { mask, rate, .. } => {
+                    let scale = (1.0 / (1.0 - *rate)) as f32;
+                    for m in mask.iter_mut() {
+                        *m = if rng.bernoulli(*rate) { 0.0 } else { scale };
+                    }
+                }
+                Op::RowMask { factors, rate, .. } => {
+                    let scale = (1.0 / (1.0 - *rate)) as f32;
+                    for f in factors.iter_mut() {
+                        *f = if rng.bernoulli(*rate) { 0.0 } else { scale };
+                    }
+                }
+                Op::RowCombine { take_skip, .. } => {
+                    sampler.skip_mask(rng, take_skip);
+                }
+                Op::SkipConv { cache, .. } => {
+                    scratch.clear();
+                    scratch.resize(cache.col_map.len(), false);
+                    sampler.skip_mask(rng, &mut scratch);
+                    // Rebuild the active set / column map exactly as
+                    // `Tape::skip_conv_step` does at recording time.
+                    cache.active.clear();
+                    for (r, &take) in scratch.iter().enumerate() {
+                        if take {
+                            cache.col_map[r] = COL_SKIP;
+                        } else {
+                            cache.col_map[r] = cache.active.len() as u32;
+                            cache.active.push(r as u32);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.mask_scratch = scratch;
+    }
+
+    /// Execute the forward schedule: live nodes only, recycling each value
+    /// at its last forward read (values the backward pass still needs stay
+    /// materialized until their backward read).
+    pub fn replay_forward(&mut self) {
+        for idx in 0..self.tape.len() {
+            if !self.needed[idx] || matches!(self.tape.nodes[idx].op, Op::Leaf) {
+                continue;
+            }
+            self.tape
+                .eval_node(idx, &self.last_value_use, &self.pinned, true);
+            for &v in &self.free_after_fwd[idx] {
+                self.tape.release(v as usize);
+            }
+        }
+    }
+
+    /// Execute the backward schedule from the given seed gradients and
+    /// return parameter gradients in [`TrainProgram::param_nodes`] order.
+    ///
+    /// Gradient buffers flow: each step consumes its upstream gradient
+    /// (mutating it in place where the arithmetic allows), recycles it
+    /// otherwise, and frees forward values at their last backward read.
+    /// Results are byte-identical to [`Tape::backward_multi`] on an eager
+    /// tape with the same values.
+    pub fn backward(&mut self, seeds: Vec<(NodeId, Matrix)>) -> Vec<Option<Matrix>> {
+        let mut grads = std::mem::take(&mut self.grads);
+        let mut param_grads: Vec<Option<Matrix>> =
+            (0..self.param_nodes.len()).map(|_| None).collect();
+        let mut max_id = 0usize;
+        for (root, seed) in seeds {
+            assert_eq!(
+                seed.shape(),
+                self.tape.nodes[root.0].value.shape(),
+                "seed gradient shape mismatch"
+            );
+            max_id = max_id.max(root.0);
+            accum(&mut grads, root, seed);
+        }
+        for idx in (0..=max_id).rev() {
+            let Some(g) = grads[idx].take() else {
+                continue;
+            };
+            if matches!(self.tape.nodes[idx].op, Op::Leaf) {
+                let slot = self.param_slot[idx];
+                if slot == u32::MAX {
+                    // Constant leaf that a requires-grad consumer fed —
+                    // cannot happen today, but recycle defensively.
+                    workspace::give(g);
+                } else {
+                    param_grads[slot as usize] = Some(g);
+                }
+                continue;
+            }
+            if !self.tape.nodes[idx].requires_grad {
+                workspace::give(g);
+                continue;
+            }
+            self.backward_step(idx, g, &mut grads);
+            for &v in &self.free_after_bwd[idx] {
+                self.tape.release(v as usize);
+            }
+        }
+        self.grads = grads;
+        param_grads
+    }
+
+    fn rg(&self, id: NodeId) -> bool {
+        self.tape.nodes[id.0].requires_grad
+    }
+
+    /// One backward step, owning the upstream gradient `g`. The arithmetic
+    /// mirrors `Tape::backprop_one` exactly; only buffer traffic differs
+    /// (in-place mutation, stealing, recycling).
+    fn backward_step(&mut self, idx: usize, g: Matrix, grads: &mut [Option<Matrix>]) {
+        let n = self.tape.len();
+        let op = std::mem::replace(&mut self.tape.nodes[idx].op, Op::Leaf);
+        match &op {
+            Op::Leaf | Op::GatAggregate { .. } => {
+                unreachable!("leaves are captured above; GAT is rejected at compile")
+            }
+            Op::MatMul(a, b) => {
+                if self.rg(*a) {
+                    let da = g.matmul_t(self.tape.val(b.0));
+                    accum(grads, *a, da);
+                }
+                if self.rg(*b) {
+                    let db = self.tape.val(a.0).t_matmul(&g);
+                    accum(grads, *b, db);
+                }
+                workspace::give(g);
+            }
+            Op::Spmm { adj, x } => {
+                if self.rg(*x) {
+                    let dx = self.tape.adjs[*adj].backward_mat().spmm(&g);
+                    accum(grads, *x, dx);
+                }
+                workspace::give(g);
+            }
+            Op::AddScaled(a, b, c) => {
+                // b before a so `g` can flow into a's slot unscaled; when
+                // a == b the two deltas still add commutatively, so the
+                // accumulated bits match the eager order.
+                if self.rg(*b) {
+                    let db = &g * *c;
+                    accum(grads, *b, db);
+                }
+                if self.rg(*a) {
+                    accum(grads, *a, g);
+                } else {
+                    workspace::give(g);
+                }
+            }
+            Op::Scale(x, c) => {
+                if self.rg(*x) {
+                    let mut dx = g;
+                    dx.scale_in_place(*c);
+                    accum(grads, *x, dx);
+                } else {
+                    workspace::give(g);
+                }
+            }
+            Op::AddBias(x, b) => {
+                // Bias row-sum first (reads `g`), then `g` flows to x.
+                if self.rg(*b) {
+                    let mut db = workspace::take(1, g.cols());
+                    for r in 0..g.rows() {
+                        let row = g.row(r);
+                        let dst = db.row_mut(0);
+                        for (d, &v) in dst.iter_mut().zip(row) {
+                            *d += v;
+                        }
+                    }
+                    accum(grads, *b, db);
+                }
+                if self.rg(*x) {
+                    accum(grads, *x, g);
+                } else {
+                    workspace::give(g);
+                }
+            }
+            Op::Relu(x) => {
+                if self.rg(*x) {
+                    // Steal the dying output for the mask application when
+                    // this backward read is its last use.
+                    let pos = 2 * n - 1 - idx;
+                    let steal = !self.pinned[idx]
+                        && self.last_value_use[idx] == pos
+                        && matches!(self.tape.nodes[idx].value, Value::Owned(_));
+                    if steal {
+                        let (rows, cols) = self.tape.nodes[idx].value.shape();
+                        let mut out = match std::mem::replace(
+                            &mut self.tape.nodes[idx].value,
+                            Value::Pending { rows, cols },
+                        ) {
+                            Value::Owned(m) => m,
+                            _ => unreachable!(),
+                        };
+                        for (o, &gv) in out.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                            *o = if *o > 0.0 { gv } else { 0.0 };
+                        }
+                        workspace::give(g);
+                        accum(grads, *x, out);
+                    } else {
+                        let mut dx = g;
+                        for (t, &ov) in dx
+                            .as_mut_slice()
+                            .iter_mut()
+                            .zip(self.tape.val(idx).as_slice())
+                        {
+                            if ov <= 0.0 {
+                                *t = 0.0;
+                            }
+                        }
+                        accum(grads, *x, dx);
+                    }
+                } else {
+                    workspace::give(g);
+                }
+            }
+            Op::Mask { x, mask, .. } => {
+                if self.rg(*x) {
+                    let mut dx = g;
+                    for (v, &m) in dx.as_mut_slice().iter_mut().zip(mask) {
+                        *v *= m;
+                    }
+                    accum(grads, *x, dx);
+                } else {
+                    workspace::give(g);
+                }
+            }
+            Op::RowMask { x, factors, .. } => {
+                if self.rg(*x) {
+                    let mut dx = g;
+                    for (r, &f) in factors.iter().enumerate() {
+                        for v in dx.row_mut(r) {
+                            *v *= f;
+                        }
+                    }
+                    accum(grads, *x, dx);
+                } else {
+                    workspace::give(g);
+                }
+            }
+            Op::RowCombine {
+                conv,
+                skip,
+                take_skip,
+            } => {
+                // Route `g` by zeroing the other branch's rows; the conv
+                // route copies only when the skip route also consumes `g`.
+                let zero_rows = |d: &mut Matrix, keep_skip_rows: bool| {
+                    for (r, &ts) in take_skip.iter().enumerate() {
+                        if ts != keep_skip_rows {
+                            for v in d.row_mut(r) {
+                                *v = 0.0;
+                            }
+                        }
+                    }
+                };
+                match (self.rg(*conv), self.rg(*skip)) {
+                    (true, true) => {
+                        let mut dc = workspace::take_copy(&g);
+                        zero_rows(&mut dc, false);
+                        accum(grads, *conv, dc);
+                        let mut ds = g;
+                        zero_rows(&mut ds, true);
+                        accum(grads, *skip, ds);
+                    }
+                    (true, false) => {
+                        let mut dc = g;
+                        zero_rows(&mut dc, false);
+                        accum(grads, *conv, dc);
+                    }
+                    (false, true) => {
+                        let mut ds = g;
+                        zero_rows(&mut ds, true);
+                        accum(grads, *skip, ds);
+                    }
+                    (false, false) => workspace::give(g),
+                }
+            }
+            Op::SkipConv {
+                adj,
+                x,
+                skip,
+                w,
+                b,
+                init_residual,
+                identity_map,
+                residual,
+                cache,
+            } => {
+                let d_out = g.cols();
+                let out = if residual.is_none() {
+                    Some(self.tape.val(idx))
+                } else {
+                    None
+                };
+                let mut gz = workspace::take_scratch(cache.active.len(), d_out);
+                for (local, &r) in cache.active.iter().enumerate() {
+                    let r = r as usize;
+                    let mask_row = match out {
+                        Some(o) => o.row(r),
+                        None => cache.relu_active.row(local),
+                    };
+                    let dst = gz.row_mut(local);
+                    for ((dv, &gv), &ov) in dst.iter_mut().zip(g.row(r)).zip(mask_row) {
+                        *dv = if ov > 0.0 { gv } else { 0.0 };
+                    }
+                }
+                if let Some(res) = residual {
+                    if self.rg(*res) {
+                        let mut dres = workspace::take(g.rows(), d_out);
+                        for &r in &cache.active {
+                            let r = r as usize;
+                            dres.row_mut(r).copy_from_slice(g.row(r));
+                        }
+                        accum(grads, *res, dres);
+                    }
+                }
+                if let Some(b) = b {
+                    if self.rg(*b) {
+                        let mut db = workspace::take(1, d_out);
+                        for local in 0..gz.rows() {
+                            let dst = db.row_mut(0);
+                            for (dv, &v) in dst.iter_mut().zip(gz.row(local)) {
+                                *dv += v;
+                            }
+                        }
+                        accum(grads, *b, db);
+                    }
+                }
+                if self.rg(*w) {
+                    let mut dw = cache.p_active.t_matmul(&gz);
+                    if let Some(beta) = identity_map {
+                        dw.scale_in_place(*beta);
+                    }
+                    accum(grads, *w, dw);
+                }
+                let needs_ds = self.rg(*x) || init_residual.is_some_and(|(h0, _)| self.rg(h0));
+                if needs_ds {
+                    let mut ds = gz.matmul_t(self.tape.val(w.0));
+                    if let Some(beta) = identity_map {
+                        ds.scale_in_place(*beta);
+                        ds.add_scaled(&gz, 1.0 - *beta);
+                    }
+                    if let Some((h0, alpha)) = init_residual {
+                        if self.rg(*h0) {
+                            let n0 = self.tape.nodes[h0.0].value.shape().0;
+                            let mut dh0 = workspace::take(n0, ds.cols());
+                            for (local, &r) in cache.active.iter().enumerate() {
+                                let dst = dh0.row_mut(r as usize);
+                                for (dv, &v) in dst.iter_mut().zip(ds.row(local)) {
+                                    *dv = *alpha * v;
+                                }
+                            }
+                            accum(grads, *h0, dh0);
+                        }
+                    }
+                    if self.rg(*x) {
+                        if let Some((_, alpha)) = init_residual {
+                            ds.scale_in_place(1.0 - *alpha);
+                        }
+                        let back = self.tape.adjs[*adj].backward_mat();
+                        let mut dx = workspace::take_scratch(back.rows(), ds.cols());
+                        back.spmm_cols_compact(&ds, &cache.col_map, &mut dx);
+                        accum(grads, *x, dx);
+                    }
+                    workspace::give(ds);
+                }
+                if self.rg(*skip) {
+                    let mut dsk = workspace::take(g.rows(), d_out);
+                    for (r, &m) in cache.col_map.iter().enumerate() {
+                        if m == COL_SKIP {
+                            dsk.row_mut(r).copy_from_slice(g.row(r));
+                        }
+                    }
+                    accum(grads, *skip, dsk);
+                }
+                workspace::give(gz);
+                workspace::give(g);
+            }
+            Op::ConcatCols(parts) => {
+                let mut off = 0;
+                for p in parts {
+                    let pc = self.tape.nodes[p.0].value.shape().1;
+                    if self.rg(*p) {
+                        let mut dp = workspace::take(g.rows(), pc);
+                        for r in 0..g.rows() {
+                            dp.row_mut(r).copy_from_slice(&g.row(r)[off..off + pc]);
+                        }
+                        accum(grads, *p, dp);
+                    }
+                    off += pc;
+                }
+                workspace::give(g);
+            }
+            Op::MaxPool { xs, argmax } => {
+                for (k, x) in xs.iter().enumerate() {
+                    if !self.rg(*x) {
+                        continue;
+                    }
+                    let mut dx = workspace::take(g.rows(), g.cols());
+                    for (i, (&a, &gv)) in argmax.iter().zip(g.as_slice()).enumerate() {
+                        if a as usize == k {
+                            dx.as_mut_slice()[i] = gv;
+                        }
+                    }
+                    accum(grads, *x, dx);
+                }
+                workspace::give(g);
+            }
+            Op::PairNorm { x, s } => {
+                if self.rg(*x) {
+                    let dx = pairnorm_backward(self.tape.val(x.0), &g, *s);
+                    accum(grads, *x, dx);
+                }
+                workspace::give(g);
+            }
+            Op::Hadamard(a, b) => {
+                if self.rg(*a) {
+                    let da = g.zip(self.tape.val(b.0), |gv, bv| gv * bv);
+                    accum(grads, *a, da);
+                }
+                if self.rg(*b) {
+                    let mut db = g;
+                    for (t, &av) in db
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(self.tape.val(a.0).as_slice())
+                    {
+                        *t *= av;
+                    }
+                    accum(grads, *b, db);
+                } else {
+                    workspace::give(g);
+                }
+            }
+            Op::LinComb(parts) => {
+                let last_rg = parts.iter().rposition(|&(p, _)| self.rg(p));
+                match last_rg {
+                    None => workspace::give(g),
+                    Some(li) => {
+                        for &(p, c) in &parts[..li] {
+                            if self.rg(p) {
+                                let dp = &g * c;
+                                accum(grads, p, dp);
+                            }
+                        }
+                        let (p, c) = parts[li];
+                        let mut dp = g;
+                        dp.scale_in_place(c);
+                        accum(grads, p, dp);
+                    }
+                }
+            }
+            Op::WeightedSum { xs, w } => {
+                for (k, x) in xs.iter().enumerate() {
+                    if self.rg(*x) {
+                        let dx = &g * self.tape.val(w.0).get(0, k);
+                        accum(grads, *x, dx);
+                    }
+                }
+                if self.rg(*w) {
+                    let mut dw = workspace::take(1, xs.len());
+                    for (k, x) in xs.iter().enumerate() {
+                        let xv = self.tape.val(x.0);
+                        let dot: f64 = g
+                            .as_slice()
+                            .iter()
+                            .zip(xv.as_slice())
+                            .map(|(&gv, &xvv)| gv as f64 * xvv as f64)
+                            .sum();
+                        dw.set(0, k, dot as f32);
+                    }
+                    accum(grads, *w, dw);
+                }
+                workspace::give(g);
+            }
+            Op::EdgeScore { h, edges } => {
+                if self.rg(*h) {
+                    let hv = self.tape.val(h.0);
+                    let mut dh = workspace::take(hv.rows(), hv.cols());
+                    for (e, &(u, v)) in edges.iter().enumerate() {
+                        let ge = g.get(e, 0);
+                        for c in 0..hv.cols() {
+                            let hu = hv.get(u, c);
+                            let hvv = hv.get(v, c);
+                            dh.set(u, c, dh.get(u, c) + ge * hvv);
+                            dh.set(v, c, dh.get(v, c) + ge * hu);
+                        }
+                    }
+                    accum(grads, *h, dh);
+                }
+                workspace::give(g);
+            }
+        }
+        self.tape.nodes[idx].op = op;
+    }
+}
+
+/// Node values a backward step reads (beyond the gradient flow itself).
+/// Marking a superset is safe — it only delays recycling — but missing a
+/// read would free a buffer the step still needs, so every `val(...)`
+/// access in `backprop_one` / `backward_step` must be mirrored here.
+fn backward_value_reads(tape: &Tape, idx: usize, f: &mut dyn FnMut(usize)) {
+    let rg = |id: NodeId| tape.nodes[id.0].requires_grad;
+    match &tape.nodes[idx].op {
+        Op::Leaf
+        | Op::Spmm { .. }
+        | Op::AddScaled(..)
+        | Op::Scale(..)
+        | Op::AddBias(..)
+        | Op::Mask { .. }
+        | Op::RowMask { .. }
+        | Op::RowCombine { .. }
+        | Op::ConcatCols(..)
+        | Op::MaxPool { .. }
+        | Op::LinComb(..) => {}
+        Op::MatMul(a, b) => {
+            if rg(*a) {
+                f(b.0);
+            }
+            if rg(*b) {
+                f(a.0);
+            }
+        }
+        // The ReLU mask is read back from the node's own output.
+        Op::Relu(_) => f(idx),
+        Op::SkipConv {
+            x,
+            w,
+            init_residual,
+            residual,
+            ..
+        } => {
+            if residual.is_none() {
+                f(idx);
+            }
+            if rg(*x) || init_residual.is_some_and(|(h0, _)| rg(h0)) {
+                f(w.0);
+            }
+        }
+        Op::PairNorm { x, .. } => f(x.0),
+        Op::Hadamard(a, b) => {
+            if rg(*a) {
+                f(b.0);
+            }
+            if rg(*b) {
+                f(a.0);
+            }
+        }
+        Op::WeightedSum { xs, w } => {
+            f(w.0);
+            if rg(*w) {
+                xs.iter().for_each(|x| f(x.0));
+            }
+        }
+        Op::EdgeScore { h, .. } => {
+            if rg(*h) {
+                f(h.0);
+            }
+        }
+        Op::GatAggregate { .. } => unreachable!("rejected at compile"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Grads;
+    use skipnode_sparse::gcn_adjacency;
+    use std::sync::Arc;
+
+    /// Uniform skip sampling, one bernoulli per node — mirrored by the
+    /// eager builders below so RNG streams align.
+    struct UniformSampler {
+        p: f64,
+    }
+
+    impl EpochSampler for UniformSampler {
+        fn skip_mask(&mut self, rng: &mut SplitRng, out: &mut [bool]) {
+            for o in out.iter_mut() {
+                *o = rng.bernoulli(self.p);
+            }
+        }
+    }
+
+    fn assert_same(tag: &str, a: &Matrix, b: &Matrix) {
+        assert_eq!(a.shape(), b.shape(), "{tag}: shape");
+        assert_eq!(a.as_slice(), b.as_slice(), "{tag}: values differ bitwise");
+    }
+
+    struct Fixture {
+        adj: Arc<CsrMatrix>,
+        x: Matrix,
+        w: Matrix,
+        b: Matrix,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let mut init = SplitRng::new(1234);
+            Self {
+                adj: Arc::new(gcn_adjacency(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])),
+                x: init.uniform_matrix(5, 4, -1.0, 1.0),
+                w: init.uniform_matrix(4, 4, -0.5, 0.5),
+                b: init.uniform_matrix(1, 4, -0.1, 0.1),
+            }
+        }
+
+        /// Stochastic fused chain: spmm → matmul → skip_conv → dropout →
+        /// row_combine → pairnorm → relu. Draws from `fwd` exactly where
+        /// compiled replay redraws.
+        fn record(&self, tape: &mut Tape, fwd: &mut SplitRng, skip_p: f64) -> NodeId {
+            let adj = tape.register_adj(self.adj.clone());
+            let xn = tape.constant(self.x.clone());
+            let wn = tape.param(self.w.clone());
+            let bn = tape.param(self.b.clone());
+            let prop = tape.spmm(adj, xn);
+            let sk = tape.matmul(prop, wn);
+            let mask: Vec<bool> = (0..5).map(|_| fwd.bernoulli(skip_p)).collect();
+            let fused = tape.skip_conv(adj, xn, sk, wn, bn, &mask);
+            let dropped = tape.dropout(fused, 0.3, fwd);
+            let rc_mask: Vec<bool> = (0..5).map(|_| fwd.bernoulli(skip_p)).collect();
+            let comb = tape.row_combine(dropped, sk, &rc_mask);
+            let normed = tape.pairnorm(comb, 1.0);
+            tape.relu(normed)
+        }
+    }
+
+    fn eager_epoch(fix: &Fixture, epoch: u64, skip_p: f64) -> (Matrix, Matrix, Matrix) {
+        let mut fwd = SplitRng::new(1000 + epoch);
+        let mut tape = Tape::new();
+        let out = fix.record(&mut tape, &mut fwd, skip_p);
+        let value = tape.value(out).clone();
+        let seed = Matrix::full(5, 4, 1.0);
+        let mut grads: Grads = tape.backward(out, seed);
+        let params = tape.params().to_vec();
+        let gw = grads.take(params[0]).unwrap();
+        let gb = grads.take(params[1]).unwrap();
+        (value, gw, gb)
+    }
+
+    #[test]
+    fn replay_matches_fresh_eager_tapes_across_epochs() {
+        let fix = Fixture::new();
+        let skip_p = 0.4;
+        let mut probe = SplitRng::new(0xdead);
+        let mut tape = Tape::new();
+        let out = fix.record(&mut tape, &mut probe, skip_p);
+        let mut prog = TrainProgram::compile(tape, vec![out]).unwrap();
+        let mut sampler = UniformSampler { p: skip_p };
+        for epoch in 0..4 {
+            let mut fwd = SplitRng::new(1000 + epoch);
+            prog.set_adjacency(fix.adj.clone());
+            prog.load_params([&fix.w, &fix.b]);
+            prog.begin_epoch(&mut sampler, &mut fwd);
+            prog.replay_forward();
+            let (e_val, e_gw, e_gb) = eager_epoch(&fix, epoch, skip_p);
+            assert_same(&format!("epoch {epoch} value"), prog.value(out), &e_val);
+            let seed = Matrix::full(5, 4, 1.0);
+            let mut pgrads = prog.backward(vec![(out, seed)]);
+            let gw = pgrads[0].take().unwrap();
+            let gb = pgrads[1].take().unwrap();
+            assert_same(&format!("epoch {epoch} dW"), &gw, &e_gw);
+            assert_same(&format!("epoch {epoch} db"), &gb, &e_gb);
+            workspace::give(gw);
+            workspace::give(gb);
+        }
+    }
+
+    /// Coverage for the remaining backward ports: hadamard, add_scaled,
+    /// scale, max_pool, concat_cols, weighted_sum, lin_comb, dropout_rows,
+    /// add_bias — with two seeded heads.
+    struct MiscFixture {
+        x: Matrix,
+        w1: Matrix,
+        w2: Matrix,
+        ws: Matrix,
+        b: Matrix,
+        adj: Arc<CsrMatrix>,
+    }
+
+    impl MiscFixture {
+        fn new() -> Self {
+            let mut init = SplitRng::new(77);
+            Self {
+                x: init.uniform_matrix(6, 3, -1.0, 1.0),
+                w1: init.uniform_matrix(3, 3, -0.5, 0.5),
+                w2: init.uniform_matrix(3, 3, -0.5, 0.5),
+                ws: init.uniform_matrix(1, 3, -1.0, 1.0),
+                b: init.uniform_matrix(1, 3, -0.2, 0.2),
+                adj: Arc::new(gcn_adjacency(6, &[(0, 1), (1, 2), (3, 4), (4, 5)])),
+            }
+        }
+
+        fn record(&self, tape: &mut Tape, fwd: &mut SplitRng) -> (NodeId, NodeId) {
+            let _adj = tape.register_adj(self.adj.clone());
+            let xn = tape.constant(self.x.clone());
+            let w1 = tape.param(self.w1.clone());
+            let w2 = tape.param(self.w2.clone());
+            let ws = tape.param(self.ws.clone());
+            let bn = tape.param(self.b.clone());
+            let a = tape.matmul(xn, w1);
+            let b2 = tape.matmul(xn, w2);
+            let h = tape.hadamard(a, b2);
+            let s = tape.add_scaled(a, h, 0.5);
+            let sc = tape.scale(s, 1.25);
+            let mp = tape.max_pool(&[a, b2, sc]);
+            let cc = tape.concat_cols(&[mp, a]);
+            let wsum = tape.weighted_sum(&[a, b2, mp], ws);
+            let lc = tape.lin_comb(&[(wsum, 0.3), (mp, 0.7)]);
+            let dr = tape.dropout_rows(lc, 0.4, fwd);
+            let ab = tape.add_bias(dr, bn);
+            let out = tape.relu(ab);
+            (cc, out)
+        }
+    }
+
+    #[test]
+    fn misc_ops_replay_matches_eager_multi_head() {
+        let fix = MiscFixture::new();
+        let mut probe = SplitRng::new(0xbeef);
+        let mut tape = Tape::new();
+        let (cc, out) = fix.record(&mut tape, &mut probe);
+        let mut prog = TrainProgram::compile(tape, vec![cc, out]).unwrap();
+        let mut sampler = UniformSampler { p: 0.5 }; // never called: no skip ops
+        for epoch in 0..3 {
+            let mut fwd = SplitRng::new(500 + epoch);
+            prog.load_params([&fix.w1, &fix.w2, &fix.ws, &fix.b]);
+            prog.begin_epoch(&mut sampler, &mut fwd);
+            prog.replay_forward();
+
+            let mut e_fwd = SplitRng::new(500 + epoch);
+            let mut e_tape = Tape::new();
+            let (e_cc, e_out) = fix.record(&mut e_tape, &mut e_fwd);
+            assert_same("cc", prog.value(cc), e_tape.value(e_cc));
+            assert_same("out", prog.value(out), e_tape.value(e_out));
+
+            let seed_cc = Matrix::full(6, 6, 0.5);
+            let seed_out = Matrix::full(6, 3, 1.0);
+            let mut pgrads = prog.backward(vec![(cc, seed_cc.clone()), (out, seed_out.clone())]);
+            let mut e_grads = e_tape.backward_multi(vec![(e_cc, seed_cc), (e_out, seed_out)]);
+            for (slot, &pid) in e_tape.params().iter().enumerate() {
+                let pg = pgrads[slot].take().unwrap();
+                let eg = e_grads.take(pid).unwrap();
+                assert_same(&format!("epoch {epoch} param {slot}"), &pg, &eg);
+                workspace::give(pg);
+                workspace::give(eg);
+            }
+        }
+    }
+
+    #[test]
+    fn dead_stochastic_nodes_still_consume_rng() {
+        // A dead dropout branch must draw in replay exactly as eager
+        // recording did, or every later mask desynchronizes.
+        let build = |tape: &mut Tape, fwd: &mut SplitRng| -> NodeId {
+            let x = tape.constant(Matrix::full(4, 2, 1.0));
+            let w = tape.param(Matrix::full(2, 2, 0.5));
+            let live = tape.matmul(x, w);
+            let _dead = tape.dropout(live, 0.5, fwd);
+            tape.dropout(live, 0.25, fwd)
+        };
+        let mut probe = SplitRng::new(9);
+        let mut tape = Tape::new();
+        let out = build(&mut tape, &mut probe);
+        let mut prog = TrainProgram::compile(tape, vec![out]).unwrap();
+        let mut sampler = UniformSampler { p: 0.0 };
+        for epoch in 0..3 {
+            let mut fwd = SplitRng::new(40 + epoch);
+            prog.load_params([&Matrix::full(2, 2, 0.5)]);
+            prog.begin_epoch(&mut sampler, &mut fwd);
+            prog.replay_forward();
+
+            let mut e_fwd = SplitRng::new(40 + epoch);
+            let mut e_tape = Tape::new();
+            let e_out = build(&mut e_tape, &mut e_fwd);
+            assert_same("value", prog.value(out), e_tape.value(e_out));
+        }
+    }
+
+    #[test]
+    fn grads_are_drained_between_epochs() {
+        let fix = Fixture::new();
+        let mut probe = SplitRng::new(5);
+        let mut tape = Tape::new();
+        let out = fix.record(&mut tape, &mut probe, 0.3);
+        let mut prog = TrainProgram::compile(tape, vec![out]).unwrap();
+        let mut sampler = UniformSampler { p: 0.3 };
+        let mut fwd = SplitRng::new(6);
+        prog.begin_epoch(&mut sampler, &mut fwd);
+        prog.replay_forward();
+        let pg = prog.backward(vec![(out, Matrix::full(5, 4, 1.0))]);
+        assert!(pg.iter().all(Option::is_some));
+        for g in pg.into_iter().flatten() {
+            workspace::give(g);
+        }
+        assert!(
+            prog.grads.iter().all(Option::is_none),
+            "all interior gradients recycled"
+        );
+    }
+}

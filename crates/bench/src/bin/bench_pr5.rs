@@ -1,0 +1,318 @@
+//! PR 5 performance record: the compiled training engine.
+//!
+//! The trainer now compiles each backbone's tape once per run into a
+//! `TrainProgram` — a fixed forward+backward schedule with precomputed
+//! buffer lifetimes, replayed every epoch against fresh RNG streams —
+//! instead of recording a fresh eager tape per epoch. This bench sweeps
+//! full training-epoch time and peak workspace bytes for GCN+SkipNode at
+//! depths {4, 16, 64}, A/B-ing the eager per-epoch tape against the
+//! compiled replay. Every depth first runs an inline byte-identity gate:
+//! several same-seed epochs through both executors must agree bit-for-bit
+//! on the loss curve and the final parameters before anything is timed.
+//! At depth ≥ 16 the compiled path must show a strictly lower peak
+//! workspace footprint; epoch times are recorded without asserting (CI
+//! machines are noisy) so the JSON itself carries the claim.
+//!
+//! Run with `cargo run --release -p skipnode-bench --bin bench_pr5`.
+//! `SKIPNODE_BENCH_FAST=1` shrinks the budgets for smoke testing.
+
+use skipnode_autograd::{softmax_cross_entropy, Tape, TrainProgram};
+use skipnode_bench::timing::Bencher;
+use skipnode_bench::{build_model, require};
+use skipnode_core::{Sampling, SkipNodeConfig};
+use skipnode_graph::{partition_graph, FeatureStyle, Graph, PartitionConfig};
+use skipnode_nn::models::Model;
+use skipnode_nn::{compile_train_program, Adam, AdamConfig, ForwardCtx, Strategy, StrategySampler};
+use skipnode_sparse::CsrMatrix;
+use skipnode_tensor::{pool, workspace, Matrix, SplitRng};
+use std::sync::Arc;
+
+/// Hub-heavy graph (same shape as `bench_pr4`): degree-corrected planted
+/// partition with a strong propensity tail.
+fn skewed_graph() -> Graph {
+    let mut rng = SplitRng::new(271);
+    let cfg = PartitionConfig {
+        n: 3000,
+        m: 15_000,
+        classes: 5,
+        homophily: 0.7,
+        power: 0.8,
+    };
+    partition_graph(
+        &cfg,
+        64,
+        FeatureStyle::TfidfGaussian { separation: 0.5 },
+        &mut rng,
+    )
+}
+
+fn build(g: &Graph, depth: usize, rng: &mut SplitRng) -> Box<dyn Model> {
+    require(build_model(
+        "gcn",
+        g.feature_dim(),
+        64,
+        g.num_classes(),
+        depth,
+        0.5,
+        rng,
+    ))
+}
+
+/// One eager training epoch: fresh tape, record, backward, Adam. Returns
+/// the train loss so the identity gate can compare curves.
+#[allow(clippy::too_many_arguments)]
+fn one_epoch_eager(
+    model: &mut dyn Model,
+    opt: &mut Adam,
+    g: &Graph,
+    train_idx: &[usize],
+    strategy: &Strategy,
+    full_adj: &Arc<CsrMatrix>,
+    degrees: &[usize],
+    rng: &mut SplitRng,
+) -> f64 {
+    let mut tape = Tape::new();
+    let binding = model.store().bind(&mut tape);
+    let adj_id = tape.register_adj(Arc::clone(full_adj));
+    let x = tape.constant_shared(g.features_arc());
+    let mut fwd_rng = rng.split();
+    let mut ctx = ForwardCtx::new(adj_id, x, degrees, strategy, true, &mut fwd_rng);
+    let logits = model.forward(&mut tape, &binding, &mut ctx);
+    let out = softmax_cross_entropy(tape.value(logits), g.labels(), train_idx);
+    let mut grads = tape.backward(logits, out.grad);
+    let param_grads: Vec<Option<Matrix>> = binding.nodes().iter().map(|&n| grads.take(n)).collect();
+    opt.step(model.store_mut(), &param_grads);
+    for g in param_grads.into_iter().flatten() {
+        workspace::give(g);
+    }
+    out.loss
+}
+
+/// One compiled training epoch: refresh stochastic records, replay the
+/// fixed schedule, backward through it, Adam. Consumes `rng` exactly like
+/// [`one_epoch_eager`].
+#[allow(clippy::too_many_arguments)]
+fn one_epoch_compiled(
+    program: &mut TrainProgram,
+    model: &mut dyn Model,
+    opt: &mut Adam,
+    g: &Graph,
+    train_idx: &[usize],
+    strategy: &Strategy,
+    full_adj: &Arc<CsrMatrix>,
+    degrees: &[usize],
+    rng: &mut SplitRng,
+) -> f64 {
+    program.set_adjacency(Arc::clone(full_adj));
+    program.load_params(model.store().values());
+    let mut fwd_rng = rng.split();
+    let mut sampler = StrategySampler::new(strategy, degrees);
+    program.begin_epoch(&mut sampler, &mut fwd_rng);
+    program.replay_forward();
+    let head = program.heads()[0];
+    let out = softmax_cross_entropy(program.value(head), g.labels(), train_idx);
+    let param_grads = program.backward(vec![(head, out.grad)]);
+    opt.step(model.store_mut(), &param_grads);
+    for g in param_grads.into_iter().flatten() {
+        workspace::give(g);
+    }
+    out.loss
+}
+
+fn main() {
+    let fast = std::env::var("SKIPNODE_BENCH_FAST").is_ok_and(|v| v == "1");
+    let mut bench = Bencher::from_env();
+    let g = skewed_graph();
+    let full_adj = g.gcn_adjacency();
+    let degrees = g.degrees();
+    let train_idx: Vec<usize> = (0..g.num_nodes()).step_by(10).collect();
+    let strategy = Strategy::SkipNode(SkipNodeConfig::new(0.5, Sampling::Uniform));
+    let depths: Vec<usize> = if fast { vec![4, 16] } else { vec![4, 16, 64] };
+    let gate_epochs = if fast { 3 } else { 5 };
+
+    let mut meta: Vec<(&str, String)> = vec![
+        ("pr", "5".to_string()),
+        ("threads", pool::num_threads().to_string()),
+        (
+            "graph",
+            "planted_partition n=3000 m=15000 power=0.8".to_string(),
+        ),
+        ("backbone", "gcn + SkipNode-U(0.5)".to_string()),
+    ];
+
+    let mut peak_summary = Vec::new();
+    for &depth in &depths {
+        // ---- inline byte-identity gate -------------------------------
+        // Same-seed model + training RNG through both executors: the loss
+        // curve and the final parameters must match bit-for-bit.
+        {
+            let mut rng_e = SplitRng::new(33);
+            let mut eager_model = build(&g, depth, &mut rng_e);
+            let mut rng_c = SplitRng::new(33);
+            let mut compiled_model = build(&g, depth, &mut rng_c);
+            let mut program =
+                compile_train_program(compiled_model.as_ref(), &g, &full_adj, &strategy, true)
+                    .unwrap_or_else(|e| panic!("{e}"));
+            let mut opt_e = Adam::new(eager_model.store(), AdamConfig::default());
+            let mut opt_c = Adam::new(compiled_model.store(), AdamConfig::default());
+            for epoch in 0..gate_epochs {
+                let le = one_epoch_eager(
+                    eager_model.as_mut(),
+                    &mut opt_e,
+                    &g,
+                    &train_idx,
+                    &strategy,
+                    &full_adj,
+                    &degrees,
+                    &mut rng_e,
+                );
+                let lc = one_epoch_compiled(
+                    &mut program,
+                    compiled_model.as_mut(),
+                    &mut opt_c,
+                    &g,
+                    &train_idx,
+                    &strategy,
+                    &full_adj,
+                    &degrees,
+                    &mut rng_c,
+                );
+                assert_eq!(
+                    le.to_bits(),
+                    lc.to_bits(),
+                    "depth {depth}: loss diverged at epoch {epoch} ({le} vs {lc})"
+                );
+            }
+            for (ev, cv) in eager_model
+                .store()
+                .values()
+                .zip(compiled_model.store().values())
+            {
+                assert_eq!(
+                    ev.as_slice(),
+                    cv.as_slice(),
+                    "depth {depth}: final parameters diverged"
+                );
+            }
+            println!("depth {depth}: byte-identity gate passed ({gate_epochs} epochs)");
+        }
+
+        // ---- peak workspace bytes ------------------------------------
+        // One warmed-up epoch per executor with the peak counter collapsed
+        // to the current working set just before it.
+        let eager_peak;
+        {
+            let mut rng = SplitRng::new(33);
+            let mut model = build(&g, depth, &mut rng);
+            let mut opt = Adam::new(model.store(), AdamConfig::default());
+            one_epoch_eager(
+                model.as_mut(),
+                &mut opt,
+                &g,
+                &train_idx,
+                &strategy,
+                &full_adj,
+                &degrees,
+                &mut rng,
+            );
+            workspace::reset_peak();
+            one_epoch_eager(
+                model.as_mut(),
+                &mut opt,
+                &g,
+                &train_idx,
+                &strategy,
+                &full_adj,
+                &degrees,
+                &mut rng,
+            );
+            eager_peak = workspace::stats().peak_live_bytes;
+        }
+        let compiled_peak;
+        {
+            let mut rng = SplitRng::new(33);
+            let mut model = build(&g, depth, &mut rng);
+            let mut program = compile_train_program(model.as_ref(), &g, &full_adj, &strategy, true)
+                .unwrap_or_else(|e| panic!("{e}"));
+            let mut opt = Adam::new(model.store(), AdamConfig::default());
+            one_epoch_compiled(
+                &mut program,
+                model.as_mut(),
+                &mut opt,
+                &g,
+                &train_idx,
+                &strategy,
+                &full_adj,
+                &degrees,
+                &mut rng,
+            );
+            workspace::reset_peak();
+            one_epoch_compiled(
+                &mut program,
+                model.as_mut(),
+                &mut opt,
+                &g,
+                &train_idx,
+                &strategy,
+                &full_adj,
+                &degrees,
+                &mut rng,
+            );
+            compiled_peak = workspace::stats().peak_live_bytes;
+        }
+        println!("depth {depth}: peak workspace eager {eager_peak} B, compiled {compiled_peak} B");
+        if depth >= 16 {
+            assert!(
+                compiled_peak < eager_peak,
+                "depth {depth}: compiled peak workspace ({compiled_peak} B) must undercut \
+                 eager ({eager_peak} B)"
+            );
+        }
+        peak_summary.push(format!(
+            "d{depth}: eager={eager_peak} compiled={compiled_peak}"
+        ));
+
+        // ---- epoch time ----------------------------------------------
+        {
+            let mut rng = SplitRng::new(33);
+            let mut model = build(&g, depth, &mut rng);
+            let mut opt = Adam::new(model.store(), AdamConfig::default());
+            let mut bench_rng = rng.split();
+            bench.run("epoch_eager", &format!("gcn/d{depth}"), || {
+                one_epoch_eager(
+                    model.as_mut(),
+                    &mut opt,
+                    &g,
+                    &train_idx,
+                    &strategy,
+                    &full_adj,
+                    &degrees,
+                    &mut bench_rng,
+                )
+            });
+        }
+        {
+            let mut rng = SplitRng::new(33);
+            let mut model = build(&g, depth, &mut rng);
+            let mut program = compile_train_program(model.as_ref(), &g, &full_adj, &strategy, true)
+                .unwrap_or_else(|e| panic!("{e}"));
+            let mut opt = Adam::new(model.store(), AdamConfig::default());
+            let mut bench_rng = rng.split();
+            bench.run("epoch_compiled", &format!("gcn/d{depth}"), || {
+                one_epoch_compiled(
+                    &mut program,
+                    model.as_mut(),
+                    &mut opt,
+                    &g,
+                    &train_idx,
+                    &strategy,
+                    &full_adj,
+                    &degrees,
+                    &mut bench_rng,
+                )
+            });
+        }
+    }
+    meta.push(("peak_workspace_bytes", peak_summary.join("; ")));
+    bench.write_json("results/BENCH_PR5.json", &meta);
+}

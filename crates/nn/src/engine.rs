@@ -1,0 +1,131 @@
+//! Glue between the backbone zoo and the compiled training engine.
+//!
+//! [`compile_train_program`] records one eager probe forward (train
+//! semantics, probe RNG) and compiles the resulting tape into a
+//! [`TrainProgram`] — the fixed forward+backward schedule the trainer
+//! replays every epoch. [`StrategySampler`] adapts a [`Strategy`] to the
+//! engine's [`EpochSampler`] callback so per-epoch skip masks are drawn
+//! with exactly the RNG consumption of the eager path.
+
+use crate::context::{ForwardCtx, Strategy};
+use crate::models::Model;
+use skipnode_autograd::{CompileError, EpochSampler, Tape, TrainProgram};
+use skipnode_core::SkipNodeConfig;
+use skipnode_graph::Graph;
+use skipnode_sparse::CsrMatrix;
+use skipnode_tensor::SplitRng;
+use std::sync::Arc;
+
+/// Why a model could not be compiled for epoch replay.
+///
+/// The trainer never falls back *silently*: [`crate::TrainEngine::Auto`]
+/// only goes eager on [`EngineError::NoPlan`] (a documented property of the
+/// model, e.g. GAT's bespoke attention forward), while
+/// [`EngineError::Unsupported`] — a plan exists but the recorded tape holds
+/// an op the replay engine cannot refresh — is a hard error naming the op.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The model exposes no layer plan (bespoke forward, e.g. GAT), so
+    /// there is no compilation contract to hold it to.
+    NoPlan {
+        /// Backbone name.
+        model: &'static str,
+    },
+    /// The model has a plan but its recorded tape failed to compile.
+    Unsupported {
+        /// Backbone name.
+        model: &'static str,
+        /// The offending op, from the replay compiler.
+        source: CompileError,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::NoPlan { model } => write!(
+                f,
+                "model {model:?} has no layer plan, so its forward cannot be \
+                 compiled for epoch replay; train it with the eager engine"
+            ),
+            EngineError::Unsupported { model, source } => write!(
+                f,
+                "model {model:?} recorded a tape the compiled training engine \
+                 does not support: {source}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::NoPlan { .. } => None,
+            EngineError::Unsupported { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Draws per-layer skip masks for [`TrainProgram::begin_epoch`] using the
+/// strategy's [`SkipNodeConfig`] — one [`SkipNodeConfig::sample_mask`] call
+/// per skip layer, the exact RNG consumption of the eager forward.
+pub struct StrategySampler<'a> {
+    cfg: Option<&'a SkipNodeConfig>,
+    degrees: &'a [usize],
+}
+
+impl<'a> StrategySampler<'a> {
+    /// Sampler for one training epoch.
+    pub fn new(strategy: &'a Strategy, degrees: &'a [usize]) -> Self {
+        let cfg = match strategy {
+            Strategy::SkipNode(cfg) | Strategy::SkipNodeTrainEval(cfg) => Some(cfg),
+            _ => None,
+        };
+        Self { cfg, degrees }
+    }
+}
+
+impl EpochSampler for StrategySampler<'_> {
+    fn skip_mask(&mut self, rng: &mut SplitRng, out: &mut [bool]) {
+        let cfg = self
+            .cfg
+            .expect("recorded tape has skip layers but the strategy samples no masks");
+        out.copy_from_slice(&cfg.sample_mask(self.degrees, rng));
+    }
+}
+
+/// Record one probe forward of `model` (train semantics) and compile it
+/// into a [`TrainProgram`].
+///
+/// The probe RNG is throwaway: tape *topology* depends only on the plan
+/// and strategy, never on drawn values, and every stochastic record is
+/// refreshed by [`TrainProgram::begin_epoch`] before the first replay.
+/// Parameter values are bound at probe time but overwritten each epoch by
+/// [`TrainProgram::load_params`], so the probe can be taken once before
+/// training starts.
+pub fn compile_train_program(
+    model: &dyn Model,
+    graph: &Graph,
+    full_adj: &Arc<CsrMatrix>,
+    strategy: &Strategy,
+    fuse: bool,
+) -> Result<TrainProgram, EngineError> {
+    if model.plan().is_none() {
+        return Err(EngineError::NoPlan {
+            model: model.name(),
+        });
+    }
+    let mut tape = Tape::new();
+    let binding = model.store().bind(&mut tape);
+    let adj_id = tape.register_adj(Arc::clone(full_adj));
+    let x = tape.constant_shared(graph.features_arc());
+    let degrees = graph.degrees();
+    let mut probe_rng = SplitRng::new(0x5eed);
+    let mut ctx = ForwardCtx::new(adj_id, x, &degrees, strategy, true, &mut probe_rng);
+    ctx.fuse = fuse;
+    let heads = model.forward_heads(&mut tape, &binding, &mut ctx);
+    TrainProgram::compile(tape, heads).map_err(|source| EngineError::Unsupported {
+        model: model.name(),
+        source,
+    })
+}

@@ -29,6 +29,7 @@ mod checkpoint;
 mod context;
 mod diagnostics;
 mod energy;
+pub mod engine;
 mod linkpred;
 mod metrics;
 mod minibatch;
@@ -43,6 +44,7 @@ pub use checkpoint::{load_checkpoint, read_checkpoint, save_checkpoint, write_ch
 pub use context::{ForwardCtx, Strategy};
 pub use diagnostics::{DiagnosticsRecorder, EpochDiagnostics};
 pub use energy::dirichlet_energy;
+pub use engine::{compile_train_program, EngineError, StrategySampler};
 pub use linkpred::{train_link_predictor, LinkPredConfig, LinkPredResult};
 pub use metrics::{accuracy, hits_at_k, mean_average_distance};
 pub use minibatch::{train_node_classifier_minibatch, MiniBatchConfig};
@@ -51,4 +53,4 @@ pub use optim::{Adam, AdamConfig};
 pub use param::{Binding, LayerInit, ParamId, ParamStore};
 pub use plan::{LayerPlan, PlanBuilder, PlanExecutor, PlanOp, Reg};
 pub use schedule::{clip_global_norm, LrSchedule};
-pub use trainer::{evaluate, train_node_classifier, TrainConfig, TrainResult};
+pub use trainer::{evaluate, train_node_classifier, TrainConfig, TrainEngine, TrainResult};

@@ -7,7 +7,7 @@
 //! decoupled AdamW, matching the paper's training setup.
 
 use crate::param::ParamStore;
-use skipnode_tensor::Matrix;
+use skipnode_tensor::{pool, Matrix};
 
 /// Adam hyperparameters.
 #[derive(Debug, Clone, Copy)]
@@ -41,11 +41,29 @@ struct Slot {
     v: Matrix,
 }
 
+/// One parameter's buffers for the fused update, captured as raw pointers
+/// so the step can be dispatched over the worker pool without borrowing
+/// the store. Each task owns disjoint allocations; `grad` is null for
+/// parameters that did not participate (decay-only update).
+struct RawTask {
+    value: *mut f32,
+    m: *mut f32,
+    v: *mut f32,
+    grad: *const f32,
+    len: usize,
+}
+
+// SAFETY: the pointers reference disjoint heap allocations that outlive the
+// pool job, and each task is processed by exactly one chunk.
+unsafe impl Send for RawTask {}
+unsafe impl Sync for RawTask {}
+
 /// The Adam optimizer; owns per-parameter moment state.
 pub struct Adam {
     cfg: AdamConfig,
     slots: Vec<Slot>,
     t: u64,
+    tasks: Vec<RawTask>,
 }
 
 impl Adam {
@@ -62,7 +80,12 @@ impl Adam {
                 }
             })
             .collect();
-        Self { cfg, slots, t: 0 }
+        Self {
+            cfg,
+            slots,
+            t: 0,
+            tasks: Vec::new(),
+        }
     }
 
     /// The configuration in use.
@@ -79,32 +102,73 @@ impl Adam {
     /// registered parameter (`None` means "did not participate" — treated
     /// as zero gradient, so L2 decay still applies, exactly as in the
     /// paper's weight-over-decay story).
+    ///
+    /// The update is fused — L2 decay, both moment updates, bias
+    /// correction, and write-back happen in a single pass per scalar, with
+    /// parameters dispatched one-per-chunk over the persistent worker pool.
+    /// Each parameter is updated serially by exactly one worker, so the
+    /// result is deterministic and bit-identical to the serial loop. No
+    /// allocation happens after the first call (the task list retains its
+    /// capacity), including on the single-threaded fallback.
     pub fn step(&mut self, store: &mut ParamStore, grads: &[Option<Matrix>]) {
         let ids = store.ids();
         assert_eq!(grads.len(), ids.len(), "one gradient slot per parameter");
         self.t += 1;
         let bc1 = 1.0 - self.cfg.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.cfg.beta2.powi(self.t as i32);
+        self.tasks.clear();
         for (i, id) in ids.into_iter().enumerate() {
             let slot = &mut self.slots[i];
             let value = store.value_mut(id);
-            let n = value.len();
-            let b1 = self.cfg.beta1 as f32;
-            let b2 = self.cfg.beta2 as f32;
-            let wd = self.cfg.weight_decay as f32;
-            for j in 0..n {
-                let g =
-                    grads[i].as_ref().map_or(0.0, |g| g.as_slice()[j]) + wd * value.as_slice()[j];
-                let m = &mut slot.m.as_mut_slice()[j];
-                *m = b1 * *m + (1.0 - b1) * g;
-                let v = &mut slot.v.as_mut_slice()[j];
-                *v = b2 * *v + (1.0 - b2) * g * g;
-                let m_hat = *m as f64 / bc1;
-                let v_hat = *v as f64 / bc2;
-                let upd = self.cfg.lr * m_hat / (v_hat.sqrt() + self.cfg.eps);
-                value.as_mut_slice()[j] -= upd as f32;
-            }
+            let len = value.len();
+            let grad = match grads[i].as_ref() {
+                Some(g) => {
+                    assert_eq!(g.len(), len, "gradient length mismatch for parameter {i}");
+                    g.as_slice().as_ptr()
+                }
+                None => std::ptr::null(),
+            };
+            self.tasks.push(RawTask {
+                value: value.as_mut_slice().as_mut_ptr(),
+                m: slot.m.as_mut_slice().as_mut_ptr(),
+                v: slot.v.as_mut_slice().as_mut_ptr(),
+                grad,
+                len,
+            });
         }
+        let b1 = self.cfg.beta1 as f32;
+        let b2 = self.cfg.beta2 as f32;
+        let wd = self.cfg.weight_decay as f32;
+        let lr = self.cfg.lr;
+        let eps = self.cfg.eps;
+        let tasks = &self.tasks;
+        pool::parallel_for(tasks.len(), |i| {
+            let t = &tasks[i];
+            // SAFETY: each chunk touches exactly one task, and every task
+            // points at distinct allocations held alive by `store` and
+            // `self.slots` for the duration of the job.
+            unsafe {
+                for j in 0..t.len {
+                    // `0.0 +` in the null branch mirrors the scalar
+                    // reference's `map_or(0.0, ..)` so ±0.0 signs stay
+                    // bit-identical.
+                    let g = (if t.grad.is_null() {
+                        0.0
+                    } else {
+                        *t.grad.add(j)
+                    }) + wd * *t.value.add(j);
+                    let m = &mut *t.m.add(j);
+                    *m = b1 * *m + (1.0 - b1) * g;
+                    let v = &mut *t.v.add(j);
+                    *v = b2 * *v + (1.0 - b2) * g * g;
+                    let m_hat = *m as f64 / bc1;
+                    let v_hat = *v as f64 / bc2;
+                    let upd = lr * m_hat / (v_hat.sqrt() + eps);
+                    *t.value.add(j) -= upd as f32;
+                }
+            }
+        });
+        self.tasks.clear();
     }
 }
 
@@ -178,5 +242,102 @@ mod tests {
         store.add("w", Matrix::zeros(1, 1));
         let mut opt = Adam::new(&store, AdamConfig::default());
         opt.step(&mut store, &[]);
+    }
+
+    /// The scalar reference implementation the fused parallel step must
+    /// match bit-for-bit: the original one-scalar-at-a-time loop, kept
+    /// here verbatim as the ground truth.
+    fn reference_step(
+        cfg: &AdamConfig,
+        t: u64,
+        values: &mut [Matrix],
+        m: &mut [Matrix],
+        v: &mut [Matrix],
+        grads: &[Option<Matrix>],
+    ) {
+        let bc1 = 1.0 - cfg.beta1.powi(t as i32);
+        let bc2 = 1.0 - cfg.beta2.powi(t as i32);
+        let b1 = cfg.beta1 as f32;
+        let b2 = cfg.beta2 as f32;
+        let wd = cfg.weight_decay as f32;
+        for i in 0..values.len() {
+            for j in 0..values[i].len() {
+                let g = grads[i].as_ref().map_or(0.0, |g| g.as_slice()[j])
+                    + wd * values[i].as_slice()[j];
+                let mj = &mut m[i].as_mut_slice()[j];
+                *mj = b1 * *mj + (1.0 - b1) * g;
+                let vj = &mut v[i].as_mut_slice()[j];
+                *vj = b2 * *vj + (1.0 - b2) * g * g;
+                let m_hat = *mj as f64 / bc1;
+                let v_hat = *vj as f64 / bc2;
+                let upd = cfg.lr * m_hat / (v_hat.sqrt() + cfg.eps);
+                values[i].as_mut_slice()[j] -= upd as f32;
+            }
+        }
+    }
+
+    /// Property test: across random parameter shapes, random hyperparameters,
+    /// random gradients (with random `None` slots), and multiple steps, the
+    /// fused parallel step matches the scalar reference bit-for-bit.
+    #[test]
+    fn fused_step_matches_scalar_reference_on_random_problems() {
+        use skipnode_tensor::SplitRng;
+        let mut rng = SplitRng::new(0xADA0);
+        for trial in 0..20 {
+            let n_params = 1 + rng.uniform(0.0, 6.0) as usize;
+            let cfg = AdamConfig {
+                lr: 0.001 + rng.uniform(0.0, 0.2) as f64,
+                beta1: 0.8 + rng.uniform(0.0, 0.19) as f64,
+                beta2: 0.9 + rng.uniform(0.0, 0.099) as f64,
+                eps: 10f64.powf(-4.0 - rng.uniform(0.0, 6.0) as f64),
+                weight_decay: if rng.bernoulli(0.3) {
+                    0.0
+                } else {
+                    rng.uniform(0.0, 0.05) as f64
+                },
+            };
+            let mut store = ParamStore::new();
+            let mut ref_values = Vec::new();
+            for p in 0..n_params {
+                let r = 1 + rng.uniform(0.0, 8.0) as usize;
+                let c = 1 + rng.uniform(0.0, 8.0) as usize;
+                let mut mat = Matrix::zeros(r, c);
+                for x in mat.as_mut_slice() {
+                    *x = rng.uniform(-2.0, 2.0);
+                }
+                ref_values.push(mat.clone());
+                store.add(format!("p{p}"), mat);
+            }
+            let mut ref_m: Vec<Matrix> = ref_values
+                .iter()
+                .map(|v| Matrix::zeros(v.rows(), v.cols()))
+                .collect();
+            let mut ref_v = ref_m.clone();
+            let mut opt = Adam::new(&store, cfg);
+            for step in 1..=5u64 {
+                let grads: Vec<Option<Matrix>> = ref_values
+                    .iter()
+                    .map(|val| {
+                        if rng.bernoulli(0.2) {
+                            return None;
+                        }
+                        let mut g = Matrix::zeros(val.rows(), val.cols());
+                        for x in g.as_mut_slice() {
+                            *x = rng.uniform(-1.0, 1.0);
+                        }
+                        Some(g)
+                    })
+                    .collect();
+                opt.step(&mut store, &grads);
+                reference_step(&cfg, step, &mut ref_values, &mut ref_m, &mut ref_v, &grads);
+                for (id, expect) in store.ids().into_iter().zip(&ref_values) {
+                    assert_eq!(
+                        store.value(id).as_slice(),
+                        expect.as_slice(),
+                        "trial {trial}, step {step}, param {id:?} diverged from reference"
+                    );
+                }
+            }
+        }
     }
 }

@@ -73,6 +73,13 @@ impl ParamStore {
         (0..self.params.len()).map(ParamId).collect()
     }
 
+    /// All values in registration order — the order [`ParamStore::bind`]
+    /// copies them onto a tape, and the order
+    /// [`skipnode_autograd::TrainProgram::load_params`] expects.
+    pub fn values(&self) -> impl Iterator<Item = &Matrix> {
+        self.params.iter().map(|p| &p.value)
+    }
+
     /// Sum of squared L2 norms of all parameters — the Σ‖W‖₂² statistic the
     /// Figure 2(c) weight-over-decay diagnostic tracks.
     pub fn total_l2_norm_sq(&self) -> f64 {

@@ -30,6 +30,13 @@
 //! still define their register — it aliases the source node — so register
 //! numbering is static and plans stay position-independent of strategy or
 //! train/eval mode.
+//!
+//! Having a plan is also the trainer's compilation contract: tape
+//! topology depends only on the plan and strategy, never on drawn values,
+//! which is what lets [`crate::engine::compile_train_program`] record one
+//! probe forward and compile it into an epoch-resident
+//! [`skipnode_autograd::TrainProgram`] (see `DESIGN.md` §10). Plan-less
+//! bespoke models (GAT) train on the eager per-epoch tape instead.
 
 use crate::context::ForwardCtx;
 use crate::models::JkAggregate;

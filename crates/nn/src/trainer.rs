@@ -2,15 +2,36 @@
 
 use crate::context::{ForwardCtx, Strategy};
 use crate::diagnostics::{DiagnosticsRecorder, EpochDiagnostics};
+use crate::engine::{compile_train_program, EngineError, StrategySampler};
 use crate::metrics::{accuracy, mean_average_distance};
-use crate::models::Model;
+use crate::models::{Consistency, Model};
 use crate::optim::{Adam, AdamConfig};
 use crate::schedule::{clip_global_norm, LrSchedule};
-use skipnode_autograd::{softmax_cross_entropy, Tape};
+use skipnode_autograd::{softmax_cross_entropy, Tape, TrainProgram};
 use skipnode_graph::{Graph, Split};
 use skipnode_sparse::CsrMatrix;
 use skipnode_tensor::{workspace, Matrix, SplitRng};
 use std::sync::Arc;
+
+/// Which executor drives the per-epoch training step.
+///
+/// Both executors are bit-identical: same losses, same gradients, same
+/// parameter trajectories, same RNG streams (the equivalence tests in
+/// `tests/train_engine_identity.rs` pin this for every backbone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrainEngine {
+    /// Compile the model's tape once per run and replay it every epoch;
+    /// models without a layer plan (GAT) fall back to [`TrainEngine::Eager`].
+    /// A model that *has* a plan but fails to compile is a hard error, not
+    /// a silent fallback.
+    #[default]
+    Auto,
+    /// Require the compiled program; panics with the [`EngineError`] when
+    /// the model cannot compile.
+    Compiled,
+    /// Record a fresh eager tape every epoch (the reference path).
+    Eager,
+}
 
 /// Training-loop configuration.
 #[derive(Debug, Clone)]
@@ -31,6 +52,10 @@ pub struct TrainConfig {
     pub lr_schedule: LrSchedule,
     /// Optional global-norm gradient clipping threshold.
     pub clip_norm: Option<f64>,
+    /// Per-epoch executor (see [`TrainEngine`]).
+    pub engine: TrainEngine,
+    /// Route SkipNode middle layers through the fused masked kernel.
+    pub fuse: bool,
 }
 
 impl Default for TrainConfig {
@@ -44,6 +69,8 @@ impl Default for TrainConfig {
             record_mad: false,
             lr_schedule: LrSchedule::Constant,
             clip_norm: None,
+            engine: TrainEngine::default(),
+            fuse: true,
         }
     }
 }
@@ -120,6 +147,25 @@ pub fn train_node_classifier(
     let mut opt = Adam::new(model.store(), cfg.adam);
     let mut recorder = DiagnosticsRecorder::new(cfg.diagnostics_every);
 
+    // Engine selection happens once per run: the compiled program is the
+    // epoch-resident schedule every training step replays. Only a model
+    // that advertises *no* plan (GAT) falls back to eager; a plan that
+    // fails to compile is a bug we refuse to paper over.
+    let mut program: Option<TrainProgram> = match cfg.engine {
+        TrainEngine::Eager => None,
+        TrainEngine::Compiled => Some(
+            compile_train_program(model, graph, &full_adj, strategy, cfg.fuse)
+                .unwrap_or_else(|e| panic!("{e}")),
+        ),
+        TrainEngine::Auto => {
+            match compile_train_program(model, graph, &full_adj, strategy, cfg.fuse) {
+                Ok(p) => Some(p),
+                Err(EngineError::NoPlan { .. }) => None,
+                Err(e) => panic!("{e}"),
+            }
+        }
+    };
+
     let mut best_val = f64::NEG_INFINITY;
     let mut best_test = 0.0f64;
     let mut best_epoch = 0usize;
@@ -130,39 +176,44 @@ pub fn train_node_classifier(
     for epoch in 0..cfg.epochs {
         epochs_run = epoch + 1;
         // ---- training step ----
+        // Both branches consume `rng` identically (epoch adjacency, then
+        // one split for the forward) and produce identical losses, seeds,
+        // and parameter gradients — the engine-identity tests pin it.
         let adj = strategy.epoch_adjacency(graph, &full_adj, true, rng);
-        let mut tape = Tape::new();
-        let binding = model.store().bind(&mut tape);
-        let adj_id = tape.register_adj(adj);
-        let x = tape.constant_shared(graph.features_arc());
-        let mut fwd_rng = rng.split();
-        let mut ctx = ForwardCtx::new(adj_id, x, &degrees, strategy, true, &mut fwd_rng);
-        let heads = model.forward_heads(&mut tape, &binding, &mut ctx);
-        let s = heads.len();
-        let mut seeds = Vec::with_capacity(s);
-        let mut mean_loss = 0.0f64;
-        let mut first_grad_norm = 0.0f64;
-        let mut head_probs = Vec::with_capacity(s);
-        for (hi, &head) in heads.iter().enumerate() {
-            let out = softmax_cross_entropy(tape.value(head), graph.labels(), &split.train);
-            mean_loss += out.loss / s as f64;
-            if hi == 0 {
-                first_grad_norm = skipnode_tensor::frobenius_norm(&out.grad);
-            }
-            let mut seed = out.grad;
-            if s > 1 {
-                seed.scale_in_place(1.0 / s as f32);
-            }
-            seeds.push(seed);
-            head_probs.push(out.probs);
-        }
-        if let (Some(cons), true) = (model.consistency(), s > 1) {
-            add_consistency_seeds(&mut seeds, &head_probs, cons.lambda, cons.temperature);
-        }
-        let grads = tape.backward_multi(heads.iter().zip(seeds).map(|(&h, s)| (h, s)).collect());
-        let mut param_grads: Vec<Option<Matrix>> = {
-            let mut grads = grads;
-            binding.nodes().iter().map(|&n| grads.take(n)).collect()
+        let (mean_loss, first_grad_norm, mut param_grads) = if let Some(program) = program.as_mut()
+        {
+            program.set_adjacency(adj);
+            program.load_params(model.store().values());
+            let mut fwd_rng = rng.split();
+            let mut sampler = StrategySampler::new(strategy, &degrees);
+            program.begin_epoch(&mut sampler, &mut fwd_rng);
+            program.replay_forward();
+            let heads = program.heads().to_vec();
+            let logits: Vec<&Matrix> = heads.iter().map(|&h| program.value(h)).collect();
+            let (mean_loss, first_grad_norm, seeds) =
+                build_seeds(&logits, graph, split, model.consistency());
+            let param_grads =
+                program.backward(heads.iter().zip(seeds).map(|(&h, s)| (h, s)).collect());
+            (mean_loss, first_grad_norm, param_grads)
+        } else {
+            let mut tape = Tape::new();
+            let binding = model.store().bind(&mut tape);
+            let adj_id = tape.register_adj(adj);
+            let x = tape.constant_shared(graph.features_arc());
+            let mut fwd_rng = rng.split();
+            let mut ctx = ForwardCtx::new(adj_id, x, &degrees, strategy, true, &mut fwd_rng);
+            ctx.fuse = cfg.fuse;
+            let heads = model.forward_heads(&mut tape, &binding, &mut ctx);
+            let logits: Vec<&Matrix> = heads.iter().map(|&h| tape.value(h)).collect();
+            let (mean_loss, first_grad_norm, seeds) =
+                build_seeds(&logits, graph, split, model.consistency());
+            let grads =
+                tape.backward_multi(heads.iter().zip(seeds).map(|(&h, s)| (h, s)).collect());
+            let param_grads: Vec<Option<Matrix>> = {
+                let mut grads = grads;
+                binding.nodes().iter().map(|&n| grads.take(n)).collect()
+            };
+            (mean_loss, first_grad_norm, param_grads)
         };
         if let Some(max_norm) = cfg.clip_norm {
             clip_global_norm(&mut param_grads, max_norm);
@@ -239,6 +290,40 @@ pub fn train_node_classifier(
         diagnostics: recorder.into_entries(),
         final_mad: last_mad,
     }
+}
+
+/// Shared loss/seed construction for both executors: per-head softmax
+/// cross-entropy on the train mask, mean loss across heads, the first
+/// head's output-gradient norm (the Figure 2(b) diagnostic), `1/S` seed
+/// scaling, and GRAND's consistency gradients when applicable.
+fn build_seeds(
+    logits: &[&Matrix],
+    graph: &Graph,
+    split: &Split,
+    consistency: Option<Consistency>,
+) -> (f64, f64, Vec<Matrix>) {
+    let s = logits.len();
+    let mut seeds = Vec::with_capacity(s);
+    let mut mean_loss = 0.0f64;
+    let mut first_grad_norm = 0.0f64;
+    let mut head_probs = Vec::with_capacity(s);
+    for (hi, logit) in logits.iter().enumerate() {
+        let out = softmax_cross_entropy(logit, graph.labels(), &split.train);
+        mean_loss += out.loss / s as f64;
+        if hi == 0 {
+            first_grad_norm = skipnode_tensor::frobenius_norm(&out.grad);
+        }
+        let mut seed = out.grad;
+        if s > 1 {
+            seed.scale_in_place(1.0 / s as f32);
+        }
+        seeds.push(seed);
+        head_probs.push(out.probs);
+    }
+    if let (Some(cons), true) = (consistency, s > 1) {
+        add_consistency_seeds(&mut seeds, &head_probs, cons.lambda, cons.temperature);
+    }
+    (mean_loss, first_grad_norm, seeds)
 }
 
 /// Add GRAND's consistency gradients to the per-head seeds.

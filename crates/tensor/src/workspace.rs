@@ -36,6 +36,12 @@ struct FreeList {
     hits: u64,
     misses: u64,
     returned: u64,
+    /// Bytes taken but not yet given back (workspace-mediated only).
+    /// Signed: buffers allocated elsewhere and retired through [`give`]
+    /// (loss seeds, cloned matrices) decrement without a matching take.
+    live_bytes: i64,
+    /// High-water mark of `live_bytes` since the last [`reset_peak`].
+    peak_live_bytes: i64,
 }
 
 static FREE_LIST: Mutex<Option<FreeList>> = Mutex::new(None);
@@ -51,6 +57,13 @@ pub struct WorkspaceStats {
     pub returned: u64,
     /// Bytes currently parked on the free-list.
     pub pooled_bytes: usize,
+    /// Bytes currently taken from the workspace and not yet given back.
+    /// May go negative when buffers allocated outside the workspace are
+    /// retired through [`give`].
+    pub live_bytes: i64,
+    /// High-water mark of `live_bytes` since the last [`reset_peak`] —
+    /// the peak workspace working set of the measured window.
+    pub peak_live_bytes: i64,
 }
 
 fn with_list<R>(f: impl FnOnce(&mut FreeList) -> R) -> R {
@@ -68,6 +81,10 @@ fn take_buffer(len: usize) -> Option<Vec<f32>> {
             }
             None => list.misses += 1,
         }
+        // Both branches hand `len` elements to the caller (the miss path
+        // allocates right after returning), so live accounting is uniform.
+        list.live_bytes += (len * std::mem::size_of::<f32>()) as i64;
+        list.peak_live_bytes = list.peak_live_bytes.max(list.live_bytes);
         buf
     })
 }
@@ -128,6 +145,9 @@ pub fn give(m: Matrix) {
     }
     let bytes = len * std::mem::size_of::<f32>();
     with_list(|list| {
+        // The buffer leaves the caller's working set whether or not the
+        // pool bounds let us park it.
+        list.live_bytes -= bytes as i64;
         if list.bytes + bytes > MAX_POOL_BYTES {
             return;
         }
@@ -148,7 +168,16 @@ pub fn stats() -> WorkspaceStats {
         misses: list.misses,
         returned: list.returned,
         pooled_bytes: list.bytes,
+        live_bytes: list.live_bytes,
+        peak_live_bytes: list.peak_live_bytes,
     })
+}
+
+/// Collapse the peak-live-bytes high-water mark down to the current live
+/// level, starting a fresh measurement window (benches call this before
+/// the region whose peak working set they want to report).
+pub fn reset_peak() {
+    with_list(|list| list.peak_live_bytes = list.live_bytes);
 }
 
 /// Drop every pooled buffer and reset the counters (tests and
@@ -208,4 +237,9 @@ mod tests {
         assert!(after.hits > before.hits, "{after:?} vs {before:?}");
         assert!(after.returned > before.returned);
     }
+
+    // Exact-delta assertions on `live_bytes` / `peak_live_bytes` live in
+    // `tests/workspace_counters.rs` (their own process): the free-list is
+    // global, and matrix ops in concurrently-running unit tests would
+    // perturb the counters mid-assertion here.
 }

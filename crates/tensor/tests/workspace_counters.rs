@@ -1,0 +1,43 @@
+//! Exact-delta checks for the workspace live/peak byte counters.
+//!
+//! The free-list is process-global, so these assertions run as a single
+//! test in their own integration binary — unit tests in the crate (matrix
+//! ops route allocations through the workspace) would otherwise perturb
+//! the counters between observations.
+
+use skipnode_tensor::{workspace, Matrix};
+
+const F32: i64 = std::mem::size_of::<f32>() as i64;
+
+#[test]
+fn live_and_peak_bytes_track_the_working_set() {
+    // take raises live and peak by the buffer size.
+    let before = workspace::stats();
+    let m = workspace::take(41, 9);
+    let taken = workspace::stats();
+    assert_eq!(taken.live_bytes, before.live_bytes + 41 * 9 * F32);
+    assert!(taken.peak_live_bytes >= taken.live_bytes);
+
+    // give lowers live but not the high-water mark.
+    workspace::give(m);
+    let given = workspace::stats();
+    assert_eq!(given.live_bytes, before.live_bytes);
+    assert!(given.peak_live_bytes >= taken.live_bytes);
+
+    // reset_peak collapses the mark to the current live level.
+    let held = workspace::take(37, 11);
+    workspace::give(workspace::take(37, 13)); // push peak above the held level
+    workspace::reset_peak();
+    let s = workspace::stats();
+    assert_eq!(s.peak_live_bytes, s.live_bytes);
+    assert_eq!(s.live_bytes, given.live_bytes + 37 * 11 * F32);
+    workspace::give(held);
+
+    // Matrices allocated outside the workspace (clones, loss seeds) are
+    // retired through give: live accounting goes down without a matching
+    // take instead of panicking or saturating.
+    let before = workspace::stats();
+    workspace::give(Matrix::zeros(43, 5));
+    let after = workspace::stats();
+    assert_eq!(after.live_bytes, before.live_bytes - 43 * 5 * F32);
+}
