@@ -162,19 +162,19 @@ fn forward_depth(bench: &mut Bencher) {
 }
 
 fn main() {
+    let _kstats = skipnode_tensor::kstats::exit_report();
     let mut bench = Bencher::from_env();
     gemm_sweep(&mut bench);
     spmm_sweep(&mut bench);
     strategy_epoch(&mut bench);
     forward_depth(&mut bench);
     let ws = workspace::stats();
-    bench.write_json(
-        "results/BENCH_PR1.json",
-        &[
-            ("pr", "1".to_string()),
-            ("threads", pool::num_threads().to_string()),
-            ("workspace_hits", ws.hits.to_string()),
-            ("workspace_misses", ws.misses.to_string()),
-        ],
-    );
+    let mut meta: Vec<(&str, String)> = vec![
+        ("pr", "1".to_string()),
+        ("threads", pool::num_threads().to_string()),
+        ("workspace_hits", ws.hits.to_string()),
+        ("workspace_misses", ws.misses.to_string()),
+    ];
+    meta.extend(skipnode_bench::perf_metadata());
+    bench.write_json("results/BENCH_PR1.json", &meta);
 }

@@ -141,6 +141,7 @@ fn epoch_sweep(bench: &mut Bencher, g: &Graph, fast: bool) -> (u64, u64) {
 }
 
 fn main() {
+    let _kstats = skipnode_tensor::kstats::exit_report();
     let fast = std::env::var("SKIPNODE_BENCH_FAST").is_ok();
     let mut bench = Bencher::from_env();
     let g = skewed_graph();
@@ -148,19 +149,18 @@ fn main() {
     spmm_sweep(&mut bench, &adj);
     let (fused_rows, unfused_rows) = epoch_sweep(&mut bench, &g, fast);
     let ws = workspace::stats();
-    bench.write_json(
-        "results/BENCH_PR2.json",
-        &[
-            ("pr", "2".to_string()),
-            ("threads", pool::num_threads().to_string()),
-            (
-                "graph",
-                "planted_partition n=3000 m=15000 power=0.8".to_string(),
-            ),
-            ("spmm_rows_fused", fused_rows.to_string()),
-            ("spmm_rows_unfused", unfused_rows.to_string()),
-            ("workspace_hits", ws.hits.to_string()),
-            ("workspace_misses", ws.misses.to_string()),
-        ],
-    );
+    let mut meta: Vec<(&str, String)> = vec![
+        ("pr", "2".to_string()),
+        ("threads", pool::num_threads().to_string()),
+        (
+            "graph",
+            "planted_partition n=3000 m=15000 power=0.8".to_string(),
+        ),
+        ("spmm_rows_fused", fused_rows.to_string()),
+        ("spmm_rows_unfused", unfused_rows.to_string()),
+        ("workspace_hits", ws.hits.to_string()),
+        ("workspace_misses", ws.misses.to_string()),
+    ];
+    meta.extend(skipnode_bench::perf_metadata());
+    bench.write_json("results/BENCH_PR2.json", &meta);
 }

@@ -139,6 +139,7 @@ fn sweep_wallclock(g: &Graph, fast: bool) -> (f64, f64, usize) {
 }
 
 fn main() {
+    let _kstats = skipnode_tensor::kstats::exit_report();
     let fast = std::env::var("SKIPNODE_BENCH_FAST").is_ok_and(|v| v == "1");
     let mut bench = Bencher::from_env();
     let g = skewed_graph();
@@ -175,5 +176,6 @@ fn main() {
     for (k, v) in &rendered {
         metadata.push((k.as_str(), v.clone()));
     }
+    metadata.extend(skipnode_bench::perf_metadata());
     bench.write_json("results/BENCH_PR3.json", &metadata);
 }

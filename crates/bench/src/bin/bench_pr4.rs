@@ -96,6 +96,7 @@ fn forward_logits(
 }
 
 fn main() {
+    let _kstats = skipnode_tensor::kstats::exit_report();
     let fast = std::env::var("SKIPNODE_BENCH_FAST").is_ok();
     let mut bench = Bencher::from_env();
     let g = skewed_graph();
@@ -204,5 +205,6 @@ fn main() {
         "fused kernel must reduce row work for >= 4 backbones, got {backbones_with_savings}"
     );
     meta.push(("backbones_with_savings", backbones_with_savings.to_string()));
+    meta.extend(skipnode_bench::perf_metadata());
     bench.write_json("results/BENCH_PR4.json", &meta);
 }

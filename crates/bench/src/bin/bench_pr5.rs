@@ -120,6 +120,7 @@ fn one_epoch_compiled(
 }
 
 fn main() {
+    let _kstats = skipnode_tensor::kstats::exit_report();
     let fast = std::env::var("SKIPNODE_BENCH_FAST").is_ok_and(|v| v == "1");
     let mut bench = Bencher::from_env();
     let g = skewed_graph();
@@ -314,5 +315,6 @@ fn main() {
         }
     }
     meta.push(("peak_workspace_bytes", peak_summary.join("; ")));
+    meta.extend(skipnode_bench::perf_metadata());
     bench.write_json("results/BENCH_PR5.json", &meta);
 }

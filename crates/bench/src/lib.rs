@@ -20,3 +20,20 @@ pub use harness::{
 };
 pub use sweep::{sweep_backbone, sweep_rate, RateSweepResult, SweepResult, SweepSpace};
 pub use table::TablePrinter;
+
+/// Kernel-backend provenance for bench JSON metadata: the detected SIMD
+/// ISA, the installed GEMM microkernel tile, and the auto-tuner's active
+/// profile (`"untuned"` until some run applies one). Recorded by every
+/// `bench_pr*` binary so a results file says which backend produced it.
+pub fn perf_metadata() -> Vec<(&'static str, String)> {
+    use skipnode_tensor::simd;
+    let tuner = match skipnode_nn::autotune::active_profile() {
+        Some(p) => p.summary(),
+        None => "untuned".to_string(),
+    };
+    vec![
+        ("simd_isa", simd::active().name().to_string()),
+        ("gemm_tile", simd::gemm_tile().name().to_string()),
+        ("tuner_profile", tuner),
+    ]
+}

@@ -19,6 +19,7 @@ pub struct Graph {
     labels: Vec<usize>,
     num_classes: usize,
     gcn_adj: OnceLock<Arc<CsrMatrix>>,
+    node_order: Option<Arc<crate::preprocess::Reordering>>,
 }
 
 impl Graph {
@@ -50,7 +51,25 @@ impl Graph {
             labels,
             num_classes,
             gcn_adj: OnceLock::new(),
+            node_order: None,
         }
+    }
+
+    /// Attach the [`crate::preprocess::Reordering`] this graph was
+    /// renumbered by (set by [`crate::preprocess::reorder_graph`]), so
+    /// per-node samplers can draw in logical order.
+    ///
+    /// # Panics
+    /// Panics if the reordering's size disagrees with the node count.
+    pub fn with_node_order(mut self, order: crate::preprocess::Reordering) -> Self {
+        assert_eq!(order.len(), self.n, "reordering size != node count");
+        self.node_order = Some(Arc::new(order));
+        self
+    }
+
+    /// The reordering this graph was renumbered by, if any.
+    pub fn node_order(&self) -> Option<&crate::preprocess::Reordering> {
+        self.node_order.as_deref()
     }
 
     /// Number of nodes.

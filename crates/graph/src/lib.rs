@@ -26,5 +26,5 @@ pub use generators::{
     planted_partition, ring_of_blocks, FeatureStyle, PartitionConfig, RingConfig,
 };
 pub use graph::Graph;
-pub use preprocess::{row_normalize, standardize};
+pub use preprocess::{reorder_graph, row_normalize, standardize, GraphReorder, Reordering};
 pub use splits::{full_supervised_split, link_split, semi_supervised_split, LinkSplit, Split};

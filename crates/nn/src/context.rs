@@ -2,10 +2,34 @@
 
 use skipnode_autograd::{AdjId, NodeId, Tape};
 use skipnode_core::SkipNodeConfig;
-use skipnode_graph::Graph;
+use skipnode_graph::{Graph, Reordering};
 use skipnode_sparse::{gcn_adjacency_filtered, gcn_adjacency_with_node_mask, CsrMatrix};
 use skipnode_tensor::SplitRng;
 use std::sync::Arc;
+
+/// Draw a per-node skip mask, covariant with a cache-locality reordering.
+///
+/// Without an order this is a plain [`SkipNodeConfig::sample_mask`]. With
+/// one, the draw happens in *logical* (original-id) order against logical
+/// degrees, then permutes into physical order — so a reordered training
+/// run consumes the identical RNG stream and skips the identical logical
+/// nodes as the unreordered run (the reorder round-trip tests pin this).
+pub(crate) fn sample_skip_mask(
+    cfg: &SkipNodeConfig,
+    degrees: &[usize],
+    order: Option<&Reordering>,
+    rng: &mut SplitRng,
+) -> Vec<bool> {
+    match order {
+        None => cfg.sample_mask(degrees, rng),
+        Some(ord) => {
+            let n = degrees.len();
+            let logical_deg: Vec<usize> = (0..n).map(|o| degrees[ord.inv[o]]).collect();
+            let logical = cfg.sample_mask(&logical_deg, rng);
+            (0..n).map(|j| logical[ord.perm[j]]).collect()
+        }
+    }
+}
 
 /// The plug-and-play strategies compared throughout the paper.
 #[derive(Debug, Clone, PartialEq)]
@@ -120,6 +144,15 @@ pub struct ForwardCtx<'a> {
     /// flip it off to A/B against the unfused op chain. Both paths produce
     /// bit-identical outputs and draw identically from `rng`.
     pub fuse: bool,
+    /// Auto-tuner profile in effect (see [`crate::autotune`]); plan-driven
+    /// forwards annotate their [`crate::plan::LayerPlan`] from it so the
+    /// executor runs the chosen kernel variants. `None` means process
+    /// defaults.
+    pub tune: Option<Arc<crate::autotune::TuneProfile>>,
+    /// Cache-locality reordering of the graph this forward runs on (from
+    /// [`Graph::node_order`]). Skip masks are then sampled in logical
+    /// order so reordered runs stay RNG-identical to unreordered ones.
+    pub node_order: Option<&'a Reordering>,
 }
 
 impl<'a> ForwardCtx<'a> {
@@ -141,6 +174,8 @@ impl<'a> ForwardCtx<'a> {
             rng,
             penultimate: None,
             fuse: true,
+            tune: crate::autotune::active_profile(),
+            node_order: None,
         }
     }
 
@@ -168,7 +203,12 @@ impl<'a> ForwardCtx<'a> {
         if conv_shape != prev_shape {
             return None;
         }
-        Some(cfg.sample_mask(self.degrees, self.rng))
+        Some(sample_skip_mask(
+            cfg,
+            self.degrees,
+            self.node_order,
+            self.rng,
+        ))
     }
 
     /// Post-convolution hook for *middle* layers: applies PairNorm
@@ -182,14 +222,14 @@ impl<'a> ForwardCtx<'a> {
                 if tape.shape(h_act) != tape.shape(h_prev) {
                     return h_act;
                 }
-                let mask = cfg.sample_mask(self.degrees, self.rng);
+                let mask = sample_skip_mask(cfg, self.degrees, self.node_order, self.rng);
                 tape.row_combine(h_act, h_prev, &mask)
             }
             Strategy::SkipNodeTrainEval(cfg) => {
                 if tape.shape(h_act) != tape.shape(h_prev) {
                     return h_act;
                 }
-                let mask = cfg.sample_mask(self.degrees, self.rng);
+                let mask = sample_skip_mask(cfg, self.degrees, self.node_order, self.rng);
                 tape.row_combine(h_act, h_prev, &mask)
             }
             _ => h_act,

@@ -7,11 +7,11 @@
 //! engine's [`EpochSampler`] callback so per-epoch skip masks are drawn
 //! with exactly the RNG consumption of the eager path.
 
-use crate::context::{ForwardCtx, Strategy};
+use crate::context::{sample_skip_mask, ForwardCtx, Strategy};
 use crate::models::Model;
 use skipnode_autograd::{CompileError, EpochSampler, Tape, TrainProgram};
 use skipnode_core::SkipNodeConfig;
-use skipnode_graph::Graph;
+use skipnode_graph::{Graph, Reordering};
 use skipnode_sparse::CsrMatrix;
 use skipnode_tensor::SplitRng;
 use std::sync::Arc;
@@ -72,6 +72,7 @@ impl std::error::Error for EngineError {
 pub struct StrategySampler<'a> {
     cfg: Option<&'a SkipNodeConfig>,
     degrees: &'a [usize],
+    order: Option<&'a Reordering>,
 }
 
 impl<'a> StrategySampler<'a> {
@@ -81,7 +82,19 @@ impl<'a> StrategySampler<'a> {
             Strategy::SkipNode(cfg) | Strategy::SkipNodeTrainEval(cfg) => Some(cfg),
             _ => None,
         };
-        Self { cfg, degrees }
+        Self {
+            cfg,
+            degrees,
+            order: None,
+        }
+    }
+
+    /// Sample in logical order through a cache-locality reordering
+    /// (typically [`Graph::node_order`]), matching the eager forward's
+    /// order-covariant draws.
+    pub fn with_order(mut self, order: Option<&'a Reordering>) -> Self {
+        self.order = order;
+        self
     }
 }
 
@@ -90,7 +103,7 @@ impl EpochSampler for StrategySampler<'_> {
         let cfg = self
             .cfg
             .expect("recorded tape has skip layers but the strategy samples no masks");
-        out.copy_from_slice(&cfg.sample_mask(self.degrees, rng));
+        out.copy_from_slice(&sample_skip_mask(cfg, self.degrees, self.order, rng));
     }
 }
 
@@ -123,6 +136,7 @@ pub fn compile_train_program(
     let mut probe_rng = SplitRng::new(0x5eed);
     let mut ctx = ForwardCtx::new(adj_id, x, &degrees, strategy, true, &mut probe_rng);
     ctx.fuse = fuse;
+    ctx.node_order = graph.node_order();
     let heads = model.forward_heads(&mut tape, &binding, &mut ctx);
     TrainProgram::compile(tape, heads).map_err(|source| EngineError::Unsupported {
         model: model.name(),

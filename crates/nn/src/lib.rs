@@ -25,6 +25,7 @@
 //! println!("test accuracy: {:.3}", result.test_accuracy);
 //! ```
 
+pub mod autotune;
 mod checkpoint;
 mod context;
 mod diagnostics;
@@ -51,6 +52,6 @@ pub use minibatch::{train_node_classifier_minibatch, MiniBatchConfig};
 pub use models::{BackboneSpec, BuildError, Model};
 pub use optim::{Adam, AdamConfig};
 pub use param::{Binding, LayerInit, ParamId, ParamStore};
-pub use plan::{LayerPlan, PlanBuilder, PlanExecutor, PlanOp, Reg};
+pub use plan::{LayerPlan, PlanBuilder, PlanExecutor, PlanOp, PlanTuning, Reg};
 pub use schedule::{clip_global_norm, LrSchedule};
 pub use trainer::{evaluate, train_node_classifier, TrainConfig, TrainEngine, TrainResult};

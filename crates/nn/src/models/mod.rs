@@ -74,12 +74,17 @@ pub trait Model {
     /// The default executes [`Model::plan`] through [`PlanExecutor`];
     /// models without a plan must override this.
     fn forward(&self, tape: &mut Tape, binding: &Binding, ctx: &mut ForwardCtx) -> NodeId {
-        let plan = self.plan().unwrap_or_else(|| {
+        let mut plan = self.plan().unwrap_or_else(|| {
             panic!(
                 "{} provides neither a layer plan nor a forward override",
                 self.name()
             )
         });
+        // Record the tuner's kernel choices in the IR so the executor (and
+        // anything compiled from this tape) runs the chosen variants.
+        if let Some(profile) = &ctx.tune {
+            plan.tuning = Some(profile.plan_tuning());
+        }
         PlanExecutor::run(&plan, tape, binding, ctx)
     }
 

@@ -7,7 +7,8 @@
 //! decoupled AdamW, matching the paper's training setup.
 
 use crate::param::ParamStore;
-use skipnode_tensor::{pool, Matrix};
+use skipnode_tensor::simd;
+use skipnode_tensor::{kstats, pool, Matrix};
 
 /// Adam hyperparameters.
 #[derive(Debug, Clone, Copy)]
@@ -136,11 +137,24 @@ impl Adam {
                 len,
             });
         }
-        let b1 = self.cfg.beta1 as f32;
-        let b2 = self.cfg.beta2 as f32;
-        let wd = self.cfg.weight_decay as f32;
-        let lr = self.cfg.lr;
-        let eps = self.cfg.eps;
+        // The element arithmetic lives in `simd::adam_step`: plain mul/add
+        // f32 moments and an f64 hat/denominator section on every ISA, so
+        // the vectorized step stays bit-identical to the scalar reference
+        // (pinned by `fused_step_matches_scalar_reference_on_random_problems`).
+        let lanes = simd::AdamLanes {
+            beta1: self.cfg.beta1 as f32,
+            beta2: self.cfg.beta2 as f32,
+            weight_decay: self.cfg.weight_decay as f32,
+            lr: self.cfg.lr,
+            eps: self.cfg.eps,
+            bias1: bc1,
+            bias2: bc2,
+        };
+        let isa = simd::active();
+        kstats::record(
+            kstats::Kernel::Adam,
+            self.tasks.iter().map(|t| t.len).sum::<usize>(),
+        );
         let tasks = &self.tasks;
         pool::parallel_for(tasks.len(), |i| {
             let t = &tasks[i];
@@ -148,24 +162,11 @@ impl Adam {
             // points at distinct allocations held alive by `store` and
             // `self.slots` for the duration of the job.
             unsafe {
-                for j in 0..t.len {
-                    // `0.0 +` in the null branch mirrors the scalar
-                    // reference's `map_or(0.0, ..)` so ±0.0 signs stay
-                    // bit-identical.
-                    let g = (if t.grad.is_null() {
-                        0.0
-                    } else {
-                        *t.grad.add(j)
-                    }) + wd * *t.value.add(j);
-                    let m = &mut *t.m.add(j);
-                    *m = b1 * *m + (1.0 - b1) * g;
-                    let v = &mut *t.v.add(j);
-                    *v = b2 * *v + (1.0 - b2) * g * g;
-                    let m_hat = *m as f64 / bc1;
-                    let v_hat = *v as f64 / bc2;
-                    let upd = lr * m_hat / (v_hat.sqrt() + eps);
-                    *t.value.add(j) -= upd as f32;
-                }
+                let value = std::slice::from_raw_parts_mut(t.value, t.len);
+                let m = std::slice::from_raw_parts_mut(t.m, t.len);
+                let v = std::slice::from_raw_parts_mut(t.v, t.len);
+                let grad = (!t.grad.is_null()).then(|| std::slice::from_raw_parts(t.grad, t.len));
+                simd::adam_step(isa, value, m, v, grad, &lanes);
             }
         });
         self.tasks.clear();

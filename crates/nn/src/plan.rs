@@ -42,6 +42,8 @@ use crate::context::ForwardCtx;
 use crate::models::JkAggregate;
 use crate::param::{Binding, ParamId};
 use skipnode_autograd::{FusedStep, NodeId, Tape};
+use skipnode_sparse::SpmmSchedule;
+use skipnode_tensor::simd::{self, GemmTile};
 
 /// A virtual register in a [`LayerPlan`]. `Reg(0)` is the input feature
 /// matrix; op `k` defines `Reg(k + 1)`.
@@ -160,6 +162,26 @@ pub enum PlanOp {
     },
 }
 
+/// Kernel-variant choices recorded into a plan by the startup auto-tuner
+/// (`crate::autotune`). Every choice is bit-neutral under the
+/// accumulation-order policy, so an annotated plan computes the same
+/// values as an unannotated one — only faster. `None` tuning means "use
+/// the process defaults".
+#[derive(Debug, Clone)]
+pub struct PlanTuning {
+    /// ISA the profile was timed under (`"scalar"`, `"avx2+fma"`, …).
+    pub isa: &'static str,
+    /// GEMM microkernel tile the executor installs before running.
+    pub gemm_tile: GemmTile,
+    /// SpMM worker schedule the adjacency was tuned to (informational
+    /// here; [`crate::autotune::apply`] installs it on the matrix).
+    pub spmm_schedule: Option<SpmmSchedule>,
+    /// Whether [`PlanOp::ActivatedConv`] may take the fused masked-kernel
+    /// path. `false` pins the canonical unfused chain (bit-identical, same
+    /// RNG draws).
+    pub fuse: bool,
+}
+
 /// A compiled forward pass: a straight-line program of [`PlanOp`]s plus
 /// the register holding the logits.
 #[derive(Debug, Clone)]
@@ -168,6 +190,9 @@ pub struct LayerPlan {
     pub ops: Vec<PlanOp>,
     /// The register whose value is the forward output.
     pub output: Reg,
+    /// Auto-tuner annotation (`None` until a tuned context executes the
+    /// plan; see [`PlanTuning`]).
+    pub tuning: Option<PlanTuning>,
 }
 
 /// Builder for [`LayerPlan`]s: each method appends one op and returns the
@@ -309,6 +334,7 @@ impl PlanBuilder {
         LayerPlan {
             ops: self.ops,
             output,
+            tuning: None,
         }
     }
 }
@@ -330,10 +356,20 @@ impl PlanExecutor {
         binding: &Binding,
         ctx: &mut ForwardCtx,
     ) -> NodeId {
+        // Install the annotated GEMM tile before any op runs; bit-neutral,
+        // so un-annotated executions in the same process are unaffected
+        // beyond speed.
+        let allow_fuse = match &plan.tuning {
+            Some(t) => {
+                simd::set_gemm_tile(t.gemm_tile);
+                t.fuse
+            }
+            None => true,
+        };
         let mut regs: Vec<NodeId> = Vec::with_capacity(plan.ops.len() + 1);
         regs.push(ctx.x);
         for op in &plan.ops {
-            let node = exec_op(op, &regs, tape, binding, ctx);
+            let node = exec_op(op, &regs, tape, binding, ctx, allow_fuse);
             regs.push(node);
         }
         regs[plan.output.0]
@@ -346,6 +382,7 @@ fn exec_op(
     tape: &mut Tape,
     binding: &Binding,
     ctx: &mut ForwardCtx,
+    allow_fuse: bool,
 ) -> NodeId {
     let r = |reg: Reg| regs[reg.0];
     match op {
@@ -374,6 +411,7 @@ fn exec_op(
             tape,
             binding,
             ctx,
+            allow_fuse,
             r(*src),
             r(*carry),
             *w,
@@ -436,6 +474,7 @@ fn exec_activated_conv(
     tape: &mut Tape,
     binding: &Binding,
     ctx: &mut ForwardCtx,
+    allow_fuse: bool,
     src: NodeId,
     carry: NodeId,
     w: ParamId,
@@ -452,7 +491,16 @@ fn exec_activated_conv(
     // already matches the conv output (ResGCN's first middle layer widens
     // in→hidden and goes without).
     let residual = residual.filter(|&res| tape.shape(res) == conv_shape);
-    if let Some(mask) = ctx.fused_skip_mask(conv_shape, carry_shape) {
+    // `allow_fuse = false` (a tuned plan that measured fusion as a loss)
+    // pins the unfused chain without touching the RNG stream: the mask is
+    // then drawn inside `post_conv`, exactly where the unfused path draws
+    // it anyway.
+    let fused_mask = if allow_fuse {
+        ctx.fused_skip_mask(conv_shape, carry_shape)
+    } else {
+        None
+    };
+    if let Some(mask) = fused_mask {
         return tape.skip_conv_step(
             ctx.adj,
             FusedStep {

@@ -56,6 +56,10 @@ pub struct TrainConfig {
     pub engine: TrainEngine,
     /// Route SkipNode middle layers through the fused masked kernel.
     pub fuse: bool,
+    /// Run the startup auto-tuner (see [`crate::autotune`]) before the
+    /// first epoch and train with the winning kernel variants. Cached per
+    /// problem shape, bit-neutral, overridable via `SKIPNODE_TUNE`.
+    pub tune: bool,
 }
 
 impl Default for TrainConfig {
@@ -71,6 +75,7 @@ impl Default for TrainConfig {
             clip_norm: None,
             engine: TrainEngine::default(),
             fuse: true,
+            tune: false,
         }
     }
 }
@@ -112,6 +117,7 @@ pub fn evaluate(
     let x = tape.constant_shared(graph.features_arc());
     let degrees = graph.degrees();
     let mut ctx = ForwardCtx::new(adj, x, &degrees, strategy, false, rng);
+    ctx.node_order = graph.node_order();
     let out = model.forward(&mut tape, &binding, &mut ctx);
     let mut keep = vec![out];
     if let Some(p) = ctx.penultimate {
@@ -143,6 +149,23 @@ pub fn train_node_classifier(
     split.validate(graph.num_nodes());
     let full_adj = graph.gcn_adjacency();
     let degrees = graph.degrees();
+    if crate::autotune::enabled(cfg.tune) {
+        // One cached timing pass per problem shape; every installed choice
+        // is bit-neutral, so tuned and untuned runs produce identical
+        // numbers. `ForwardCtx::new` picks the applied profile up.
+        let f = model
+            .store()
+            .values()
+            .map(|m| m.cols())
+            .max()
+            .unwrap_or_else(|| graph.feature_dim());
+        let rate = match strategy {
+            Strategy::SkipNode(c) | Strategy::SkipNodeTrainEval(c) => c.rate(),
+            _ => 0.0,
+        };
+        let profile = crate::autotune::profile_for(&full_adj, f, rate);
+        crate::autotune::apply(&profile, &full_adj);
+    }
     let adj_list = (cfg.record_mad || cfg.diagnostics_every > 0).then(|| graph.adjacency_list());
     let mut opt = Adam::new(model.store(), cfg.adam);
     let mut recorder = DiagnosticsRecorder::new(cfg.diagnostics_every);
@@ -185,7 +208,8 @@ pub fn train_node_classifier(
             program.set_adjacency(adj);
             program.load_params(model.store().values());
             let mut fwd_rng = rng.split();
-            let mut sampler = StrategySampler::new(strategy, &degrees);
+            let mut sampler =
+                StrategySampler::new(strategy, &degrees).with_order(graph.node_order());
             program.begin_epoch(&mut sampler, &mut fwd_rng);
             program.replay_forward();
             let heads = program.heads().to_vec();
@@ -203,6 +227,7 @@ pub fn train_node_classifier(
             let mut fwd_rng = rng.split();
             let mut ctx = ForwardCtx::new(adj_id, x, &degrees, strategy, true, &mut fwd_rng);
             ctx.fuse = cfg.fuse;
+            ctx.node_order = graph.node_order();
             let heads = model.forward_heads(&mut tape, &binding, &mut ctx);
             let logits: Vec<&Matrix> = heads.iter().map(|&h| tape.value(h)).collect();
             let (mean_loss, first_grad_norm, seeds) =

@@ -1,0 +1,109 @@
+//! Reorder round-trip: training on a cache-locality-reordered graph must
+//! reproduce the unreordered run.
+//!
+//! `reorder_graph` renumbers nodes; the permuted graph carries its
+//! `Reordering` so skip masks are drawn in logical order (same RNG
+//! stream, same per-node decisions). The only residual difference is
+//! float reassociation — permuted CSR rows accumulate neighbors in a
+//! different order — so loss curves and un-permuted outputs are compared
+//! under a tolerance, not bitwise. Dropout is held at zero: elementwise
+//! dropout masks are drawn in physical row-major order and are the one
+//! stochastic piece that does *not* permute covariantly.
+
+use skipnode_core::{Sampling, SkipNodeConfig};
+use skipnode_graph::{
+    full_supervised_split, partition_graph, reorder_graph, FeatureStyle, Graph, GraphReorder,
+    PartitionConfig, Split,
+};
+use skipnode_nn::models::Gcn;
+use skipnode_nn::{evaluate, train_node_classifier, Strategy, TrainConfig};
+use skipnode_tensor::{Matrix, SplitRng};
+
+fn test_graph() -> Graph {
+    let mut rng = SplitRng::new(91);
+    partition_graph(
+        &PartitionConfig {
+            n: 300,
+            m: 1200,
+            classes: 3,
+            homophily: 0.75,
+            power: 0.6,
+        },
+        32,
+        FeatureStyle::TfidfGaussian { separation: 0.6 },
+        &mut rng,
+    )
+}
+
+fn config() -> TrainConfig {
+    TrainConfig {
+        epochs: 15,
+        patience: 0,
+        eval_every: 5,
+        diagnostics_every: 1,
+        ..Default::default()
+    }
+}
+
+/// Train a fresh depth-4 GCN (dropout 0) on `g`, returning the per-epoch
+/// loss curve and the final evaluation logits.
+fn train_once(g: &Graph, split: &Split, strategy: &Strategy) -> (Vec<f64>, Matrix) {
+    let mut rng = SplitRng::new(7);
+    let mut model = Gcn::new(g.feature_dim(), 16, g.num_classes(), 4, 0.0, &mut rng);
+    let result = train_node_classifier(&mut model, g, split, strategy, &config(), &mut rng);
+    let losses: Vec<f64> = result.diagnostics.iter().map(|d| d.train_loss).collect();
+    assert_eq!(losses.len(), config().epochs);
+    let (logits, _) = evaluate(&model, g, &g.gcn_adjacency(), strategy, &mut rng);
+    (losses, logits)
+}
+
+fn assert_close_curves(base: &[f64], got: &[f64], label: &str) {
+    assert_eq!(base.len(), got.len(), "{label}: curve length");
+    for (epoch, (a, b)) in base.iter().zip(got).enumerate() {
+        let tol = 1e-3 * a.abs().max(1.0);
+        assert!(
+            (a - b).abs() <= tol,
+            "{label}: epoch {epoch} loss {a} vs {b}"
+        );
+    }
+}
+
+fn assert_close_rows(base: &Matrix, got: &Matrix, label: &str) {
+    assert_eq!(base.shape(), got.shape(), "{label}: shape");
+    for (i, (a, b)) in base.as_slice().iter().zip(got.as_slice()).enumerate() {
+        let tol = 1e-2 * a.abs().max(1.0);
+        assert!((a - b).abs() <= tol, "{label}: elem {i}: {a} vs {b}");
+    }
+}
+
+fn round_trip(strategy: Strategy) {
+    let g = test_graph();
+    let mut split_rng = SplitRng::new(5);
+    let split = full_supervised_split(&g, &mut split_rng);
+    let (base_losses, base_logits) = train_once(&g, &split, &strategy);
+    for mode in [GraphReorder::DegreeSort, GraphReorder::Rcm] {
+        let (rg, ord) = reorder_graph(&g, mode);
+        let mapped = ord.map_split(&split);
+        let (losses, logits) = train_once(&rg, &mapped, &strategy);
+        let label = format!("{} under {}", strategy.label(), mode.name());
+        assert_close_curves(&base_losses, &losses, &label);
+        let restored = ord.restore_rows(&logits);
+        assert_close_rows(&base_logits, &restored, &label);
+    }
+}
+
+/// Plain GCN: the pure-kernel case — no strategy randomness at all.
+#[test]
+fn gcn_round_trips_through_reordering() {
+    round_trip(Strategy::None);
+}
+
+/// Fused SkipNode with degree-biased sampling: exercises both the fused
+/// masked kernel and the logical-order (degree-covariant) mask draws.
+#[test]
+fn fused_skipnode_round_trips_through_reordering() {
+    round_trip(Strategy::SkipNode(SkipNodeConfig::new(
+        0.5,
+        Sampling::Biased,
+    )));
+}

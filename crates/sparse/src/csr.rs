@@ -22,7 +22,8 @@
 //! the forward and backward pass.
 
 use crate::stats;
-use skipnode_tensor::{pool, workspace, Matrix};
+use skipnode_tensor::simd;
+use skipnode_tensor::{kstats, pool, workspace, Matrix};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Below this many multiply-adds (`nnz * feature_dim`), SpMM stays serial.
@@ -32,6 +33,36 @@ const SPMV_PARALLEL_THRESHOLD: usize = 1 << 16;
 
 /// Sentinel in a compact column map marking a masked (skipped) column.
 pub const COL_SKIP: u32 = u32::MAX;
+
+/// How pooled SpMM partitions output rows over the worker pool. Every
+/// candidate computes each output row whole with the same per-row
+/// accumulation order, so all schedules produce identical bytes — the
+/// auto-tuner picks purely on speed (row-split has cheaper boundaries;
+/// nnz-balancing wins on degree-skewed graphs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpmmSchedule {
+    /// Equal-row chunks (`chunks` of them).
+    RowSplit {
+        /// Number of pooled chunks.
+        chunks: usize,
+    },
+    /// nnz-balanced chunks via binary search on `indptr` (the default
+    /// policy when no schedule has been tuned).
+    NnzBalanced {
+        /// Number of pooled chunks.
+        chunks: usize,
+    },
+}
+
+impl SpmmSchedule {
+    /// Stable name used in bench metadata and tuner reports.
+    pub fn name(self) -> String {
+        match self {
+            SpmmSchedule::RowSplit { chunks } => format!("row_split:{chunks}"),
+            SpmmSchedule::NnzBalanced { chunks } => format!("nnz_balanced:{chunks}"),
+        }
+    }
+}
 
 /// Lazily computed per-matrix metadata. Deliberately excluded from
 /// equality/cloning: it is a cache of derived quantities, not state.
@@ -45,6 +76,9 @@ struct CsrCache {
     /// its thread count once per process, so in practice this holds one or
     /// two entries; a tiny scan beats hashing.
     partitions: Mutex<Vec<(usize, Arc<Vec<usize>>)>>,
+    /// Tuner-selected pooled-dispatch schedule (None = default policy).
+    /// Bit-neutral: every schedule produces identical bytes.
+    schedule: Mutex<Option<SpmmSchedule>>,
 }
 
 /// A CSR sparse matrix of `f32` values.
@@ -243,15 +277,42 @@ impl CsrMatrix {
         if d == 0 {
             return;
         }
+        kstats::record(kstats::Kernel::Spmm, self.rows);
         if self.nnz() * d < SPMM_PARALLEL_THRESHOLD || self.rows <= 1 {
             self.spmm_rows(x, out.as_mut_slice(), 0, self.rows);
             return;
         }
-        let bounds = self.nnz_partition(pool::chunk_count(self.rows));
+        let bounds = self.schedule_bounds();
         let elem_bounds: Vec<usize> = bounds.iter().map(|&r| r * d).collect();
         pool::par_ranges_mut(out.as_mut_slice(), &elem_bounds, |idx, block| {
             self.spmm_rows(x, block, bounds[idx], bounds[idx + 1]);
         });
+    }
+
+    /// Select the pooled-dispatch schedule for this matrix (normally set by
+    /// the auto-tuner; `None` restores the default nnz-balanced policy).
+    /// Bit-neutral — see [`SpmmSchedule`].
+    pub fn set_spmm_schedule(&self, schedule: Option<SpmmSchedule>) {
+        *self.cache.schedule.lock().expect("schedule cache poisoned") = schedule;
+    }
+
+    /// The tuner-selected schedule, if any.
+    pub fn spmm_schedule(&self) -> Option<SpmmSchedule> {
+        *self.cache.schedule.lock().expect("schedule cache poisoned")
+    }
+
+    /// Row boundaries the pooled SpMM paths dispatch with, honoring the
+    /// tuned schedule when one is set.
+    fn schedule_bounds(&self) -> Arc<Vec<usize>> {
+        match self.spmm_schedule() {
+            Some(SpmmSchedule::RowSplit { chunks }) => {
+                let chunks = chunks.clamp(1, self.rows.max(1));
+                let per = self.rows.div_ceil(chunks);
+                Arc::new((0..=chunks).map(|i| (i * per).min(self.rows)).collect())
+            }
+            Some(SpmmSchedule::NnzBalanced { chunks }) => self.nnz_partition(chunks),
+            None => self.nnz_partition(pool::chunk_count(self.rows)),
+        }
     }
 
     /// nnz-balanced row boundaries for `chunks` chunks: `chunks + 1`
@@ -289,18 +350,21 @@ impl CsrMatrix {
     /// `self * x`. Overwrites the corresponding block of `out` (stale
     /// contents are ignored); the pooled paths partition rows disjointly
     /// over this kernel.
+    ///
+    /// The neighbor accumulation is the dispatched [`simd::axpy`]: each
+    /// output element accumulates its neighbors in CSR order on every ISA,
+    /// so the result is invariant to schedule and row subsetting; vector
+    /// ISAs differ from scalar only by FMA contraction.
     pub fn spmm_rows(&self, x: &Matrix, out: &mut [f32], row_begin: usize, row_end: usize) {
         stats::record_spmm_rows(row_end - row_begin);
+        let isa = simd::active();
         let d = x.cols();
         for (local, r) in (row_begin..row_end).enumerate() {
             let (cols, vals) = self.row(r);
             let out_row = &mut out[local * d..(local + 1) * d];
             out_row.fill(0.0);
             for (&c, &v) in cols.iter().zip(vals) {
-                let x_row = x.row(c as usize);
-                for (o, &xv) in out_row.iter_mut().zip(x_row) {
-                    *o += v * xv;
-                }
+                simd::axpy(isa, v, x.row(c as usize), out_row);
             }
         }
     }
@@ -326,6 +390,8 @@ impl CsrMatrix {
         if d == 0 || rows.is_empty() {
             return;
         }
+        kstats::record(kstats::Kernel::SpmmSubset, rows.len());
+        let isa = simd::active();
         // Prefix nonzero counts over the subset drive the balance.
         let mut cum = Vec::with_capacity(rows.len() + 1);
         cum.push(0usize);
@@ -342,10 +408,7 @@ impl CsrMatrix {
                 let out_row = &mut out[local * d..(local + 1) * d];
                 out_row.fill(0.0);
                 for (&c, &v) in cols.iter().zip(vals) {
-                    let x_row = x.row(c as usize);
-                    for (o, &xv) in out_row.iter_mut().zip(x_row) {
-                        *o += v * xv;
-                    }
+                    simd::axpy(isa, v, x.row(c as usize), out_row);
                 }
             }
         };
@@ -390,6 +453,8 @@ impl CsrMatrix {
         if d == 0 {
             return;
         }
+        kstats::record(kstats::Kernel::SpmmCompact, self.rows);
+        let isa = simd::active();
         let kernel = |out: &mut [f32], row_begin: usize, row_end: usize| {
             stats::record_spmm_rows(row_end - row_begin);
             for (local, r) in (row_begin..row_end).enumerate() {
@@ -401,10 +466,7 @@ impl CsrMatrix {
                     if m == COL_SKIP {
                         continue;
                     }
-                    let x_row = x_compact.row(m as usize);
-                    for (o, &xv) in out_row.iter_mut().zip(x_row) {
-                        *o += v * xv;
-                    }
+                    simd::axpy(isa, v, x_compact.row(m as usize), out_row);
                 }
             }
         };
@@ -412,7 +474,7 @@ impl CsrMatrix {
             kernel(out.as_mut_slice(), 0, self.rows);
             return;
         }
-        let bounds = self.nnz_partition(pool::chunk_count(self.rows));
+        let bounds = self.schedule_bounds();
         let elem_bounds: Vec<usize> = bounds.iter().map(|&r| r * d).collect();
         pool::par_ranges_mut(out.as_mut_slice(), &elem_bounds, |idx, block| {
             kernel(block, bounds[idx], bounds[idx + 1]);
@@ -425,6 +487,7 @@ impl CsrMatrix {
     pub fn spmv_into(&self, x: &[f32], out: &mut [f32]) {
         assert_eq!(x.len(), self.cols, "spmv input length");
         assert_eq!(out.len(), self.rows, "spmv output length");
+        kstats::record(kstats::Kernel::Spmv, self.rows);
         if self.nnz() < SPMV_PARALLEL_THRESHOLD || self.rows <= 1 {
             self.spmv_rows(x, out, 0);
             return;
@@ -661,6 +724,51 @@ mod tests {
         assert_eq!(got, Matrix::from_rows(&[&[8.0], &[0.0], &[-0.5]]));
         let empty = Matrix::zeros(2, 0);
         assert_eq!(m.spmm(&empty).shape(), (3, 0));
+    }
+
+    /// Every tuned schedule must reproduce the default policy's bytes —
+    /// the tuner relies on schedule choice being bit-neutral.
+    #[test]
+    fn tuned_schedules_are_bit_neutral() {
+        let n: usize = 700;
+        let mut indptr = vec![0usize];
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..n {
+            // Skewed: node 0 is a hub connected to everyone.
+            let mut cols: Vec<u32> = vec![0];
+            if r > 0 {
+                cols.push(r as u32);
+            }
+            for &c in &cols {
+                indices.push(c);
+                values.push((c as f32 * 0.01 + r as f32 * 0.001).sin());
+            }
+            indptr.push(indices.len());
+        }
+        let m = CsrMatrix::new(n, n, indptr, indices, values);
+        let mut x = Matrix::zeros(n, 400);
+        for r in 0..n {
+            for c in 0..400 {
+                x.set(r, c, ((r * 5 + c) % 11) as f32 * 0.3 - 1.5);
+            }
+        }
+        assert!(m.nnz() * 400 >= super::SPMM_PARALLEL_THRESHOLD);
+        let mut reference = workspace::take_scratch(n, 400);
+        m.spmm_into(&x, &mut reference);
+        for schedule in [
+            SpmmSchedule::RowSplit { chunks: 3 },
+            SpmmSchedule::NnzBalanced { chunks: 7 },
+            SpmmSchedule::RowSplit { chunks: 1 },
+        ] {
+            m.set_spmm_schedule(Some(schedule));
+            let mut got = workspace::take_scratch(n, 400);
+            m.spmm_into(&x, &mut got);
+            assert_eq!(got, reference, "schedule {}", schedule.name());
+            workspace::give(got);
+        }
+        m.set_spmm_schedule(None);
+        workspace::give(reference);
     }
 
     /// Banded matrix large enough to cross both pooled-dispatch thresholds;

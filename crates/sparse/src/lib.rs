@@ -24,7 +24,7 @@ mod spectral;
 pub mod stats;
 
 pub use build::{dedup_undirected_edges, CooBuilder};
-pub use csr::{CsrMatrix, COL_SKIP};
+pub use csr::{CsrMatrix, SpmmSchedule, COL_SKIP};
 pub use normalize::{
     gcn_adjacency, gcn_adjacency_filtered, gcn_adjacency_with_node_mask, row_normalized_adjacency,
 };

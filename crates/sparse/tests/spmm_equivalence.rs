@@ -6,8 +6,24 @@
 //! degree distribution, including the adversarial ones that make
 //! equal-row-count chunking maximally lopsided.
 
+//! This binary pins the **scalar fallback** bitwise: every test forces
+//! [`Isa::Scalar`] first, so the dispatched kernels reproduce the pre-SIMD
+//! bytes exactly. The vector ISAs' (FMA-contracted, tolerance-gated)
+//! equivalence lives in `simd_spmm.rs`, its own process.
+
 use skipnode_sparse::{CooBuilder, CsrMatrix, COL_SKIP};
+use skipnode_tensor::simd::{force, Isa};
 use skipnode_tensor::{Matrix, SplitRng};
+
+/// Pin the whole process to the scalar ISA. Every test calls this before
+/// touching a kernel, so parallel test threads never observe a mid-run
+/// dispatch flip.
+fn pin_scalar() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        force(Isa::Scalar);
+    });
+}
 
 /// Naive serial reference with the exact accumulation order the kernels
 /// use: CSR entry order within a row, `out[j] += v * x[c][j]`.
@@ -88,6 +104,7 @@ fn assert_bits_equal(got: &Matrix, want: &Matrix, label: &str) {
 
 #[test]
 fn pooled_spmm_matches_serial_reference_bytewise() {
+    pin_scalar();
     // d = 128 pushes nnz*d past the parallel threshold for every case.
     let d = 128;
     let cases: Vec<(&str, CsrMatrix)> = vec![
@@ -105,6 +122,7 @@ fn pooled_spmm_matches_serial_reference_bytewise() {
 
 #[test]
 fn nnz_partition_covers_all_rows_monotonically() {
+    pin_scalar();
     for a in [star(1000), one_dense_row(997, 500), gappy(1024)] {
         for chunks in [1, 2, 3, 7, 16] {
             let bounds = a.nnz_partition(chunks);
@@ -121,6 +139,7 @@ fn nnz_partition_covers_all_rows_monotonically() {
 
 #[test]
 fn subset_kernel_matches_gathered_full_product() {
+    pin_scalar();
     let a = one_dense_row(1800, 600);
     let x = dense_input(1800, 96, 7);
     let full = reference_spmm(&a, &x);
@@ -141,6 +160,7 @@ fn subset_kernel_matches_gathered_full_product() {
 
 #[test]
 fn compact_column_kernel_matches_scattered_reference() {
+    pin_scalar();
     let a = star(2200);
     let n = a.rows();
     // Compact input on even columns; odd columns are skipped (zero rows in
@@ -171,6 +191,7 @@ fn compact_column_kernel_matches_scattered_reference() {
 /// process, so each count needs its own process).
 #[test]
 fn pooled_spmm_is_byte_identical_across_thread_counts() {
+    pin_scalar();
     fn checksum() -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over result bits
         for a in [star(3000), one_dense_row(2500, 77), gappy(4000)] {

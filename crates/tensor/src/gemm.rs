@@ -20,8 +20,10 @@
 //! All kernels **overwrite** `out`; callers may pass recycled, non-zeroed
 //! buffers from [`crate::workspace`].
 
+use crate::kstats;
 use crate::matrix::Matrix;
 use crate::pool;
+use crate::simd::{self, Isa};
 
 /// Below this many multiply-adds, pool dispatch overhead dominates.
 const PARALLEL_THRESHOLD: usize = 64 * 64 * 64;
@@ -45,15 +47,33 @@ pub fn gemm(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     if n == 0 {
         return;
     }
+    kstats::record(kstats::Kernel::Gemm, m);
+    let isa = simd::active();
     if m * n * k < PARALLEL_THRESHOLD || m == 1 {
-        gemm_rows(a, b, out.as_mut_slice(), 0, m);
+        gemm_rows_dispatch(isa, a, b, out.as_mut_slice(), 0, m);
         return;
     }
     let rows = rows_per_chunk(m);
     pool::par_chunks_mut(out.as_mut_slice(), rows * n, |idx, block| {
         let begin = idx * rows;
-        gemm_rows(a, b, block, begin, (begin + rows).min(m));
+        gemm_rows_dispatch(isa, a, b, block, begin, (begin + rows).min(m));
     });
+}
+
+/// Route one output row block to the scalar reference or the SIMD
+/// microkernel (tile chosen by the auto-tuner; every tile is bit-equal).
+fn gemm_rows_dispatch(
+    isa: Isa,
+    a: &Matrix,
+    b: &Matrix,
+    out: &mut [f32],
+    row_begin: usize,
+    row_end: usize,
+) {
+    match isa {
+        Isa::Scalar => gemm_rows(a, b, out, row_begin, row_end),
+        isa => simd::gemm_rows(isa, simd::gemm_tile(), a, b, out, row_begin, row_end),
+    }
 }
 
 /// Serial reference/microkernel for rows `[row_begin, row_end)` of `a`,
@@ -127,15 +147,51 @@ pub fn gemm_at_b(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     if n == 0 || k == 0 {
         return;
     }
+    kstats::record(kstats::Kernel::GemmAtB, k);
+    let isa = simd::active();
     if m * n * k < PARALLEL_THRESHOLD || k == 1 {
-        at_b_rows(a, b, out.as_mut_slice(), 0, k);
+        at_b_rows_dispatch(isa, a, b, out.as_mut_slice(), 0, k);
         return;
     }
     let rows = rows_per_chunk(k);
     pool::par_chunks_mut(out.as_mut_slice(), rows * n, |idx, block| {
         let begin = idx * rows;
-        at_b_rows(a, b, block, begin, (begin + rows).min(k));
+        at_b_rows_dispatch(isa, a, b, block, begin, (begin + rows).min(k));
     });
+}
+
+fn at_b_rows_dispatch(
+    isa: Isa,
+    a: &Matrix,
+    b: &Matrix,
+    out: &mut [f32],
+    p_begin: usize,
+    p_end: usize,
+) {
+    match isa {
+        Isa::Scalar => at_b_rows(a, b, out, p_begin, p_end),
+        isa => at_b_rows_simd(isa, a, b, out, p_begin, p_end),
+    }
+}
+
+/// SIMD `Aᵀ·B` rows: the same streaming row-axpy as the scalar reference
+/// with the inner loop vectorized over output columns — per-element
+/// accumulation order over `r` is unchanged, so the result is invariant to
+/// the parallel row split and differs from scalar only by FMA contraction.
+fn at_b_rows_simd(isa: Isa, a: &Matrix, b: &Matrix, out: &mut [f32], p_begin: usize, p_end: usize) {
+    let m = a.rows();
+    let n = b.cols();
+    out.fill(0.0);
+    for r in 0..m {
+        let a_slab = &a.row(r)[p_begin..p_end];
+        let b_row = b.row(r);
+        for (local_p, &ap) in a_slab.iter().enumerate() {
+            if ap == 0.0 {
+                continue;
+            }
+            simd::axpy(isa, ap, b_row, &mut out[local_p * n..(local_p + 1) * n]);
+        }
+    }
 }
 
 /// Serial reference kernel for output rows `[p_begin, p_end)` of `aᵀ b`:
@@ -169,15 +225,62 @@ pub fn gemm_a_bt(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     if n == 0 {
         return;
     }
+    kstats::record(kstats::Kernel::GemmABt, m);
+    let isa = simd::active();
     if m * n * k < PARALLEL_THRESHOLD || m == 1 {
-        a_bt_rows(a, b, out.as_mut_slice(), 0, m);
+        a_bt_rows_dispatch(isa, a, b, out.as_mut_slice(), 0, m);
         return;
     }
     let rows = rows_per_chunk(m);
     pool::par_chunks_mut(out.as_mut_slice(), rows * n, |idx, block| {
         let begin = idx * rows;
-        a_bt_rows(a, b, block, begin, (begin + rows).min(m));
+        a_bt_rows_dispatch(isa, a, b, block, begin, (begin + rows).min(m));
     });
+}
+
+fn a_bt_rows_dispatch(
+    isa: Isa,
+    a: &Matrix,
+    b: &Matrix,
+    out: &mut [f32],
+    row_begin: usize,
+    row_end: usize,
+) {
+    match isa {
+        Isa::Scalar => a_bt_rows(a, b, out, row_begin, row_end),
+        isa => a_bt_rows_simd(isa, a, b, out, row_begin, row_end),
+    }
+}
+
+/// SIMD `A·Bᵀ` rows: four vector dot chains per output row. Dot products
+/// fold lanes, so this kernel is tolerance-class versus the scalar
+/// reference (deterministic for a fixed ISA).
+fn a_bt_rows_simd(
+    isa: Isa,
+    a: &Matrix,
+    b: &Matrix,
+    out: &mut [f32],
+    row_begin: usize,
+    row_end: usize,
+) {
+    let n = b.rows();
+    for (local, r) in (row_begin..row_end).enumerate() {
+        let a_row = a.row(r);
+        let out_row = &mut out[local * n..(local + 1) * n];
+        let mut j = 0;
+        while j + 4 <= n {
+            let vals = simd::dot4(
+                isa,
+                a_row,
+                [b.row(j), b.row(j + 1), b.row(j + 2), b.row(j + 3)],
+            );
+            out_row[j..j + 4].copy_from_slice(&vals);
+            j += 4;
+        }
+        for (jj, o) in out_row.iter_mut().enumerate().skip(j) {
+            *o = simd::dot(isa, a_row, b.row(jj));
+        }
+    }
 }
 
 /// Serial reference kernel for rows `[row_begin, row_end)` of `a bᵀ`: four

@@ -1,0 +1,194 @@
+//! Optional per-kernel invocation and work counters.
+//!
+//! Enabled by `SKIPNODE_KERNEL_STATS=1` (or forced on by benches via
+//! [`set_enabled`]), each dispatched kernel entry point records one
+//! invocation plus a work measure — output **rows** for the GEMM/SpMM
+//! families, **elements** for elementwise, reduce, and Adam kernels. The
+//! counters complement the [`crate::workspace`] free-list counters: the
+//! workspace says what memory moved, these say which kernels did the
+//! flops, which is the observability needed to sanity-check the
+//! auto-tuner's choices.
+//!
+//! When disabled (the default) the cost per kernel call is one relaxed
+//! atomic load of the cached enable flag. Bench binaries hold an
+//! [`ExitReport`] guard so the table prints on exit without `atexit`.
+
+use std::sync::atomic::{AtomicI8, AtomicU64, Ordering};
+
+/// Kernel families tracked by the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Dense `A·B` (work = output rows).
+    Gemm,
+    /// Dense `Aᵀ·B` (work = output rows).
+    GemmAtB,
+    /// Dense `A·Bᵀ` (work = output rows).
+    GemmABt,
+    /// Full SpMM (work = output rows).
+    Spmm,
+    /// Masked/subset SpMM of the fused SkipNode path (work = active rows).
+    SpmmSubset,
+    /// Column-compacted SpMM of the fused backward (work = output rows).
+    SpmmCompact,
+    /// Sparse mat-vec (work = output rows).
+    Spmv,
+    /// Elementwise update kernels: `add_scaled`, `relu` (work = elements).
+    Elemwise,
+    /// f64-accumulated reductions (work = elements).
+    Reduce,
+    /// Fused Adam parameter step (work = parameter elements).
+    Adam,
+}
+
+/// Number of tracked kernel families.
+pub const KERNEL_COUNT: usize = 10;
+
+const NAMES: [&str; KERNEL_COUNT] = [
+    "gemm",
+    "gemm_at_b",
+    "gemm_a_bt",
+    "spmm",
+    "spmm_subset",
+    "spmm_compact",
+    "spmv",
+    "elemwise",
+    "reduce",
+    "adam",
+];
+
+static CALLS: [AtomicU64; KERNEL_COUNT] = [const { AtomicU64::new(0) }; KERNEL_COUNT];
+static WORK: [AtomicU64; KERNEL_COUNT] = [const { AtomicU64::new(0) }; KERNEL_COUNT];
+
+/// -1 = off, 0 = unresolved (read env on first query), 1 = on.
+static ENABLED: AtomicI8 = AtomicI8::new(0);
+
+/// Whether counters are being collected (cached env lookup).
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        1 => true,
+        -1 => false,
+        _ => {
+            let on = matches!(
+                std::env::var("SKIPNODE_KERNEL_STATS").as_deref(),
+                Ok("1") | Ok("on") | Ok("true")
+            );
+            ENABLED.store(if on { 1 } else { -1 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Force collection on or off regardless of the environment (benches that
+/// want the exit table, tests that assert on counters).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { 1 } else { -1 }, Ordering::Relaxed);
+}
+
+/// Record one invocation of `kernel` covering `work` rows/elements.
+/// A no-op unless collection is enabled.
+#[inline]
+pub fn record(kernel: Kernel, work: usize) {
+    if !enabled() {
+        return;
+    }
+    let i = kernel as usize;
+    CALLS[i].fetch_add(1, Ordering::Relaxed);
+    WORK[i].fetch_add(work as u64, Ordering::Relaxed);
+}
+
+/// One kernel family's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelStat {
+    /// Kernel family name (stable, lowercase).
+    pub name: &'static str,
+    /// Invocations recorded.
+    pub calls: u64,
+    /// Total rows/elements processed.
+    pub work: u64,
+}
+
+/// Snapshot of all counters (zero entries included).
+pub fn snapshot() -> [KernelStat; KERNEL_COUNT] {
+    std::array::from_fn(|i| KernelStat {
+        name: NAMES[i],
+        calls: CALLS[i].load(Ordering::Relaxed),
+        work: WORK[i].load(Ordering::Relaxed),
+    })
+}
+
+/// Zero all counters (tests and benches measuring a window).
+pub fn reset() {
+    for i in 0..KERNEL_COUNT {
+        CALLS[i].store(0, Ordering::Relaxed);
+        WORK[i].store(0, Ordering::Relaxed);
+    }
+}
+
+/// The exit table as a string, or `None` when collection is disabled or
+/// nothing was recorded.
+pub fn report_string() -> Option<String> {
+    if !enabled() {
+        return None;
+    }
+    let stats = snapshot();
+    if stats.iter().all(|s| s.calls == 0) {
+        return None;
+    }
+    let mut out = String::from("kernel stats (SKIPNODE_KERNEL_STATS):\n");
+    out.push_str(&format!(
+        "  {:<14} {:>12} {:>16}\n",
+        "kernel", "calls", "rows/elems"
+    ));
+    for s in stats.iter().filter(|s| s.calls > 0) {
+        out.push_str(&format!(
+            "  {:<14} {:>12} {:>16}\n",
+            s.name, s.calls, s.work
+        ));
+    }
+    Some(out)
+}
+
+/// Guard that prints [`report_string`] to stderr when dropped. Bench and
+/// CLI mains hold one so the table appears at process exit.
+#[derive(Debug, Default)]
+pub struct ExitReport;
+
+/// Create an exit-report guard (see [`ExitReport`]).
+pub fn exit_report() -> ExitReport {
+    ExitReport
+}
+
+impl Drop for ExitReport {
+    fn drop(&mut self) {
+        if let Some(report) = report_string() {
+            eprintln!("{report}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Counters and the enable flag are process-global, so both behaviors
+    // live in one test (parallel tests toggling the flag would race) and
+    // assertions are deltas, not absolutes.
+
+    #[test]
+    fn record_respects_the_enable_flag() {
+        set_enabled(true);
+        let before = snapshot()[Kernel::Spmv as usize];
+        record(Kernel::Spmv, 42);
+        let after = snapshot()[Kernel::Spmv as usize];
+        assert_eq!(after.calls, before.calls + 1);
+        assert_eq!(after.work, before.work + 42);
+        assert!(report_string().is_some());
+
+        set_enabled(false);
+        let before = snapshot()[Kernel::Reduce as usize];
+        record(Kernel::Reduce, 7);
+        let after = snapshot()[Kernel::Reduce as usize];
+        assert_eq!(before, after);
+        assert!(report_string().is_none());
+    }
+}

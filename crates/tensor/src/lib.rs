@@ -24,11 +24,13 @@
 
 mod gemm;
 mod init;
+pub mod kstats;
 mod linalg;
 mod matrix;
 pub mod pool;
 mod reduce;
 mod rng;
+pub mod simd;
 pub mod workspace;
 
 pub use init::{glorot_uniform, he_normal, Init};

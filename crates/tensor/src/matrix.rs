@@ -1,7 +1,9 @@
 //! Row-major dense matrix type.
 
 use crate::gemm;
+use crate::kstats;
 use crate::pool;
+use crate::simd;
 use crate::workspace;
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
@@ -300,21 +302,20 @@ impl Matrix {
         out
     }
 
-    /// `self += alpha * other`, pooled for large buffers.
+    /// `self += alpha * other`, pooled for large buffers. The SIMD lanes
+    /// use separate mul/add, so every ISA produces the scalar loop's bits.
     pub fn add_scaled(&mut self, other: &Matrix, alpha: f32) {
         assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
+        kstats::record(kstats::Kernel::Elemwise, self.data.len());
+        let isa = simd::active();
         let rhs = other.as_slice();
         if self.data.len() < ELEMWISE_PAR_THRESHOLD {
-            for (a, &b) in self.data.iter_mut().zip(rhs) {
-                *a += alpha * b;
-            }
+            simd::add_scaled(isa, &mut self.data, rhs, alpha);
         } else {
             pool::par_chunks_mut(&mut self.data, ELEMWISE_CHUNK, |idx, chunk| {
                 let off = idx * ELEMWISE_CHUNK;
                 let len = chunk.len();
-                for (a, &b) in chunk.iter_mut().zip(&rhs[off..off + len]) {
-                    *a += alpha * b;
-                }
+                simd::add_scaled(isa, chunk, &rhs[off..off + len], alpha);
             });
         }
     }
@@ -326,7 +327,24 @@ impl Matrix {
 
     /// ReLU into a fresh matrix.
     pub fn relu(&self) -> Matrix {
-        self.map(|x| x.max(0.0))
+        let mut out = workspace::take_copy(self);
+        out.relu_in_place();
+        out
+    }
+
+    /// In-place ReLU with a dedicated SIMD path (bit-identical to
+    /// `map_in_place(|x| x.max(0.0))` except on `-0.0` inputs, which the
+    /// stack never produces — see [`crate::simd::relu`]).
+    pub fn relu_in_place(&mut self) {
+        kstats::record(kstats::Kernel::Elemwise, self.data.len());
+        let isa = simd::active();
+        if self.data.len() < ELEMWISE_PAR_THRESHOLD {
+            simd::relu(isa, &mut self.data);
+        } else {
+            pool::par_chunks_mut(&mut self.data, ELEMWISE_CHUNK, |_, chunk| {
+                simd::relu(isa, chunk);
+            });
+        }
     }
 
     /// Sum of all elements (f64 accumulation).

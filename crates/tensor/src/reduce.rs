@@ -1,7 +1,9 @@
 //! Reductions and normalizations used by losses, metrics, and PairNorm.
 
+use crate::kstats;
 use crate::matrix::Matrix;
 use crate::pool;
+use crate::simd;
 
 /// Elements below which reductions stay serial.
 const REDUCE_PAR_THRESHOLD: usize = 1 << 17;
@@ -11,9 +13,14 @@ const REDUCE_PAR_THRESHOLD: usize = 1 << 17;
 const REDUCE_CHUNK: usize = 1 << 15;
 
 /// Squared Frobenius norm with f64 accumulation, pooled for large matrices.
+/// Chunk boundaries are fixed, so the result is thread-count invariant; the
+/// SIMD chunk kernel folds f64 lanes in a fixed order (deterministic per
+/// ISA, tolerance-class versus scalar).
 pub fn l2_norm_sq(m: &Matrix) -> f64 {
     let data = m.as_slice();
-    let chunk_sum = |c: &[f32]| -> f64 { c.iter().map(|&x| (x as f64) * (x as f64)).sum() };
+    kstats::record(kstats::Kernel::Reduce, data.len());
+    let isa = simd::active();
+    let chunk_sum = move |c: &[f32]| -> f64 { simd::sum_sq_f64(isa, c) };
     if data.len() < REDUCE_PAR_THRESHOLD {
         return chunk_sum(data);
     }
