@@ -22,18 +22,23 @@ pub use sweep::{sweep_backbone, sweep_rate, RateSweepResult, SweepResult, SweepS
 pub use table::TablePrinter;
 
 /// Kernel-backend provenance for bench JSON metadata: the detected SIMD
-/// ISA, the installed GEMM microkernel tile, and the auto-tuner's active
-/// profile (`"untuned"` until some run applies one). Recorded by every
-/// `bench_pr*` binary so a results file says which backend produced it.
+/// ISA, the installed GEMM microkernel tile, the auto-tuner's active
+/// profile (`"untuned"` until some run applies one), and the workspace
+/// free-list's live/peak byte counters at snapshot time. Recorded by
+/// every `bench_pr*` binary so a results file says which backend produced
+/// it and how much transient matrix memory the run actually held.
 pub fn perf_metadata() -> Vec<(&'static str, String)> {
-    use skipnode_tensor::simd;
+    use skipnode_tensor::{simd, workspace};
     let tuner = match skipnode_nn::autotune::active_profile() {
         Some(p) => p.summary(),
         None => "untuned".to_string(),
     };
+    let ws = workspace::stats();
     vec![
         ("simd_isa", simd::active().name().to_string()),
         ("gemm_tile", simd::gemm_tile().name().to_string()),
         ("tuner_profile", tuner),
+        ("workspace_live_bytes", ws.live_bytes.to_string()),
+        ("workspace_peak_live_bytes", ws.peak_live_bytes.to_string()),
     ]
 }

@@ -1,0 +1,184 @@
+//! Million-node attributed graphs in pure CSR form.
+//!
+//! [`crate::Graph`] keeps a canonical `Vec<(usize, usize)>` edge list —
+//! 16 bytes per undirected edge — alongside whatever adjacency it builds,
+//! which is fine at benchmark scale and ruinous at 10⁷ edges.
+//! [`LargeGraph`] stores only the symmetric [`CsrStructure`] produced by
+//! the streamed builders (4 bytes per directed entry), plus the dense
+//! features, `u32` labels, and class count. It is the substrate the shard
+//! extractor ([`crate::ShardSet::from_large`]) cuts training subgraphs
+//! from; full-graph training never touches it.
+
+use skipnode_sparse::CsrStructure;
+use skipnode_tensor::Matrix;
+use std::sync::Arc;
+
+/// An undirected attributed graph stored as a symmetric CSR structure.
+///
+/// Invariants (established by [`skipnode_sparse::stream_adjacency`] and
+/// re-checked here): neighbor lists are strictly increasing, self-loop
+/// free, and symmetric.
+#[derive(Debug, Clone)]
+pub struct LargeGraph {
+    structure: CsrStructure,
+    features: Arc<Matrix>,
+    labels: Vec<u32>,
+    num_classes: usize,
+}
+
+impl LargeGraph {
+    /// Assemble from parts.
+    ///
+    /// # Panics
+    /// Panics if the feature row count or label count disagrees with the
+    /// structure's node count, or a label is `>= num_classes`.
+    pub fn from_parts(
+        structure: CsrStructure,
+        features: Matrix,
+        labels: Vec<u32>,
+        num_classes: usize,
+    ) -> Self {
+        let n = structure.nodes();
+        assert_eq!(features.rows(), n, "feature rows != node count");
+        assert_eq!(labels.len(), n, "label count != node count");
+        for &l in &labels {
+            assert!(
+                (l as usize) < num_classes,
+                "label {l} >= num_classes {num_classes}"
+            );
+        }
+        Self {
+            structure,
+            features: Arc::new(features),
+            labels,
+            num_classes,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.structure.nodes()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.structure.directed_entries() / 2
+    }
+
+    /// The underlying adjacency structure.
+    pub fn structure(&self) -> &CsrStructure {
+        &self.structure
+    }
+
+    /// Sorted neighbor ids of node `u`.
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        self.structure.neighbors(u)
+    }
+
+    /// Degree of node `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.structure.degree(u)
+    }
+
+    /// All node degrees.
+    pub fn degrees(&self) -> Vec<usize> {
+        self.structure.degrees()
+    }
+
+    /// Node feature matrix (`n x d`).
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// Shared handle to the feature matrix.
+    pub fn features_arc(&self) -> Arc<Matrix> {
+        Arc::clone(&self.features)
+    }
+
+    /// Feature dimensionality.
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Node class labels (compact `u32` storage).
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Label of node `u` as a class index.
+    pub fn label(&self, u: usize) -> usize {
+        self.labels[u] as usize
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Fraction of edges whose endpoints share a label.
+    pub fn edge_homophily(&self) -> f64 {
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for u in 0..self.num_nodes() {
+            for &v in self.neighbors(u) {
+                let v = v as usize;
+                if v > u {
+                    total += 1;
+                    if self.labels[u] == self.labels[v] {
+                        same += 1;
+                    }
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            same as f64 / total as f64
+        }
+    }
+
+    /// Resident heap bytes of the whole dataset (structure + features +
+    /// labels), for memory-budget assertions.
+    pub fn resident_bytes(&self) -> usize {
+        self.structure.bytes()
+            + self.features.rows() * self.features.cols() * std::mem::size_of::<f32>()
+            + self.labels.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> LargeGraph {
+        // 0-1-2-3 path.
+        let structure = CsrStructure {
+            indptr: vec![0, 1, 3, 5, 6],
+            indices: vec![1, 0, 2, 1, 3, 2],
+        };
+        LargeGraph::from_parts(structure, Matrix::zeros(4, 2), vec![0, 0, 1, 1], 2)
+    }
+
+    #[test]
+    fn accessors_agree_with_the_structure() {
+        let g = path4();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degrees(), vec![1, 2, 2, 1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.label(2), 1);
+        // Edges: (0,1) same, (1,2) diff, (2,3) same → 2/3.
+        assert!((g.edge_homophily() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(g.resident_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label")]
+    fn bad_label_rejected() {
+        let structure = CsrStructure {
+            indptr: vec![0, 0],
+            indices: vec![],
+        };
+        let _ = LargeGraph::from_parts(structure, Matrix::zeros(1, 1), vec![5], 2);
+    }
+}

@@ -1,0 +1,537 @@
+//! METIS-lite graph partitioning and the cached subgraph shards that
+//! Cluster-GCN-style mini-batch training consumes.
+//!
+//! [`partition_nodes`] is a greedy BFS bisection-free partitioner that
+//! balances **degree volume** (`Σ deg + 1`), not just node counts:
+//! growing a shard stops once it holds its fair share of either nodes or
+//! volume, with both caps recomputed adaptively from what remains. On a
+//! hub-heavy (power-law) graph this keeps a shard that swallowed a hub
+//! from also swallowing half the nodes — the failure mode of id-range
+//! splitting ([`ShardSet::balance`] reports both factors, and the tests
+//! pin them on a Barabási–Albert graph).
+//!
+//! [`ShardSet`] then extracts one [`SubgraphShard`] per part: the induced
+//! core [`Graph`] (its normalized adjacency lazily cached once by
+//! [`Graph::gcn_adjacency`]), halo node ids (out-of-shard neighbors — the
+//! rows Cluster-GCN drops and neighbor sampling re-imports), remapped
+//! features/labels/split indices, and — when the parent graph carries a
+//! cache-locality [`Reordering`] — a shard-local reordering mapping local
+//! ids to original-id rank, so SkipNode mask sampling keeps drawing in
+//! logical order (RNG-stream parity with the unreordered run).
+//!
+//! Shard node lists are **ascending** and split indices keep the parent
+//! split's iteration order, so `shards = 1` reproduces the full-batch
+//! trainer bit for bit (pinned in `tests/shard_identity.rs`).
+
+use crate::graph::Graph;
+use crate::large::LargeGraph;
+use crate::preprocess::Reordering;
+use crate::splits::Split;
+use skipnode_tensor::Matrix;
+use std::collections::VecDeque;
+
+/// Assign each node to one of `shards` parts, balancing degree volume.
+///
+/// `neighbors(u, visit)` calls `visit(v)` for every neighbor of `u`;
+/// adapters exist for both [`Graph`] and [`LargeGraph`]. Every part is
+/// guaranteed non-empty; `shards = 1` assigns everything to part 0.
+///
+/// # Panics
+/// Panics unless `1 <= shards <= n`.
+pub fn partition_nodes<F>(n: usize, degrees: &[usize], mut neighbors: F, shards: usize) -> Vec<u32>
+where
+    F: FnMut(usize, &mut dyn FnMut(usize)),
+{
+    assert_eq!(degrees.len(), n, "degree count != node count");
+    assert!(shards >= 1, "need at least one shard");
+    assert!(shards <= n, "more shards than nodes");
+    if shards == 1 {
+        return vec![0; n];
+    }
+    let total_vol: usize = degrees.iter().sum::<usize>() + n;
+    let mut assignment = vec![u32::MAX; n];
+    // Seed from the periphery: ascending-degree seeds keep BFS regions
+    // compact and leave hubs to be absorbed, not to start, shards.
+    let mut seed_order: Vec<u32> = (0..n as u32).collect();
+    seed_order.sort_by_key(|&v| (degrees[v as usize], v));
+    let mut seed_ptr = 0usize;
+    let mut assigned = 0usize;
+    let mut vol_assigned = 0usize;
+    let mut queue: VecDeque<usize> = VecDeque::new();
+
+    for s in 0..shards {
+        let last = s + 1 == shards;
+        let remaining = shards - s;
+        let node_cap = (n - assigned).div_ceil(remaining);
+        let vol_cap = (total_vol - vol_assigned).div_ceil(remaining);
+        let mut nodes_here = 0usize;
+        let mut vol_here = 0usize;
+        queue.clear();
+        loop {
+            if !last && nodes_here >= node_cap {
+                break;
+            }
+            if !last && nodes_here > 0 && vol_here >= vol_cap {
+                break;
+            }
+            let u = match queue.pop_front() {
+                Some(u) => u,
+                None => {
+                    while seed_ptr < n && assignment[seed_order[seed_ptr] as usize] != u32::MAX {
+                        seed_ptr += 1;
+                    }
+                    if seed_ptr == n {
+                        break;
+                    }
+                    seed_order[seed_ptr] as usize
+                }
+            };
+            if assignment[u] != u32::MAX {
+                continue;
+            }
+            assignment[u] = s as u32;
+            nodes_here += 1;
+            vol_here += degrees[u] + 1;
+            neighbors(u, &mut |v| {
+                if assignment[v] == u32::MAX {
+                    queue.push_back(v);
+                }
+            });
+        }
+        assigned += nodes_here;
+        vol_assigned += vol_here;
+    }
+    debug_assert!(assignment.iter().all(|&a| a != u32::MAX));
+    assignment
+}
+
+/// One cached training shard: an induced core subgraph plus everything
+/// the mini-batch trainer needs remapped into local ids.
+#[derive(Debug, Clone)]
+pub struct SubgraphShard {
+    /// Shard index within its [`ShardSet`].
+    pub index: usize,
+    /// Global (parent) node ids of the core, ascending.
+    pub nodes: Vec<usize>,
+    /// Global ids of halo nodes: out-of-shard endpoints of cut edges,
+    /// ascending and deduplicated. The cluster scheme drops them (the
+    /// documented Cluster-GCN trade-off); neighbor sampling re-imports
+    /// sampled subsets of them per batch.
+    pub halo: Vec<usize>,
+    /// Parent edges lost because exactly one endpoint is in this shard.
+    pub cut_edges: usize,
+    /// The induced core subgraph in local ids (canonical edges, copied
+    /// features/labels, normalized adjacency lazily cached once). When
+    /// the parent carries a node order, this graph carries the shard-local
+    /// restriction of it.
+    pub graph: Graph,
+    /// Cached `graph.degrees()` (the trainer needs them every epoch).
+    pub degrees: Vec<usize>,
+    /// Parent split indices that fall in this shard, remapped to local
+    /// ids, preserving the parent split's order.
+    pub local_split: Split,
+}
+
+/// A full partition of a graph into cached [`SubgraphShard`]s.
+#[derive(Debug, Clone)]
+pub struct ShardSet {
+    /// Per-node shard assignment (`assignment[global] = shard`).
+    pub assignment: Vec<u32>,
+    /// The shards, indexed by part id.
+    pub shards: Vec<SubgraphShard>,
+    /// Parent undirected edge count.
+    pub total_edges: usize,
+    /// Parent edges crossing shard boundaries (each counted once).
+    pub cut_edges: usize,
+}
+
+impl ShardSet {
+    /// Partition an in-memory [`Graph`] into `shards` cached subgraphs.
+    pub fn from_graph(g: &Graph, split: &Split, shards: usize) -> ShardSet {
+        let n = g.num_nodes();
+        let degrees = g.degrees();
+        let adj = g.adjacency_list();
+        let assignment = partition_nodes(
+            n,
+            &degrees,
+            |u, visit| {
+                for &v in &adj[u] {
+                    visit(v);
+                }
+            },
+            shards,
+        );
+        build_shards(
+            &assignment,
+            shards,
+            split,
+            g.features(),
+            |u| g.labels()[u],
+            g.num_classes(),
+            g.edges().iter().copied(),
+            g.num_edges(),
+            g.node_order(),
+        )
+    }
+
+    /// Partition a streamed [`LargeGraph`] into `shards` cached subgraphs.
+    pub fn from_large(g: &LargeGraph, split: &Split, shards: usize) -> ShardSet {
+        let n = g.num_nodes();
+        let degrees = g.degrees();
+        let assignment = partition_nodes(
+            n,
+            &degrees,
+            |u, visit| {
+                for &v in g.neighbors(u) {
+                    visit(v as usize);
+                }
+            },
+            shards,
+        );
+        let edges = (0..n).flat_map(|u| {
+            g.neighbors(u)
+                .iter()
+                .map(move |&v| (u, v as usize))
+                .filter(|&(u, v)| u < v)
+        });
+        build_shards(
+            &assignment,
+            shards,
+            split,
+            g.features(),
+            |u| g.label(u),
+            g.num_classes(),
+            edges,
+            g.num_edges(),
+            None,
+        )
+    }
+
+    /// `(node_factor, volume_factor)`: the largest shard's node count and
+    /// degree volume relative to a perfectly balanced shard (1.0 = exact
+    /// balance). The partitioner tests pin both on skewed graphs.
+    pub fn balance(&self) -> (f64, f64) {
+        let k = self.shards.len() as f64;
+        let total_nodes: usize = self.shards.iter().map(|s| s.nodes.len()).sum();
+        // Parent-degree volume: intra-edge degrees + one incidence per
+        // cut edge + the self-loop term.
+        let vol = |s: &SubgraphShard| s.degrees.iter().sum::<usize>() + s.cut_edges + s.nodes.len();
+        let total_vol: usize = self.shards.iter().map(&vol).sum();
+        let max_nodes = self.shards.iter().map(|s| s.nodes.len()).max().unwrap_or(0);
+        let max_vol = self.shards.iter().map(&vol).max().unwrap_or(0);
+        (
+            max_nodes as f64 * k / total_nodes.max(1) as f64,
+            max_vol as f64 * k / total_vol.max(1) as f64,
+        )
+    }
+}
+
+/// Shared shard extraction over any edge iterator (each undirected parent
+/// edge exactly once).
+#[allow(clippy::too_many_arguments)]
+fn build_shards(
+    assignment: &[u32],
+    shards: usize,
+    split: &Split,
+    features: &Matrix,
+    label_of: impl Fn(usize) -> usize,
+    num_classes: usize,
+    edges: impl Iterator<Item = (usize, usize)>,
+    total_edges: usize,
+    parent_order: Option<&Reordering>,
+) -> ShardSet {
+    let n = assignment.len();
+    // Ascending node lists + global→local index in one scan.
+    let mut nodes: Vec<Vec<usize>> = vec![Vec::new(); shards];
+    let mut local_index = vec![0u32; n];
+    for (g, &s) in assignment.iter().enumerate() {
+        let s = s as usize;
+        local_index[g] = nodes[s].len() as u32;
+        nodes[s].push(g);
+    }
+    // Local edge lists, halo candidates, cut counts.
+    let mut local_edges: Vec<Vec<(usize, usize)>> = vec![Vec::new(); shards];
+    let mut halos: Vec<Vec<usize>> = vec![Vec::new(); shards];
+    let mut cuts = vec![0usize; shards];
+    let mut cut_total = 0usize;
+    for (u, v) in edges {
+        let (su, sv) = (assignment[u] as usize, assignment[v] as usize);
+        if su == sv {
+            local_edges[su].push((local_index[u] as usize, local_index[v] as usize));
+        } else {
+            cut_total += 1;
+            cuts[su] += 1;
+            cuts[sv] += 1;
+            halos[su].push(v);
+            halos[sv].push(u);
+        }
+    }
+    // Split indices in parent order, remapped per shard.
+    let mut local_splits: Vec<Split> = (0..shards)
+        .map(|_| Split {
+            train: Vec::new(),
+            val: Vec::new(),
+            test: Vec::new(),
+        })
+        .collect();
+    for &g in &split.train {
+        local_splits[assignment[g] as usize]
+            .train
+            .push(local_index[g] as usize);
+    }
+    for &g in &split.val {
+        local_splits[assignment[g] as usize]
+            .val
+            .push(local_index[g] as usize);
+    }
+    for &g in &split.test {
+        local_splits[assignment[g] as usize]
+            .test
+            .push(local_index[g] as usize);
+    }
+
+    let mut out = Vec::with_capacity(shards);
+    for (s, shard_nodes) in nodes.into_iter().enumerate() {
+        let mut halo = std::mem::take(&mut halos[s]);
+        halo.sort_unstable();
+        halo.dedup();
+        let shard_features = features.select_rows(&shard_nodes);
+        let labels: Vec<usize> = shard_nodes.iter().map(|&g| label_of(g)).collect();
+        let mut graph = Graph::new(
+            shard_nodes.len(),
+            std::mem::take(&mut local_edges[s]),
+            shard_features,
+            labels,
+            num_classes,
+        );
+        if let Some(ord) = parent_order {
+            // Local physical id ↔ rank of the node's *original* id within
+            // the shard: SkipNode masks then draw in original-id order,
+            // shard layout notwithstanding (the RNG-parity rule of
+            // DESIGN.md §12).
+            let orig: Vec<usize> = shard_nodes.iter().map(|&p| ord.perm[p]).collect();
+            let mut by_orig: Vec<usize> = (0..orig.len()).collect();
+            by_orig.sort_by_key(|&j| orig[j]);
+            let mut rank = vec![0usize; orig.len()];
+            for (r, &j) in by_orig.iter().enumerate() {
+                rank[j] = r;
+            }
+            graph = graph.with_node_order(Reordering::from_perm(rank));
+        }
+        let degrees = graph.degrees();
+        out.push(SubgraphShard {
+            index: s,
+            nodes: shard_nodes,
+            halo,
+            cut_edges: cuts[s],
+            graph,
+            degrees,
+            local_split: std::mem::take(&mut local_splits[s]),
+        });
+    }
+    ShardSet {
+        assignment: assignment.to_vec(),
+        shards: out,
+        total_edges,
+        cut_edges: cut_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{
+        barabasi_albert_with_classes, class_feature_matrix, partition_graph, FeatureStyle,
+        PartitionConfig,
+    };
+    use crate::preprocess::{reorder_graph, GraphReorder};
+    use crate::splits::full_supervised_split;
+    use skipnode_tensor::SplitRng;
+
+    fn ba_graph(n: usize) -> Graph {
+        let mut rng = SplitRng::new(17);
+        let (edges, labels) = barabasi_albert_with_classes(n, 5, 10, 0.7, &mut rng);
+        let features = class_feature_matrix(&labels, 10, 8, FeatureStyle::OneHotGroup, &mut rng);
+        Graph::new(n, edges, features, labels, 10)
+    }
+
+    #[test]
+    fn partitions_stay_balanced_on_skewed_degrees() {
+        // The satellite regression: a hub-heavy BA graph must not produce
+        // one mega-shard. Both balance factors stay under 1.5 for a range
+        // of shard counts.
+        let g = ba_graph(4000);
+        let mut rng = SplitRng::new(1);
+        let split = full_supervised_split(&g, &mut rng);
+        let degrees = g.degrees();
+        let total_vol: usize = degrees.iter().sum::<usize>() + 4000;
+        for k in [2usize, 4, 8, 16] {
+            let set = ShardSet::from_graph(&g, &split, k);
+            assert_eq!(set.shards.len(), k);
+            assert!(set.shards.iter().all(|s| !s.nodes.is_empty()));
+            let (node_f, vol_f) = set.balance();
+            // Volume (≈ per-shard SpMM work) is the tightly balanced
+            // quantity; node counts may shift toward cheap-node shards.
+            assert!(vol_f <= 1.35, "k={k}: volume factor {vol_f}");
+            assert!(node_f <= 2.0, "k={k}: node factor {node_f}");
+
+            // The regression this guards: splitting by node-id ranges on a
+            // BA graph (old hubs get old, low ids) concentrates volume in
+            // the first shard.
+            let chunk = 4000usize.div_ceil(k);
+            let id_split_max_vol = (0..k)
+                .map(|s| {
+                    let lo = s * chunk;
+                    let hi = ((s + 1) * chunk).min(4000);
+                    degrees[lo..hi].iter().sum::<usize>() + (hi - lo)
+                })
+                .max()
+                .unwrap();
+            let id_split_vol_f = id_split_max_vol as f64 * k as f64 / total_vol as f64;
+            assert!(
+                vol_f < id_split_vol_f,
+                "k={k}: BFS {vol_f} should beat id-range {id_split_vol_f}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_is_the_identity() {
+        let g = partition_graph(
+            &PartitionConfig {
+                n: 300,
+                m: 1200,
+                classes: 3,
+                homophily: 0.8,
+                power: 0.3,
+            },
+            16,
+            FeatureStyle::TfidfGaussian { separation: 1.0 },
+            &mut SplitRng::new(5),
+        );
+        let mut rng = SplitRng::new(2);
+        let split = full_supervised_split(&g, &mut rng);
+        let set = ShardSet::from_graph(&g, &split, 1);
+        let sh = &set.shards[0];
+        assert_eq!(sh.nodes, (0..300).collect::<Vec<_>>());
+        assert!(sh.halo.is_empty());
+        assert_eq!(sh.cut_edges, 0);
+        assert_eq!(sh.graph.edges(), g.edges());
+        assert_eq!(sh.graph.features().as_slice(), g.features().as_slice());
+        assert_eq!(sh.graph.labels(), g.labels());
+        assert_eq!(sh.local_split, split);
+    }
+
+    #[test]
+    fn shards_partition_nodes_edges_and_split() {
+        let g = ba_graph(1500);
+        let mut rng = SplitRng::new(3);
+        let split = full_supervised_split(&g, &mut rng);
+        let set = ShardSet::from_graph(&g, &split, 5);
+        let node_total: usize = set.shards.iter().map(|s| s.nodes.len()).sum();
+        assert_eq!(node_total, 1500);
+        let kept: usize = set.shards.iter().map(|s| s.graph.num_edges()).sum();
+        assert_eq!(kept + set.cut_edges, set.total_edges);
+        let split_total: usize = set
+            .shards
+            .iter()
+            .map(|s| s.local_split.train.len() + s.local_split.val.len() + s.local_split.test.len())
+            .sum();
+        assert_eq!(split_total, 1500);
+        // Labels survive the round trip through local ids.
+        for sh in &set.shards {
+            for (&gid, local) in sh.nodes.iter().zip(0..) {
+                assert_eq!(sh.graph.labels()[local], g.labels()[gid]);
+            }
+            for &t in &sh.local_split.train {
+                assert!(t < sh.nodes.len());
+            }
+        }
+    }
+
+    #[test]
+    fn halo_lists_the_boundary() {
+        // Path 0-1-2-3 cut into {0,1} and {2,3}: halo of each side is the
+        // opposing endpoint of the cut edge (1,2).
+        let g = Graph::new(
+            4,
+            vec![(0, 1), (1, 2), (2, 3)],
+            Matrix::zeros(4, 1),
+            vec![0; 4],
+            1,
+        );
+        let split = Split {
+            train: vec![0, 1, 2, 3],
+            val: vec![],
+            test: vec![],
+        };
+        let set = ShardSet::from_graph(&g, &split, 2);
+        let of = |gid: usize| set.assignment[gid] as usize;
+        assert_ne!(of(1), of(2), "the path must be cut somewhere");
+        let s1 = &set.shards[of(1)];
+        let s2 = &set.shards[of(2)];
+        assert_eq!(set.cut_edges, 1);
+        assert!(s1.halo.iter().all(|&h| of(h) != s1.index));
+        assert!(s2.halo.iter().all(|&h| of(h) != s2.index));
+        assert_eq!(s1.cut_edges, 1);
+        assert_eq!(s2.cut_edges, 1);
+    }
+
+    #[test]
+    fn from_large_matches_from_graph() {
+        // The same topology via both substrates produces identical shard
+        // structure (LargeGraph path feeds edges u<v from CSR rows).
+        let g = ba_graph(800);
+        let mut indptr = vec![0usize];
+        let mut indices: Vec<u32> = Vec::new();
+        let adj = g.adjacency_list();
+        for row in &adj {
+            let mut r: Vec<u32> = row.iter().map(|&v| v as u32).collect();
+            r.sort_unstable();
+            indices.extend_from_slice(&r);
+            indptr.push(indices.len());
+        }
+        let lg = LargeGraph::from_parts(
+            skipnode_sparse::CsrStructure { indptr, indices },
+            g.features().clone(),
+            g.labels().iter().map(|&l| l as u32).collect(),
+            g.num_classes(),
+        );
+        let mut rng = SplitRng::new(7);
+        let split = full_supervised_split(&g, &mut rng);
+        let a = ShardSet::from_graph(&g, &split, 4);
+        let b = ShardSet::from_large(&lg, &split, 4);
+        assert_eq!(a.assignment, b.assignment);
+        for (x, y) in a.shards.iter().zip(&b.shards) {
+            assert_eq!(x.nodes, y.nodes);
+            assert_eq!(x.halo, y.halo);
+            assert_eq!(x.graph.edges(), y.graph.edges());
+            assert_eq!(x.local_split, y.local_split);
+        }
+    }
+
+    #[test]
+    fn reordered_parent_gives_shards_a_logical_order() {
+        let g = ba_graph(600);
+        let (rg, _) = reorder_graph(&g, GraphReorder::DegreeSort);
+        let mut rng = SplitRng::new(9);
+        let split = full_supervised_split(&rg, &mut rng);
+        let set = ShardSet::from_graph(&rg, &split, 3);
+        for sh in &set.shards {
+            let ord = sh.graph.node_order().expect("shard keeps logical order");
+            // perm[local] = rank of the node's original id: ascending
+            // original ids within the shard enumerate ranks 0..len.
+            let parent_ord = rg.node_order().unwrap();
+            let orig: Vec<usize> = sh.nodes.iter().map(|&p| parent_ord.perm[p]).collect();
+            let mut sorted = orig.clone();
+            sorted.sort_unstable();
+            for (local, &o) in orig.iter().enumerate() {
+                let rank = sorted.binary_search(&o).unwrap();
+                assert_eq!(ord.perm[local], rank);
+            }
+        }
+        // Unordered parents attach no shard order.
+        let plain = ShardSet::from_graph(&g, &split, 3);
+        assert!(plain.shards.iter().all(|s| s.graph.node_order().is_none()));
+    }
+}

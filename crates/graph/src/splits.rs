@@ -4,7 +4,7 @@ use crate::graph::Graph;
 use skipnode_tensor::SplitRng;
 
 /// A node-classification split.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Split {
     /// Training node indices.
     pub train: Vec<usize>,

@@ -1,0 +1,55 @@
+//! Memory-bound contract of the streamed generators.
+//!
+//! The builder's transient heap must obey the analytic
+//! [`peak_budget_bytes`] bound — `O(n + chunk)` beyond the output arrays,
+//! with **no term proportional to a full edge list**. The default test
+//! pins the bound at a CI-friendly size; the `#[ignore]`d test is the
+//! million-node version the CI memory leg runs explicitly
+//! (`cargo test --release -p skipnode-graph --test streamed_scale -- --ignored`).
+
+use skipnode_graph::{streamed_partition_graph, FeatureStyle, PartitionConfig};
+use skipnode_sparse::peak_budget_bytes;
+
+fn build_and_check(n: usize, m: usize, chunk_edges: usize) {
+    let cfg = PartitionConfig {
+        n,
+        m,
+        classes: 8,
+        homophily: 0.8,
+        power: 0.3,
+    };
+    let (graph, stats) =
+        streamed_partition_graph(&cfg, 16, FeatureStyle::OneHotGroup, chunk_edges, 271);
+    assert_eq!(graph.num_nodes(), n);
+    assert!(
+        graph.num_edges() > m * 9 / 10,
+        "realized edges {} far below target {m}",
+        graph.num_edges()
+    );
+    // Each candidate edge contributes at most two directed entries.
+    let budget = peak_budget_bytes(n, 2 * m, chunk_edges, 0);
+    assert!(
+        stats.adjacency.peak_bytes <= budget,
+        "builder peak {} exceeded analytic bound {}",
+        stats.adjacency.peak_bytes,
+        budget
+    );
+    // The bound itself must be streaming-shaped: far below what an
+    // intermediate `Vec<(usize, usize)>` edge list alone would occupy.
+    let edge_list_bytes = m * std::mem::size_of::<(usize, usize)>();
+    assert!(
+        budget < edge_list_bytes,
+        "budget {budget} is not smaller than a materialized edge list ({edge_list_bytes})"
+    );
+}
+
+#[test]
+fn builder_stays_inside_the_analytic_bound() {
+    build_and_check(60_000, 300_000, 1 << 14);
+}
+
+#[test]
+#[ignore = "million-node memory leg; run explicitly (CI does)"]
+fn million_node_build_stays_inside_the_analytic_bound() {
+    build_and_check(1_000_000, 5_000_000, 1 << 20);
+}

@@ -22,6 +22,10 @@ pub struct EpochDiagnostics {
     /// MAD of the penultimate representation (Fig. 2a / Fig. 5b); `None`
     /// when MAD recording is disabled or the model exposes no penultimate.
     pub mad: Option<f64>,
+    /// Wall time of this epoch's training step (forward + backward +
+    /// optimizer), excluding evaluation — the steady-state number the
+    /// scaling benches assert on.
+    pub train_seconds: f64,
 }
 
 /// Collects [`EpochDiagnostics`] every `every` epochs.
@@ -85,6 +89,7 @@ mod tests {
             output_grad_norm: 0.1,
             weight_norm_sq: 2.0,
             mad: Some(0.7),
+            train_seconds: 0.01,
         });
         assert_eq!(r.entries().len(), 1);
         assert_eq!(r.entries()[0].epoch, 0);

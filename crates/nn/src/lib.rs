@@ -48,7 +48,10 @@ pub use energy::dirichlet_energy;
 pub use engine::{compile_train_program, EngineError, StrategySampler};
 pub use linkpred::{train_link_predictor, LinkPredConfig, LinkPredResult};
 pub use metrics::{accuracy, hits_at_k, mean_average_distance};
-pub use minibatch::{train_node_classifier_minibatch, MiniBatchConfig};
+pub use minibatch::{
+    train_node_classifier_minibatch, train_node_classifier_sharded_large, BatchScheme,
+    MiniBatchConfig,
+};
 pub use models::{BackboneSpec, BuildError, Model};
 pub use optim::{Adam, AdamConfig};
 pub use param::{Binding, LayerInit, ParamId, ParamStore};

@@ -198,6 +198,7 @@ pub fn train_node_classifier(
 
     for epoch in 0..cfg.epochs {
         epochs_run = epoch + 1;
+        let epoch_t0 = std::time::Instant::now();
         // ---- training step ----
         // Both branches consume `rng` identically (epoch adjacency, then
         // one split for the forward) and produce identical losses, seeds,
@@ -249,6 +250,7 @@ pub fn train_node_classifier(
         for g in param_grads.drain(..).flatten() {
             workspace::give(g);
         }
+        let train_seconds = epoch_t0.elapsed().as_secs_f64();
 
         // ---- evaluation ----
         let should_eval = epoch % cfg.eval_every == 0 || epoch + 1 == cfg.epochs;
@@ -283,6 +285,7 @@ pub fn train_node_classifier(
                     output_grad_norm: first_grad_norm,
                     weight_norm_sq: model.store().total_l2_norm_sq(),
                     mad,
+                    train_seconds,
                 });
             }
             if should_eval {
@@ -320,8 +323,10 @@ pub fn train_node_classifier(
 /// Shared loss/seed construction for both executors: per-head softmax
 /// cross-entropy on the train mask, mean loss across heads, the first
 /// head's output-gradient norm (the Figure 2(b) diagnostic), `1/S` seed
-/// scaling, and GRAND's consistency gradients when applicable.
-fn build_seeds(
+/// scaling, and GRAND's consistency gradients when applicable. Also the
+/// per-shard loss path of the mini-batch trainer, which is what keeps its
+/// 1-shard run bit-identical to this one.
+pub(crate) fn build_seeds(
     logits: &[&Matrix],
     graph: &Graph,
     split: &Split,

@@ -22,6 +22,7 @@ mod csr;
 mod normalize;
 mod spectral;
 pub mod stats;
+mod stream;
 
 pub use build::{dedup_undirected_edges, CooBuilder};
 pub use csr::{CsrMatrix, SpmmSchedule, COL_SKIP};
@@ -29,3 +30,7 @@ pub use normalize::{
     gcn_adjacency, gcn_adjacency_filtered, gcn_adjacency_with_node_mask, row_normalized_adjacency,
 };
 pub use spectral::{connected_components, second_largest_eigen_magnitude, SmoothingSubspace};
+pub use stream::{
+    gcn_adjacency_from_structure, peak_budget_bytes, stream_adjacency, CsrStructure,
+    EdgeChunkSource, StreamStats,
+};

@@ -1,0 +1,433 @@
+//! Streamed COO→CSR construction for graphs too large to materialize an
+//! intermediate edge list.
+//!
+//! The in-memory generators collect every edge into a
+//! `Vec<(usize, usize)>` plus a `HashSet` for deduplication — ~64 bytes
+//! per undirected edge before the CSR even exists. At 10⁷ edges that is
+//! over half a gigabyte of scaffolding. [`stream_adjacency`] replaces the
+//! scaffolding with two passes over a resettable [`EdgeChunkSource`]:
+//!
+//! 1. **Degree count** — stream every candidate edge once, incrementing
+//!    two `u32` endpoint counters; prefix-sum the counts into `indptr`.
+//! 2. **Fill** — stream the identical edges again (same seed ⇒ same
+//!    stream), writing each endpoint directly into its row's slice of a
+//!    single pre-sized `indices` array; per-row cursors reuse the count
+//!    buffer from pass 1.
+//!
+//! Rows are then sorted and deduplicated in place and the array compacted
+//! with a forward write pointer, so duplicates cost only their slack in
+//! the one `indices` allocation. Peak builder memory is therefore an
+//! explicit closed form — `degree counters + indptr + indices + chunk
+//! buffer + generator state` — which [`StreamStats::peak_bytes`] reports
+//! and [`peak_budget_bytes`] predicts, letting tests assert a hard bound.
+
+/// A resettable, chunked source of undirected candidate edges.
+///
+/// Implementations are deterministic: after [`EdgeChunkSource::reset`],
+/// the source must replay the exact same edge sequence (the two-pass
+/// builder depends on pass 2 seeing pass 1's edges). Self-loops and
+/// duplicate edges are tolerated — the builder drops both — but every
+/// endpoint must be `< nodes()`.
+pub trait EdgeChunkSource {
+    /// Number of nodes (fixes the CSR dimensions).
+    fn nodes(&self) -> usize;
+
+    /// Rewind to the start of the edge stream.
+    fn reset(&mut self);
+
+    /// Clear `buf` and refill it with up to `buf.capacity()` edges.
+    /// Returns `false` once the stream is exhausted and `buf` stays empty.
+    fn next_chunk(&mut self, buf: &mut Vec<(u32, u32)>) -> bool;
+
+    /// Bytes of generator state held between chunks (degree pools,
+    /// propensity tables, …), charged against the peak-memory bound.
+    fn state_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Symmetric adjacency structure (no values): sorted, deduplicated
+/// neighbor lists in CSR layout. Each undirected edge appears twice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrStructure {
+    /// Row pointer array, length `n + 1`.
+    pub indptr: Vec<usize>,
+    /// Column indices, strictly increasing within each row.
+    pub indices: Vec<u32>,
+}
+
+impl CsrStructure {
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Number of directed entries (2× the undirected edge count).
+    pub fn directed_entries(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Degree of node `u` (self-loops were dropped at build time).
+    pub fn degree(&self, u: usize) -> usize {
+        self.indptr[u + 1] - self.indptr[u]
+    }
+
+    /// Sorted neighbor list of node `u`.
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.indices[self.indptr[u]..self.indptr[u + 1]]
+    }
+
+    /// All node degrees.
+    pub fn degrees(&self) -> Vec<usize> {
+        (0..self.nodes()).map(|u| self.degree(u)).collect()
+    }
+
+    /// Heap bytes held by the structure (capacity, not length — slack
+    /// from deduplication is real memory and must count against budgets).
+    pub fn bytes(&self) -> usize {
+        self.indptr.capacity() * std::mem::size_of::<usize>()
+            + self.indices.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+/// What [`stream_adjacency`] observed while building.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Nodes in the graph.
+    pub nodes: usize,
+    /// Final directed entries after deduplication (2× undirected edges).
+    pub directed_entries: usize,
+    /// Candidate entries dropped as duplicates.
+    pub duplicates_dropped: usize,
+    /// Candidate entries dropped as self-loops.
+    pub self_loops_dropped: usize,
+    /// Chunks pulled per pass.
+    pub chunks_per_pass: usize,
+    /// Analytic peak of builder-owned heap bytes (counters + indptr +
+    /// indices + chunk buffer + generator state). This is the number the
+    /// memory-bound tests assert against.
+    pub peak_bytes: usize,
+}
+
+/// The builder's worst-case peak heap bytes for a graph of `n` nodes and
+/// at most `max_candidate_entries` *directed* candidate entries (2× the
+/// candidate undirected edges), streamed in chunks of `chunk_edges`
+/// undirected edges with `state_bytes` of resident generator state.
+///
+/// `StreamStats::peak_bytes ≤ peak_budget_bytes(..)` always holds; tests
+/// pin it. Crucially the bound has **no term proportional to a full edge
+/// list** — the builder's transient state is `O(n + chunk)` beyond the
+/// output arrays themselves.
+pub fn peak_budget_bytes(
+    n: usize,
+    max_candidate_entries: usize,
+    chunk_edges: usize,
+    state_bytes: usize,
+) -> usize {
+    let counters = n * std::mem::size_of::<u32>();
+    let indptr = (n + 1) * std::mem::size_of::<usize>();
+    let indices = max_candidate_entries * std::mem::size_of::<u32>();
+    let chunk = chunk_edges * std::mem::size_of::<(u32, u32)>();
+    counters + indptr + indices + chunk + state_bytes
+}
+
+/// Build the symmetric adjacency structure of an undirected graph from
+/// two passes over `src`, using a chunk buffer of `chunk_edges` edges.
+///
+/// Self-loops are dropped; duplicate candidate edges are deduplicated
+/// structurally (sorted-row `dedup`), so sources need no `HashSet`.
+///
+/// # Panics
+/// Panics if an endpoint is out of range or if the source replays a
+/// different stream on the second pass.
+pub fn stream_adjacency(
+    src: &mut dyn EdgeChunkSource,
+    chunk_edges: usize,
+) -> (CsrStructure, StreamStats) {
+    assert!(chunk_edges > 0, "chunk size must be positive");
+    let n = src.nodes();
+    let mut buf: Vec<(u32, u32)> = Vec::with_capacity(chunk_edges);
+    let chunk_bytes = buf.capacity() * std::mem::size_of::<(u32, u32)>();
+    let mut peak = 0usize;
+    let mut track = |bytes: usize| peak = peak.max(bytes);
+
+    // Pass 1: count candidate entries per node (duplicates included).
+    let mut counts = vec![0u32; n];
+    let counters_bytes = counts.capacity() * std::mem::size_of::<u32>();
+    track(counters_bytes + chunk_bytes + src.state_bytes());
+    let mut self_loops = 0usize;
+    let mut chunks = 0usize;
+    src.reset();
+    while src.next_chunk(&mut buf) {
+        chunks += 1;
+        track(counters_bytes + chunk_bytes + src.state_bytes());
+        for &(u, v) in &buf {
+            let (u, v) = (u as usize, v as usize);
+            assert!(u < n && v < n, "edge ({u},{v}) out of range for n={n}");
+            if u == v {
+                self_loops += 1;
+                continue;
+            }
+            counts[u] += 1;
+            counts[v] += 1;
+        }
+    }
+
+    // Prefix-sum into indptr; `counts` becomes the per-row fill cursor.
+    let mut indptr = Vec::with_capacity(n + 1);
+    let mut acc = 0usize;
+    indptr.push(0);
+    for c in counts.iter_mut() {
+        acc += *c as usize;
+        indptr.push(acc);
+        *c = 0;
+    }
+    let indptr_bytes = indptr.capacity() * std::mem::size_of::<usize>();
+    let candidate_entries = acc;
+    let mut indices = vec![0u32; candidate_entries];
+    let indices_bytes = indices.capacity() * std::mem::size_of::<u32>();
+    let resident = counters_bytes + indptr_bytes + indices_bytes + chunk_bytes;
+    track(resident + src.state_bytes());
+
+    // Pass 2: the same stream again, scattered straight into row slots.
+    src.reset();
+    let mut pass2_chunks = 0usize;
+    while src.next_chunk(&mut buf) {
+        pass2_chunks += 1;
+        track(resident + src.state_bytes());
+        for &(u, v) in &buf {
+            let (u, v) = (u as usize, v as usize);
+            if u == v {
+                continue;
+            }
+            indices[indptr[u] + counts[u] as usize] = v as u32;
+            counts[u] += 1;
+            indices[indptr[v] + counts[v] as usize] = u as u32;
+            counts[v] += 1;
+        }
+    }
+    assert_eq!(chunks, pass2_chunks, "source replayed a different stream");
+    for (u, &c) in counts.iter().enumerate() {
+        assert_eq!(
+            indptr[u] + c as usize,
+            indptr[u + 1],
+            "source replayed a different stream (row {u} under-filled)"
+        );
+    }
+
+    // Sort + dedup each row in place, compacting with a forward write
+    // pointer (write ≤ read throughout, so no extra buffer is needed).
+    let mut write = 0usize;
+    let mut row_start_old = indptr[0];
+    for u in 0..n {
+        let row_end_old = indptr[u + 1];
+        indices[row_start_old..row_end_old].sort_unstable();
+        let new_start = write;
+        let mut prev = u32::MAX;
+        for r in row_start_old..row_end_old {
+            let v = indices[r];
+            if v != prev {
+                indices[write] = v;
+                write += 1;
+                prev = v;
+            }
+        }
+        indptr[u] = new_start;
+        row_start_old = row_end_old;
+    }
+    indptr[n] = write;
+    let duplicates = candidate_entries - write;
+    indices.truncate(write); // capacity (and its bytes) intentionally kept
+
+    let stats = StreamStats {
+        nodes: n,
+        directed_entries: write,
+        duplicates_dropped: duplicates,
+        self_loops_dropped: self_loops,
+        chunks_per_pass: chunks,
+        peak_bytes: peak,
+    };
+    (CsrStructure { indptr, indices }, stats)
+}
+
+/// GCN-normalize a streamed adjacency structure:
+/// `Ã = (D+I)^{-1/2}(A+I)(D+I)^{-1/2}` with self-loops for all nodes,
+/// built row-by-row without a COO detour (the structure is already
+/// sorted and deduplicated).
+pub fn gcn_adjacency_from_structure(s: &CsrStructure) -> crate::csr::CsrMatrix {
+    let n = s.nodes();
+    let inv_sqrt: Vec<f32> = (0..n)
+        .map(|u| 1.0 / ((s.degree(u) + 1) as f32).sqrt())
+        .collect();
+    let nnz = s.directed_entries() + n;
+    let mut indptr = Vec::with_capacity(n + 1);
+    let mut indices = Vec::with_capacity(nnz);
+    let mut values = Vec::with_capacity(nnz);
+    indptr.push(0);
+    for u in 0..n {
+        let mut placed_diag = false;
+        for &v in s.neighbors(u) {
+            if !placed_diag && v as usize > u {
+                indices.push(u as u32);
+                values.push(inv_sqrt[u] * inv_sqrt[u]);
+                placed_diag = true;
+            }
+            indices.push(v);
+            values.push(inv_sqrt[u] * inv_sqrt[v as usize]);
+        }
+        if !placed_diag {
+            indices.push(u as u32);
+            values.push(inv_sqrt[u] * inv_sqrt[u]);
+        }
+        indptr.push(indices.len());
+    }
+    crate::csr::CsrMatrix::new(n, n, indptr, indices, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::gcn_adjacency;
+    use skipnode_tensor::SplitRng;
+
+    /// Replayable source backed by a fixed edge list, delivered in chunks.
+    struct VecSource {
+        n: usize,
+        edges: Vec<(u32, u32)>,
+        pos: usize,
+    }
+
+    impl EdgeChunkSource for VecSource {
+        fn nodes(&self) -> usize {
+            self.n
+        }
+        fn reset(&mut self) {
+            self.pos = 0;
+        }
+        fn next_chunk(&mut self, buf: &mut Vec<(u32, u32)>) -> bool {
+            buf.clear();
+            if self.pos >= self.edges.len() {
+                return false;
+            }
+            let take = buf.capacity().min(self.edges.len() - self.pos);
+            buf.extend_from_slice(&self.edges[self.pos..self.pos + take]);
+            self.pos += take;
+            true
+        }
+        fn state_bytes(&self) -> usize {
+            self.edges.capacity() * std::mem::size_of::<(u32, u32)>()
+        }
+    }
+
+    fn reference_structure(n: usize, edges: &[(u32, u32)]) -> CsrStructure {
+        let canon: Vec<(usize, usize)> = edges
+            .iter()
+            .map(|&(u, v)| (u as usize, v as usize))
+            .collect();
+        let canon = crate::build::dedup_undirected_edges(&canon);
+        let mut adj = vec![Vec::new(); n];
+        for &(u, v) in &canon {
+            adj[u].push(v as u32);
+            adj[v].push(u as u32);
+        }
+        let mut indptr = vec![0usize];
+        let mut indices = Vec::new();
+        for row in &mut adj {
+            row.sort_unstable();
+            indices.extend_from_slice(row);
+            indptr.push(indices.len());
+        }
+        CsrStructure { indptr, indices }
+    }
+
+    #[test]
+    fn matches_reference_on_random_graphs_with_dups_and_loops() {
+        let mut rng = SplitRng::new(7);
+        for n in [1usize, 2, 17, 100] {
+            let m = n * 3;
+            let mut edges: Vec<(u32, u32)> = (0..m)
+                .map(|_| (rng.below(n) as u32, rng.below(n) as u32))
+                .collect();
+            // Inject exact duplicates and both orientations.
+            let dups: Vec<(u32, u32)> = edges.iter().take(m / 3).map(|&(u, v)| (v, u)).collect();
+            edges.extend(dups);
+            let reference = reference_structure(n, &edges);
+            for chunk in [1usize, 3, 64, 4096] {
+                let mut src = VecSource {
+                    n,
+                    edges: edges.clone(),
+                    pos: 0,
+                };
+                let (got, stats) = stream_adjacency(&mut src, chunk);
+                assert_eq!(got, reference, "n={n} chunk={chunk}");
+                assert_eq!(stats.directed_entries, got.indices.len());
+            }
+        }
+    }
+
+    #[test]
+    fn stats_account_for_drops_and_respect_the_budget() {
+        let edges = vec![(0u32, 1), (1, 0), (0, 1), (2, 2), (1, 2)];
+        let mut src = VecSource {
+            n: 3,
+            edges,
+            pos: 0,
+        };
+        let state = src.state_bytes();
+        let (s, stats) = stream_adjacency(&mut src, 2);
+        assert_eq!(s.directed_entries(), 4); // edges {0-1, 1-2}
+        assert_eq!(stats.self_loops_dropped, 1);
+        assert_eq!(stats.duplicates_dropped, 4); // (1,0) and (0,1) redundant ×2
+        assert_eq!(stats.chunks_per_pass, 3);
+        // 5 candidates, 1 self-loop → 8 candidate directed entries.
+        let budget = peak_budget_bytes(3, 8, 2, state);
+        assert!(
+            stats.peak_bytes <= budget,
+            "peak {} > budget {budget}",
+            stats.peak_bytes
+        );
+        assert!(stats.peak_bytes >= s.bytes());
+    }
+
+    #[test]
+    fn normalization_matches_the_coo_path() {
+        let mut rng = SplitRng::new(9);
+        let n = 60;
+        let edges: Vec<(u32, u32)> = (0..200)
+            .map(|_| (rng.below(n) as u32, rng.below(n) as u32))
+            .collect();
+        let mut src = VecSource {
+            n,
+            edges: edges.clone(),
+            pos: 0,
+        };
+        let (s, _) = stream_adjacency(&mut src, 37);
+        let streamed = gcn_adjacency_from_structure(&s);
+        let canon: Vec<(usize, usize)> = edges
+            .iter()
+            .map(|&(u, v)| (u as usize, v as usize))
+            .collect();
+        let reference = gcn_adjacency(n, &canon);
+        assert_eq!(streamed.rows(), reference.rows());
+        for r in 0..n {
+            assert_eq!(streamed.row(r), reference.row(r), "row {r}");
+        }
+    }
+
+    #[test]
+    fn empty_and_isolated_nodes_are_fine() {
+        let mut src = VecSource {
+            n: 4,
+            edges: vec![(1, 3)],
+            pos: 0,
+        };
+        let (s, _) = stream_adjacency(&mut src, 8);
+        assert_eq!(s.degree(0), 0);
+        assert_eq!(s.degree(1), 1);
+        assert_eq!(s.neighbors(3), &[1]);
+        let adj = gcn_adjacency_from_structure(&s);
+        assert_eq!(adj.rows(), 4);
+        // Isolated nodes still get their self-loop.
+        assert_eq!(adj.row_nnz(0), 1);
+    }
+}

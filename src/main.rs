@@ -56,8 +56,8 @@ USAGE:
   skipnode train    --dataset NAME [--backbone NAME] [--depth N]
                     [--strategy none|dropedge|dropnode|pairnorm|skipnode-u|skipnode-b]
                     [--rho F] [--epochs N] [--hidden N] [--dropout F]
-                    [--protocol semi|full] [--minibatch PARTS] [--save PATH]
-                    [--seed N] [--scale S]
+                    [--protocol semi|full] [--minibatch PARTS] [--fanout F]
+                    [--save PATH] [--seed N] [--scale S]
   skipnode linkpred --dataset NAME [--depth N] [--strategy ...] [--rho F]
                     [--epochs N] [--seed N] [--scale S]
   skipnode theory   [--nodes N] [--edge-prob F] [--layers N] [--s F] [--seed N]
@@ -178,14 +178,21 @@ fn cmd_train(rest: &[String]) -> Result<(), String> {
         ..Default::default()
     };
     let parts: usize = flags.parse("--minibatch", 0)?;
+    let fanout: usize = flags.parse("--fanout", 0)?;
     let result = if parts > 1 {
+        let mb = if fanout > 0 {
+            // --minibatch gives the seed batch size when sampling.
+            MiniBatchConfig::neighbor_sampling(parts, fanout, depth.saturating_sub(1).max(1))
+        } else {
+            MiniBatchConfig::cluster(parts)
+        };
         train_node_classifier_minibatch(
             model.as_mut(),
             &graph,
             &split,
             &strategy,
             &cfg,
-            &MiniBatchConfig { parts },
+            &mb,
             &mut rng,
         )
     } else {
