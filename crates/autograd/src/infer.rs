@@ -22,6 +22,7 @@
 use crate::attention::gat_forward;
 use crate::ops::skip_conv_compute;
 use crate::tape::{NodeId, Op, Tape, Value};
+use skipnode_tensor::quant::{qgemm, QuantizedMatrix};
 use skipnode_tensor::{workspace, Matrix};
 
 /// Sentinel for "no consumer".
@@ -193,7 +194,20 @@ impl Tape {
         let mut op = std::mem::replace(&mut self.nodes[idx].op, Op::Leaf);
         let value = match &mut op {
             Op::Leaf => unreachable!("a leaf is never pending"),
-            Op::MatMul(a, b) => self.val(a.0).matmul(self.val(b.0)),
+            Op::MatMul(a, b) => {
+                // Quantized inference routes activation × leaf-weight
+                // products through the int8 kernel; per-eval calibration
+                // is one O(k·n) pass against O(m·k·n) of dot work.
+                if self.is_quantized() && matches!(self.nodes[b.0].op, Op::Leaf) {
+                    let qb = QuantizedMatrix::from_cols(self.val(b.0));
+                    let av = self.val(a.0);
+                    let mut out = workspace::take(av.rows(), qb.n());
+                    qgemm(av, &qb, &mut out);
+                    out
+                } else {
+                    self.val(a.0).matmul(self.val(b.0))
+                }
+            }
             Op::Spmm { adj, x } => self.adjs[*adj].mat.spmm(self.val(x.0)),
             Op::AddScaled(a, b, c) => {
                 let mut v = self.reuse_or_copy(a.0, idx, last_use, pinned, &[b.0]);
@@ -463,6 +477,50 @@ mod tests {
         infer.run(&[live]);
         assert!(matches!(infer.nodes[dead.0].value, Value::Pending { .. }));
         assert_eq!(infer.value(live).as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn quantized_matmul_tracks_f32_and_skips_non_leaf_weights() {
+        let mut rng = SplitRng::new(21);
+        let x = rng.uniform_matrix(12, 8, -1.0, 1.0);
+        let w = rng.uniform_matrix(8, 6, -0.5, 0.5);
+
+        let mut f = Tape::inference();
+        let y_f = {
+            let xn = f.constant(x.clone());
+            let wn = f.param(w.clone());
+            f.matmul(xn, wn)
+        };
+        f.run(&[y_f]);
+
+        let mut q = Tape::inference_quantized();
+        assert!(q.is_quantized() && q.is_inference());
+        let y_q = {
+            let xn = q.constant(x.clone());
+            let wn = q.param(w.clone());
+            q.matmul(xn, wn)
+        };
+        q.run(&[y_q]);
+        // Symmetric 8-bit over k=8 terms of magnitude <= 0.5: well under
+        // 0.1 absolute error, but never bit-equal to the f32 GEMM.
+        for (a, b) in f.value(y_f).as_slice().iter().zip(q.value(y_q).as_slice()) {
+            assert!((a - b).abs() < 0.1, "{a} vs {b}");
+        }
+
+        // A product whose right operand is computed (not a leaf) must stay
+        // on the f32 path bit-for-bit.
+        let build_relu_chain = |tape: &mut Tape| -> NodeId {
+            let xn = tape.constant(x.clone());
+            let wn = tape.param(w.clone());
+            let wr = tape.relu(wn);
+            tape.matmul(xn, wr)
+        };
+        let mut eager = Tape::new();
+        let y_e = build_relu_chain(&mut eager);
+        let mut q2 = Tape::inference_quantized();
+        let y_2 = build_relu_chain(&mut q2);
+        q2.run(&[y_2]);
+        assert_same(eager.value(y_e), q2.value(y_2));
     }
 
     #[test]

@@ -246,6 +246,7 @@ pub struct Tape {
     pub(crate) adjs: Vec<AdjEntry>,
     params: Vec<NodeId>,
     infer: bool,
+    quantized: bool,
 }
 
 impl Tape {
@@ -271,6 +272,23 @@ impl Tape {
     /// True when this tape was created with [`Tape::inference`].
     pub fn is_inference(&self) -> bool {
         self.infer
+    }
+
+    /// Fresh no-grad inference tape whose dense `MatMul` products against
+    /// leaf weight matrices run through int8 symmetric post-training
+    /// quantization ([`skipnode_tensor::quant`]) instead of the f32 GEMM.
+    /// Weights are calibrated per column at evaluation time; everything
+    /// else (SpMM, elementwise, the fused SkipNode layer) stays f32, so
+    /// the quantization error is confined to the dense projections.
+    pub fn inference_quantized() -> Self {
+        let mut tape = Self::inference();
+        tape.quantized = true;
+        tape
+    }
+
+    /// True when this tape routes leaf-weight `MatMul`s through int8.
+    pub fn is_quantized(&self) -> bool {
+        self.quantized
     }
 
     /// Number of nodes recorded so far.

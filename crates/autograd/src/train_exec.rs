@@ -101,6 +101,38 @@ pub struct TrainProgram {
     grads: Vec<Option<Matrix>>,
     /// Scratch for redrawing fused skip masks.
     mask_scratch: Vec<bool>,
+    /// Gradient-checkpointing schedule, `None` when checkpointing is off.
+    ck: Option<CkSchedule>,
+}
+
+/// Segmented replay schedule for tape-level gradient checkpointing.
+///
+/// The node range is split into contiguous segments. The main forward
+/// drops every interior value at the end of its segment, keeping only
+/// **boundaries** — values some later segment's forward reads — plus
+/// pinned leaves and heads. Backward walks segments in reverse: each
+/// segment's dropped values are recomputed (bit-identical — all
+/// stochastic records live on op records drawn once per epoch), its
+/// backward steps run, and then everything the segment owns is swept back
+/// to the workspace. Peak residency falls from O(depth) to
+/// O(depth/segments + segments) buffers.
+struct CkSchedule {
+    /// Segment `s` covers node indices `bounds[s]..bounds[s+1]`.
+    bounds: Vec<usize>,
+    /// [`TrainProgram::last_value_use`] with every cross-segment last use
+    /// masked to [`NO_USE`]: those values must survive until their owning
+    /// segment's end-of-backward sweep, so neither the stealing heuristics
+    /// nor the free lists may consume them.
+    last_use: Vec<usize>,
+    /// Intra-segment subsets of the plain free lists (cross-segment frees
+    /// are deferred to the sweep — a later segment's backward must never
+    /// free a value an earlier segment's recompute still reads).
+    free_after_fwd: Vec<Vec<u32>>,
+    free_after_bwd: Vec<Vec<u32>>,
+    /// Values to drop at the end of each segment's main forward: needed,
+    /// non-pinned, non-boundary values whose last use is a backward read.
+    /// Dropping them (for recompute later) is the memory saving.
+    drop_after_seg: Vec<Vec<u32>>,
 }
 
 impl TrainProgram {
@@ -192,7 +224,100 @@ impl TrainProgram {
             free_after_bwd,
             grads,
             mask_scratch: Vec::new(),
+            ck: None,
         })
+    }
+
+    /// Split the schedule into `segments` contiguous node segments and
+    /// replay with gradient checkpointing: interior activations are
+    /// dropped after their segment's forward pass and recomputed during
+    /// backward, one segment at a time. `segments <= 1` disables
+    /// checkpointing. Replayed values and gradients stay **bit-identical**
+    /// to the non-checkpointed program: recompute re-executes the same
+    /// kernels on the same op records (masks, skip sets, and column maps
+    /// are drawn once per epoch by [`TrainProgram::begin_epoch`], never
+    /// redrawn by recompute).
+    pub fn enable_checkpointing(&mut self, segments: usize) {
+        let n = self.tape.len();
+        if segments <= 1 || n == 0 {
+            self.ck = None;
+            return;
+        }
+        let segments = segments.min(n);
+        let mut bounds = Vec::with_capacity(segments + 1);
+        for s in 0..=segments {
+            bounds.push(s * n / segments);
+        }
+        let mut seg_of = vec![0u32; n];
+        for s in 0..segments {
+            for v in seg_of[bounds[s]..bounds[s + 1]].iter_mut() {
+                *v = s as u32;
+            }
+        }
+        // A boundary is a value some later segment's forward reads: it
+        // must stay materialized from the main forward until its own
+        // segment's backward sweep, because that later segment's
+        // recompute (and backward, whose value reads are all forward
+        // inputs or the node itself) consumes it.
+        let mut boundary = vec![false; n];
+        for idx in 0..n {
+            if self.needed[idx] {
+                let seg = seg_of[idx];
+                op_inputs(&self.tape.nodes[idx].op, &mut |p| {
+                    if seg_of[p] != seg {
+                        boundary[p] = true;
+                    }
+                });
+            }
+        }
+        let mut last_use = self.last_value_use.clone();
+        for v in 0..n {
+            let last = last_use[v];
+            if last == NO_USE {
+                continue;
+            }
+            let reader = if last < n { last } else { 2 * n - 1 - last };
+            if seg_of[reader] != seg_of[v] {
+                last_use[v] = NO_USE;
+            }
+        }
+        let keep_intra = |lists: &[Vec<u32>]| -> Vec<Vec<u32>> {
+            lists
+                .iter()
+                .enumerate()
+                .map(|(j, vs)| {
+                    vs.iter()
+                        .copied()
+                        .filter(|&v| seg_of[v as usize] == seg_of[j])
+                        .collect()
+                })
+                .collect()
+        };
+        let free_after_fwd = keep_intra(&self.free_after_fwd);
+        let free_after_bwd = keep_intra(&self.free_after_bwd);
+        let mut drop_after_seg = vec![Vec::new(); segments];
+        for v in 0..n {
+            if self.needed[v]
+                && !self.pinned[v]
+                && !boundary[v]
+                && self.last_value_use[v] != NO_USE
+                && self.last_value_use[v] >= n
+            {
+                drop_after_seg[seg_of[v] as usize].push(v as u32);
+            }
+        }
+        self.ck = Some(CkSchedule {
+            bounds,
+            last_use,
+            free_after_fwd,
+            free_after_bwd,
+            drop_after_seg,
+        });
+    }
+
+    /// Whether gradient checkpointing is active.
+    pub fn is_checkpointing(&self) -> bool {
+        self.ck.is_some()
     }
 
     /// The loss heads, in recording order.
@@ -309,8 +434,12 @@ impl TrainProgram {
 
     /// Execute the forward schedule: live nodes only, recycling each value
     /// at its last forward read (values the backward pass still needs stay
-    /// materialized until their backward read).
+    /// materialized until their backward read — or, under checkpointing,
+    /// only until the end of their segment).
     pub fn replay_forward(&mut self) {
+        if self.ck.is_some() {
+            return self.replay_forward_ck();
+        }
         for idx in 0..self.tape.len() {
             if !self.needed[idx] || matches!(self.tape.nodes[idx].op, Op::Leaf) {
                 continue;
@@ -319,6 +448,68 @@ impl TrainProgram {
                 .eval_node(idx, &self.last_value_use, &self.pinned, true);
             for &v in &self.free_after_fwd[idx] {
                 self.tape.release(v as usize);
+            }
+        }
+    }
+
+    /// Checkpointed main forward: evaluate each segment, then drop its
+    /// backward-only interior values (boundaries, leaves, and heads stay).
+    fn replay_forward_ck(&mut self) {
+        let segments = self.ck.as_ref().expect("ck driver without schedule");
+        let nseg = segments.bounds.len() - 1;
+        for s in 0..nseg {
+            let (lo, hi) = match &self.ck {
+                Some(c) => (c.bounds[s], c.bounds[s + 1]),
+                None => unreachable!(),
+            };
+            for idx in lo..hi {
+                if !self.needed[idx] || matches!(self.tape.nodes[idx].op, Op::Leaf) {
+                    continue;
+                }
+                match &self.ck {
+                    Some(c) => self.tape.eval_node(idx, &c.last_use, &self.pinned, true),
+                    None => unreachable!(),
+                }
+                self.release_ck_fwd_frees(idx);
+            }
+            self.drop_segment_interior(s);
+        }
+    }
+
+    /// Apply the intra-segment forward free list of node `idx`.
+    fn release_ck_fwd_frees(&mut self, idx: usize) {
+        let list = match &self.ck {
+            Some(c) => &c.free_after_fwd[idx],
+            None => unreachable!(),
+        };
+        for &v in list {
+            self.tape.release(v as usize);
+        }
+    }
+
+    /// Drop segment `s`'s backward-only values and strip the fused
+    /// SkipNode caches of every dropped node (recompute refreshes them).
+    fn drop_segment_interior(&mut self, s: usize) {
+        let (lo, hi, drops) = match &self.ck {
+            Some(c) => (c.bounds[s], c.bounds[s + 1], &c.drop_after_seg[s]),
+            None => unreachable!(),
+        };
+        for &v in drops {
+            self.tape.release(v as usize);
+        }
+        // A SkipConv whose value is no longer materialized will be
+        // re-evaluated during this segment's recompute, which rebuilds
+        // `p_active` / `relu_active`; park the stale copies until then.
+        for idx in lo..hi {
+            if !self.needed[idx] || !matches!(self.tape.nodes[idx].value, Value::Pending { .. }) {
+                continue;
+            }
+            if let Op::SkipConv { cache, .. } = &mut self.tape.nodes[idx].op {
+                workspace::give(std::mem::replace(&mut cache.p_active, Matrix::zeros(0, 0)));
+                workspace::give(std::mem::replace(
+                    &mut cache.relu_active,
+                    Matrix::zeros(0, 0),
+                ));
             }
         }
     }
@@ -345,7 +536,27 @@ impl TrainProgram {
             max_id = max_id.max(root.0);
             accum(&mut grads, root, seed);
         }
-        for idx in (0..=max_id).rev() {
+        if self.ck.is_some() {
+            self.backward_ck(max_id, &mut grads, &mut param_grads);
+        } else {
+            self.backward_span(0, max_id, &mut grads, &mut param_grads);
+        }
+        self.grads = grads;
+        param_grads
+    }
+
+    /// Backward steps for node indices `lo..=hi`, descending. The step
+    /// order — and therefore every gradient accumulation — is identical
+    /// whether the range is walked whole (plain replay) or segment by
+    /// segment (checkpointed replay).
+    fn backward_span(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        grads: &mut [Option<Matrix>],
+        param_grads: &mut [Option<Matrix>],
+    ) {
+        for idx in (lo..=hi).rev() {
             let Some(g) = grads[idx].take() else {
                 continue;
             };
@@ -364,13 +575,69 @@ impl TrainProgram {
                 workspace::give(g);
                 continue;
             }
-            self.backward_step(idx, g, &mut grads);
-            for &v in &self.free_after_bwd[idx] {
-                self.tape.release(v as usize);
+            self.backward_step(idx, g, grads);
+            match &self.ck {
+                Some(c) => {
+                    for &v in &c.free_after_bwd[idx] {
+                        self.tape.release(v as usize);
+                    }
+                }
+                None => {
+                    for &v in &self.free_after_bwd[idx] {
+                        self.tape.release(v as usize);
+                    }
+                }
             }
         }
-        self.grads = grads;
-        param_grads
+    }
+
+    /// Checkpointed backward: walk segments in reverse, recomputing each
+    /// segment's dropped values before its backward steps, then sweeping
+    /// every value the segment owns back to the workspace.
+    fn backward_ck(
+        &mut self,
+        max_id: usize,
+        grads: &mut [Option<Matrix>],
+        param_grads: &mut [Option<Matrix>],
+    ) {
+        let nseg = match &self.ck {
+            Some(c) => c.bounds.len() - 1,
+            None => unreachable!(),
+        };
+        for s in (0..nseg).rev() {
+            let (lo, hi) = match &self.ck {
+                Some(c) => (c.bounds[s], c.bounds[s + 1]),
+                None => unreachable!(),
+            };
+            if lo <= max_id {
+                // Recompute in index order: operands from earlier segments
+                // are boundaries (still materialized) or leaves; operands
+                // from this segment are recomputed just before their
+                // consumers, exactly as in the main forward.
+                for idx in lo..hi {
+                    if !self.needed[idx]
+                        || matches!(self.tape.nodes[idx].op, Op::Leaf)
+                        || !matches!(self.tape.nodes[idx].value, Value::Pending { .. })
+                    {
+                        continue;
+                    }
+                    match &self.ck {
+                        Some(c) => self.tape.eval_node(idx, &c.last_use, &self.pinned, true),
+                        None => unreachable!(),
+                    }
+                    self.release_ck_fwd_frees(idx);
+                }
+                self.backward_span(lo, hi.min(max_id + 1) - 1, grads, param_grads);
+            }
+            // All segments >= s are done and every reader of a value has
+            // an index (and therefore a segment) at least the value's own,
+            // so nothing can read this segment's values again this epoch.
+            for v in lo..hi {
+                if !self.pinned[v] {
+                    self.tape.release(v);
+                }
+            }
+        }
     }
 
     fn rg(&self, id: NodeId) -> bool {
@@ -450,10 +717,16 @@ impl TrainProgram {
             Op::Relu(x) => {
                 if self.rg(*x) {
                     // Steal the dying output for the mask application when
-                    // this backward read is its last use.
+                    // this backward read is its last use (checkpointing
+                    // masks cross-segment uses, suppressing the steal for
+                    // values an earlier segment's recompute still reads).
                     let pos = 2 * n - 1 - idx;
+                    let last_here = match &self.ck {
+                        Some(c) => c.last_use[idx] == pos,
+                        None => self.last_value_use[idx] == pos,
+                    };
                     let steal = !self.pinned[idx]
-                        && self.last_value_use[idx] == pos
+                        && last_here
                         && matches!(self.tape.nodes[idx].value, Value::Owned(_));
                     if steal {
                         let (rows, cols) = self.tape.nodes[idx].value.shape();
@@ -1047,6 +1320,117 @@ mod tests {
             let mut e_tape = Tape::new();
             let e_out = build(&mut e_tape, &mut e_fwd);
             assert_same("value", prog.value(out), e_tape.value(e_out));
+        }
+    }
+
+    /// One training epoch on `prog`: returns (head value, dW, db).
+    fn epoch_outputs(
+        prog: &mut TrainProgram,
+        fix: &Fixture,
+        out: NodeId,
+        skip_p: f64,
+        epoch: u64,
+    ) -> (Matrix, Matrix, Matrix) {
+        let mut fwd = SplitRng::new(9000 + epoch);
+        let mut sampler = UniformSampler { p: skip_p };
+        prog.set_adjacency(fix.adj.clone());
+        prog.load_params([&fix.w, &fix.b]);
+        prog.begin_epoch(&mut sampler, &mut fwd);
+        prog.replay_forward();
+        let value = prog.value(out).clone();
+        let mut pg = prog.backward(vec![(out, Matrix::full(5, 4, 1.0))]);
+        (value, pg[0].take().unwrap(), pg[1].take().unwrap())
+    }
+
+    #[test]
+    fn checkpointed_replay_is_bit_identical_to_plain() {
+        let fix = Fixture::new();
+        let skip_p = 0.4;
+        // Every segment count from trivial to one-node-per-segment: the
+        // boundary/drop/recompute bookkeeping must be invisible bitwise.
+        for segments in [2usize, 3, 5, 10, 64] {
+            let mut probe = SplitRng::new(0xabc);
+            let mut tape = Tape::new();
+            let out = fix.record(&mut tape, &mut probe, skip_p);
+            let mut plain = TrainProgram::compile(tape, vec![out]).unwrap();
+            let mut probe_ck = SplitRng::new(0xabc);
+            let mut tape_ck = Tape::new();
+            let out_ck = fix.record(&mut tape_ck, &mut probe_ck, skip_p);
+            let mut ck = TrainProgram::compile(tape_ck, vec![out_ck]).unwrap();
+            ck.enable_checkpointing(segments);
+            assert!(ck.is_checkpointing());
+            for epoch in 0..3 {
+                let (v_p, gw_p, gb_p) = epoch_outputs(&mut plain, &fix, out, skip_p, epoch);
+                let (v_c, gw_c, gb_c) = epoch_outputs(&mut ck, &fix, out_ck, skip_p, epoch);
+                let tag = format!("segments {segments} epoch {epoch}");
+                assert_same(&format!("{tag} value"), &v_p, &v_c);
+                assert_same(&format!("{tag} dW"), &gw_p, &gw_c);
+                assert_same(&format!("{tag} db"), &gb_p, &gb_c);
+                for g in [gw_p, gb_p, gw_c, gb_c] {
+                    workspace::give(g);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checkpointing_disables_below_two_segments() {
+        let fix = Fixture::new();
+        let mut probe = SplitRng::new(3);
+        let mut tape = Tape::new();
+        let out = fix.record(&mut tape, &mut probe, 0.3);
+        let mut prog = TrainProgram::compile(tape, vec![out]).unwrap();
+        prog.enable_checkpointing(1);
+        assert!(!prog.is_checkpointing());
+        prog.enable_checkpointing(4);
+        assert!(prog.is_checkpointing());
+        prog.enable_checkpointing(0);
+        assert!(!prog.is_checkpointing());
+    }
+
+    #[test]
+    fn checkpointed_misc_ops_match_plain_multi_head() {
+        let fix = MiscFixture::new();
+        for segments in [2usize, 4, 7] {
+            let build = |segs: Option<usize>| {
+                let mut probe = SplitRng::new(0xf00);
+                let mut tape = Tape::new();
+                let (cc, out) = fix.record(&mut tape, &mut probe);
+                let mut prog = TrainProgram::compile(tape, vec![cc, out]).unwrap();
+                if let Some(s) = segs {
+                    prog.enable_checkpointing(s);
+                }
+                (prog, cc, out)
+            };
+            let (mut plain, cc_p, out_p) = build(None);
+            let (mut ck, cc_c, out_c) = build(Some(segments));
+            let mut sampler = UniformSampler { p: 0.5 };
+            for epoch in 0..2 {
+                let mut run = |prog: &mut TrainProgram, cc: NodeId, out: NodeId| {
+                    let mut fwd = SplitRng::new(700 + epoch);
+                    prog.load_params([&fix.w1, &fix.w2, &fix.ws, &fix.b]);
+                    prog.begin_epoch(&mut sampler, &mut fwd);
+                    prog.replay_forward();
+                    let vals = (prog.value(cc).clone(), prog.value(out).clone());
+                    let seeds = vec![
+                        (cc, Matrix::full(6, 6, 0.5)),
+                        (out, Matrix::full(6, 3, 1.0)),
+                    ];
+                    (vals, prog.backward(seeds))
+                };
+                let ((vcc_p, vout_p), mut g_p) = run(&mut plain, cc_p, out_p);
+                let ((vcc_c, vout_c), mut g_c) = run(&mut ck, cc_c, out_c);
+                let tag = format!("segments {segments} epoch {epoch}");
+                assert_same(&format!("{tag} cc"), &vcc_p, &vcc_c);
+                assert_same(&format!("{tag} out"), &vout_p, &vout_c);
+                for slot in 0..g_p.len() {
+                    let gp = g_p[slot].take().unwrap();
+                    let gc = g_c[slot].take().unwrap();
+                    assert_same(&format!("{tag} param {slot}"), &gp, &gc);
+                    workspace::give(gp);
+                    workspace::give(gc);
+                }
+            }
         }
     }
 

@@ -30,6 +30,7 @@
 
 use crate::plan::PlanTuning;
 use skipnode_sparse::{CsrMatrix, SpmmSchedule};
+use skipnode_tensor::precision::{self, Storage};
 use skipnode_tensor::simd::{self, GemmTile, Isa};
 use skipnode_tensor::{pool, Matrix, SplitRng};
 use std::collections::HashMap;
@@ -50,6 +51,10 @@ pub struct TuneKey {
     /// Skip rate in tenths (`round(rate * 10)`), so nearby rates share a
     /// profile.
     pub skip_decile: u8,
+    /// Active storage precision ([`precision::active`]). bf16 staging
+    /// shifts the GEMM/SpMM bandwidth balance, so profiles timed under one
+    /// mode must never be served to the other.
+    pub precision: Storage,
 }
 
 impl TuneKey {
@@ -60,6 +65,7 @@ impl TuneKey {
             nnz: adj.nnz(),
             f,
             skip_decile: (skip_rate.clamp(0.0, 1.0) * 10.0).round() as u8,
+            precision: precision::active(),
         }
     }
 }
@@ -77,6 +83,9 @@ pub struct TuneProfile {
     /// Whether the fused masked kernel beat full propagation at this skip
     /// rate (`true` whenever the rate is zero — fusion is then a no-op).
     pub fuse: bool,
+    /// Storage precision the timing ran under (stamped into the plan
+    /// annotation so bench metadata records what the kernels streamed).
+    pub precision: Storage,
 }
 
 impl TuneProfile {
@@ -87,6 +96,7 @@ impl TuneProfile {
             gemm_tile: simd::gemm_tile(),
             spmm_schedule: None,
             fuse: true,
+            precision: precision::active(),
         }
     }
 
@@ -97,18 +107,20 @@ impl TuneProfile {
             gemm_tile: self.gemm_tile,
             spmm_schedule: self.spmm_schedule,
             fuse: self.fuse,
+            precision: self.precision.name(),
         }
     }
 
     /// Short human-readable summary (bench JSON metadata).
     pub fn summary(&self) -> String {
         format!(
-            "isa={} tile={} schedule={} fuse={}",
+            "isa={} tile={} schedule={} fuse={} prec={}",
             self.isa.name(),
             self.gemm_tile.name(),
             self.spmm_schedule
                 .map_or_else(|| "default".to_string(), |s| s.name()),
             self.fuse,
+            self.precision.name(),
         )
     }
 }
@@ -269,6 +281,7 @@ fn time_candidates(adj: &CsrMatrix, f: usize, skip_rate: f64) -> TuneProfile {
         gemm_tile,
         spmm_schedule,
         fuse,
+        precision: precision::active(),
     }
 }
 
@@ -326,11 +339,29 @@ mod tests {
             gemm_tile: simd::GemmTile::T8x8,
             spmm_schedule: Some(SpmmSchedule::NnzBalanced { chunks: 4 }),
             fuse: false,
+            precision: Storage::Bf16,
         };
         let t = p.plan_tuning();
         assert_eq!(t.gemm_tile.name(), "8x8");
         assert_eq!(t.spmm_schedule.unwrap().name(), "nnz_balanced:4");
         assert!(!t.fuse);
+        assert_eq!(t.precision, "bf16");
         assert!(p.summary().contains("nnz_balanced:4"));
+        assert!(p.summary().contains("prec=bf16"));
+
+        // Keys capture the active storage mode, and two keys differing
+        // only in precision must not collide.
+        let adj = ring(64);
+        let base = TuneKey::new(&adj, 16, 0.5);
+        assert_eq!(base.precision, precision::active());
+        let k_f32 = TuneKey {
+            precision: Storage::F32,
+            ..base
+        };
+        let k_bf16 = TuneKey {
+            precision: Storage::Bf16,
+            ..base
+        };
+        assert_ne!(k_f32, k_bf16);
     }
 }

@@ -57,4 +57,6 @@ pub use optim::{Adam, AdamConfig};
 pub use param::{Binding, LayerInit, ParamId, ParamStore};
 pub use plan::{LayerPlan, PlanBuilder, PlanExecutor, PlanOp, PlanTuning, Reg};
 pub use schedule::{clip_global_norm, LrSchedule};
-pub use trainer::{evaluate, train_node_classifier, TrainConfig, TrainEngine, TrainResult};
+pub use trainer::{
+    evaluate, evaluate_quantized, train_node_classifier, TrainConfig, TrainEngine, TrainResult,
+};

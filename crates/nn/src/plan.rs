@@ -163,10 +163,13 @@ pub enum PlanOp {
 }
 
 /// Kernel-variant choices recorded into a plan by the startup auto-tuner
-/// (`crate::autotune`). Every choice is bit-neutral under the
-/// accumulation-order policy, so an annotated plan computes the same
-/// values as an unannotated one — only faster. `None` tuning means "use
-/// the process defaults".
+/// (`crate::autotune`). The ISA/tile/schedule/fuse choices are bit-neutral
+/// under the accumulation-order policy, so an annotated plan computes the
+/// same values as an unannotated one — only faster. The recorded storage
+/// precision is the exception: it is informational (the process-global
+/// precision mode controls the kernels), and bf16 staging is
+/// tolerance-class rather than bit-neutral. `None` tuning means "use the
+/// process defaults".
 #[derive(Debug, Clone)]
 pub struct PlanTuning {
     /// ISA the profile was timed under (`"scalar"`, `"avx2+fma"`, …).
@@ -180,6 +183,9 @@ pub struct PlanTuning {
     /// path. `false` pins the canonical unfused chain (bit-identical, same
     /// RNG draws).
     pub fuse: bool,
+    /// Storage precision the tuner timed under (`"f32"` or `"bf16"`;
+    /// see `skipnode_tensor::precision`).
+    pub precision: &'static str,
 }
 
 /// A compiled forward pass: a straight-line program of [`PlanOp`]s plus

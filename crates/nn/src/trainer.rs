@@ -10,6 +10,7 @@ use crate::schedule::{clip_global_norm, LrSchedule};
 use skipnode_autograd::{softmax_cross_entropy, Tape, TrainProgram};
 use skipnode_graph::{Graph, Split};
 use skipnode_sparse::CsrMatrix;
+use skipnode_tensor::precision::{self, Storage};
 use skipnode_tensor::{workspace, Matrix, SplitRng};
 use std::sync::Arc;
 
@@ -60,6 +61,15 @@ pub struct TrainConfig {
     /// first epoch and train with the winning kernel variants. Cached per
     /// problem shape, bit-neutral, overridable via `SKIPNODE_TUNE`.
     pub tune: bool,
+    /// Storage precision for this run: `None` inherits the process mode
+    /// (`SKIPNODE_PRECISION`); `Some(mode)` forces it for the duration of
+    /// the run and restores the previous mode afterwards.
+    pub precision: Option<Storage>,
+    /// Tape-level gradient checkpointing for the compiled engine: split
+    /// the schedule into this many recompute segments (`0`/`1` disables).
+    /// Bitwise-neutral — forward values and gradients are unchanged; only
+    /// peak activation residency drops. Ignored by the eager engine.
+    pub checkpoint_segments: usize,
 }
 
 impl Default for TrainConfig {
@@ -76,7 +86,30 @@ impl Default for TrainConfig {
             engine: TrainEngine::default(),
             fuse: true,
             tune: false,
+            precision: None,
+            checkpoint_segments: 0,
         }
+    }
+}
+
+/// Scoped override of the process storage precision: installs `mode` on
+/// construction and restores the previous mode on drop, so a forced-bf16
+/// run cannot leak its mode into later runs in the same process.
+struct PrecisionGuard {
+    prev: Storage,
+}
+
+impl PrecisionGuard {
+    fn install(mode: Option<Storage>) -> Option<Self> {
+        mode.map(|m| Self {
+            prev: precision::force(m),
+        })
+    }
+}
+
+impl Drop for PrecisionGuard {
+    fn drop(&mut self) {
+        precision::force(self.prev);
     }
 }
 
@@ -111,7 +144,39 @@ pub fn evaluate(
     strategy: &Strategy,
     rng: &mut SplitRng,
 ) -> (Matrix, Option<Matrix>) {
-    let mut tape = Tape::inference();
+    evaluate_with(Tape::inference(), model, graph, full_adj, strategy, rng)
+}
+
+/// [`evaluate`] on the int8 inference tape: leaf weight matrices are
+/// quantized per column (symmetric, i8) and dense products run through the
+/// integer GEMM with i32 accumulation. Tolerance-class — logits track the
+/// f32 path but are not bitwise equal; argmax agreement is what the
+/// accuracy gate in `bench_pr8` checks.
+pub fn evaluate_quantized(
+    model: &dyn Model,
+    graph: &Graph,
+    full_adj: &Arc<CsrMatrix>,
+    strategy: &Strategy,
+    rng: &mut SplitRng,
+) -> (Matrix, Option<Matrix>) {
+    evaluate_with(
+        Tape::inference_quantized(),
+        model,
+        graph,
+        full_adj,
+        strategy,
+        rng,
+    )
+}
+
+fn evaluate_with(
+    mut tape: Tape,
+    model: &dyn Model,
+    graph: &Graph,
+    full_adj: &Arc<CsrMatrix>,
+    strategy: &Strategy,
+    rng: &mut SplitRng,
+) -> (Matrix, Option<Matrix>) {
     let binding = model.store().bind(&mut tape);
     let adj = tape.register_adj(Arc::clone(full_adj));
     let x = tape.constant_shared(graph.features_arc());
@@ -147,6 +212,7 @@ pub fn train_node_classifier(
     rng: &mut SplitRng,
 ) -> TrainResult {
     split.validate(graph.num_nodes());
+    let _precision = PrecisionGuard::install(cfg.precision);
     let full_adj = graph.gcn_adjacency();
     let degrees = graph.degrees();
     if crate::autotune::enabled(cfg.tune) {
@@ -188,6 +254,9 @@ pub fn train_node_classifier(
             }
         }
     };
+    if let Some(p) = program.as_mut() {
+        p.enable_checkpointing(cfg.checkpoint_segments);
+    }
 
     let mut best_val = f64::NEG_INFINITY;
     let mut best_test = 0.0f64;

@@ -22,8 +22,9 @@
 //! the forward and backward pass.
 
 use crate::stats;
+use skipnode_tensor::precision::{self, Storage};
 use skipnode_tensor::simd;
-use skipnode_tensor::{kstats, pool, workspace, Matrix};
+use skipnode_tensor::{bf16, kstats, pool, workspace, Matrix};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Below this many multiply-adds (`nnz * feature_dim`), SpMM stays serial.
@@ -278,6 +279,23 @@ impl CsrMatrix {
             return;
         }
         kstats::record(kstats::Kernel::Spmm, self.rows);
+        if precision::active() == Storage::Bf16 {
+            // Stage X packed once (O(n·d)), stream it at half width
+            // through the O(nnz·d) accumulation.
+            let xq = self.stage_bf16(x, self.nnz() * d);
+            if self.nnz() * d < SPMM_PARALLEL_THRESHOLD || self.rows <= 1 {
+                self.spmm_rows_bf16(&xq, d, out.as_mut_slice(), 0, self.rows);
+            } else {
+                let bounds = self.schedule_bounds();
+                let elem_bounds: Vec<usize> = bounds.iter().map(|&r| r * d).collect();
+                let xq_ref = &xq;
+                pool::par_ranges_mut(out.as_mut_slice(), &elem_bounds, |idx, block| {
+                    self.spmm_rows_bf16(xq_ref, d, block, bounds[idx], bounds[idx + 1]);
+                });
+            }
+            bf16::give_scratch_u16(xq);
+            return;
+        }
         if self.nnz() * d < SPMM_PARALLEL_THRESHOLD || self.rows <= 1 {
             self.spmm_rows(x, out.as_mut_slice(), 0, self.rows);
             return;
@@ -287,6 +305,15 @@ impl CsrMatrix {
         pool::par_ranges_mut(out.as_mut_slice(), &elem_bounds, |idx, block| {
             self.spmm_rows(x, block, bounds[idx], bounds[idx + 1]);
         });
+    }
+
+    /// Narrow a dense operand into a pooled bf16 staging buffer, recording
+    /// the widen-on-load volume the consuming kernel will stream.
+    fn stage_bf16(&self, x: &Matrix, widen_volume: usize) -> Vec<u16> {
+        let mut xq = bf16::take_scratch_u16(x.rows() * x.cols());
+        bf16::narrow_slice(simd::active(), x.as_slice(), &mut xq);
+        kstats::record(kstats::Kernel::WidenBf16, widen_volume);
+        xq
     }
 
     /// Select the pooled-dispatch schedule for this matrix (normally set by
@@ -369,6 +396,30 @@ impl CsrMatrix {
         }
     }
 
+    /// bf16 twin of [`CsrMatrix::spmm_rows`]: `xq` is the packed operand
+    /// (row-major, `d` columns); neighbor rows are widened on load inside
+    /// [`bf16::axpy_bf16`] and accumulated in f32 in the same CSR order.
+    fn spmm_rows_bf16(
+        &self,
+        xq: &[u16],
+        d: usize,
+        out: &mut [f32],
+        row_begin: usize,
+        row_end: usize,
+    ) {
+        stats::record_spmm_rows(row_end - row_begin);
+        let isa = simd::active();
+        for (local, r) in (row_begin..row_end).enumerate() {
+            let (cols, vals) = self.row(r);
+            let out_row = &mut out[local * d..(local + 1) * d];
+            out_row.fill(0.0);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let c = c as usize;
+                bf16::axpy_bf16(isa, v, &xq[c * d..(c + 1) * d], out_row);
+            }
+        }
+    }
+
     /// `self * x` computed **only** for the output rows listed in `rows`
     /// (sorted, duplicate-free), written compacted: row `k` of `out` is
     /// output row `rows[k]`. This is the forward half of SkipNode's fused
@@ -401,34 +452,48 @@ impl CsrMatrix {
             cum.push(cum.last().unwrap() + self.row_nnz(r));
         }
         let sub_nnz = *cum.last().unwrap();
+        let xq = (precision::active() == Storage::Bf16).then(|| self.stage_bf16(x, sub_nnz * d));
         let kernel = |out: &mut [f32], lo: usize, hi: usize| {
             stats::record_spmm_rows(hi - lo);
             for (local, &r) in rows[lo..hi].iter().enumerate() {
                 let (cols, vals) = self.row(r as usize);
                 let out_row = &mut out[local * d..(local + 1) * d];
                 out_row.fill(0.0);
-                for (&c, &v) in cols.iter().zip(vals) {
-                    simd::axpy(isa, v, x.row(c as usize), out_row);
+                match &xq {
+                    Some(q) => {
+                        for (&c, &v) in cols.iter().zip(vals) {
+                            let c = c as usize;
+                            bf16::axpy_bf16(isa, v, &q[c * d..(c + 1) * d], out_row);
+                        }
+                    }
+                    None => {
+                        for (&c, &v) in cols.iter().zip(vals) {
+                            simd::axpy(isa, v, x.row(c as usize), out_row);
+                        }
+                    }
                 }
             }
         };
         if sub_nnz * d < SPMM_PARALLEL_THRESHOLD || rows.len() <= 1 {
             kernel(out.as_mut_slice(), 0, rows.len());
-            return;
+        } else {
+            let chunks = pool::chunk_count(rows.len());
+            let mut bounds = Vec::with_capacity(chunks + 1);
+            bounds.push(0usize);
+            for i in 1..chunks {
+                let target = i * sub_nnz / chunks;
+                let b = cum.partition_point(|&p| p < target).min(rows.len());
+                bounds.push(b.max(*bounds.last().unwrap()));
+            }
+            bounds.push(rows.len());
+            let elem_bounds: Vec<usize> = bounds.iter().map(|&k| k * d).collect();
+            pool::par_ranges_mut(out.as_mut_slice(), &elem_bounds, |idx, block| {
+                kernel(block, bounds[idx], bounds[idx + 1]);
+            });
         }
-        let chunks = pool::chunk_count(rows.len());
-        let mut bounds = Vec::with_capacity(chunks + 1);
-        bounds.push(0usize);
-        for i in 1..chunks {
-            let target = i * sub_nnz / chunks;
-            let b = cum.partition_point(|&p| p < target).min(rows.len());
-            bounds.push(b.max(*bounds.last().unwrap()));
+        if let Some(q) = xq {
+            bf16::give_scratch_u16(q);
         }
-        bounds.push(rows.len());
-        let elem_bounds: Vec<usize> = bounds.iter().map(|&k| k * d).collect();
-        pool::par_ranges_mut(out.as_mut_slice(), &elem_bounds, |idx, block| {
-            kernel(block, bounds[idx], bounds[idx + 1]);
-        });
     }
 
     /// `self * X̂` where `X̂` is given row-compacted: `col_map[c]` is the row
@@ -455,6 +520,8 @@ impl CsrMatrix {
         }
         kstats::record(kstats::Kernel::SpmmCompact, self.rows);
         let isa = simd::active();
+        let xq = (precision::active() == Storage::Bf16)
+            .then(|| self.stage_bf16(x_compact, self.nnz() * d));
         let kernel = |out: &mut [f32], row_begin: usize, row_end: usize| {
             stats::record_spmm_rows(row_end - row_begin);
             for (local, r) in (row_begin..row_end).enumerate() {
@@ -466,19 +533,28 @@ impl CsrMatrix {
                     if m == COL_SKIP {
                         continue;
                     }
-                    simd::axpy(isa, v, x_compact.row(m as usize), out_row);
+                    match &xq {
+                        Some(q) => {
+                            let m = m as usize;
+                            bf16::axpy_bf16(isa, v, &q[m * d..(m + 1) * d], out_row);
+                        }
+                        None => simd::axpy(isa, v, x_compact.row(m as usize), out_row),
+                    }
                 }
             }
         };
         if self.nnz() * d < SPMM_PARALLEL_THRESHOLD || self.rows <= 1 {
             kernel(out.as_mut_slice(), 0, self.rows);
-            return;
+        } else {
+            let bounds = self.schedule_bounds();
+            let elem_bounds: Vec<usize> = bounds.iter().map(|&r| r * d).collect();
+            pool::par_ranges_mut(out.as_mut_slice(), &elem_bounds, |idx, block| {
+                kernel(block, bounds[idx], bounds[idx + 1]);
+            });
         }
-        let bounds = self.schedule_bounds();
-        let elem_bounds: Vec<usize> = bounds.iter().map(|&r| r * d).collect();
-        pool::par_ranges_mut(out.as_mut_slice(), &elem_bounds, |idx, block| {
-            kernel(block, bounds[idx], bounds[idx + 1]);
-        });
+        if let Some(q) = xq {
+            bf16::give_scratch_u16(q);
+        }
     }
 
     /// Sparse × dense-vector product into a caller buffer (used by the

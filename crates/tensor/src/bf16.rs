@@ -1,0 +1,556 @@
+//! bfloat16 storage: conversion kernels and fused widen-on-load compute.
+//!
+//! bf16 is the top 16 bits of an IEEE-754 `f32` (1 sign, 8 exponent,
+//! 7 mantissa bits), so widening is exact (`bits << 16`) and narrowing is
+//! one round-to-nearest-even on the raw bits — uniform across normals,
+//! subnormals and infinities, with NaNs quieted so the narrowed payload
+//! can never collapse to an infinity pattern. Both directions are pure
+//! integer bit manipulation, which makes the vector paths **bit-identical**
+//! to the scalar reference on every ISA (unlike the FMA-class arithmetic
+//! kernels, which are tolerance-class); the property tests in
+//! `tensor/tests/bf16_quant.rs` pin this.
+//!
+//! Compute never happens in bf16. The fused kernels here
+//! ([`axpy_bf16`], [`gemm_rows_bf16`]) widen packed operands in-register
+//! and accumulate in `f32`, mirroring the accumulation order and
+//! zero-skip structure of their f32 twins in [`crate::simd`] and
+//! [`crate::gemm`] exactly: scalar bf16 paths use plain mul-add, AVX2
+//! paths use FMA, and vectorization is across output elements only. The
+//! packed elementwise kernels ([`relu_bf16`], [`add_scaled_bf16`]) widen,
+//! compute in f32, and narrow on store.
+//!
+//! Whether the GEMM/SpMM drivers stage operands through this module is
+//! decided by [`crate::precision::active`]; this module itself is
+//! mode-oblivious.
+
+use crate::kstats;
+use crate::matrix::Matrix;
+use crate::simd::{GemmTile, Isa};
+use std::sync::Mutex;
+
+/// Round one `f32` to bf16 (round-to-nearest-even on the raw bits).
+/// NaNs are quieted (mantissa MSB forced on) so the payload truncation
+/// cannot produce an infinity; subnormals and infinities round like any
+/// other bit pattern because bf16 is a prefix of the f32 format.
+#[inline]
+pub fn narrow(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if (bits & 0x7fff_ffff) > 0x7f80_0000 {
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    let round = 0x7fff + ((bits >> 16) & 1);
+    (bits.wrapping_add(round) >> 16) as u16
+}
+
+/// Widen one bf16 value back to `f32` — exact by construction.
+#[inline]
+pub fn widen(b: u16) -> f32 {
+    f32::from_bits((b as u32) << 16)
+}
+
+/// Narrow `src` into `dst` (`min(len)` elements). Bit-identical across
+/// ISAs; records a `pack_bf16` kstats entry (work = elements).
+pub fn narrow_slice(isa: Isa, src: &[f32], dst: &mut [u16]) {
+    let n = src.len().min(dst.len());
+    kstats::record(kstats::Kernel::PackBf16, n);
+    #[cfg(target_arch = "x86_64")]
+    if isa == Isa::Avx2 {
+        // SAFETY: dispatch only selects Avx2 after `is_x86_feature_detected!`.
+        unsafe { narrow_slice_avx2(&src[..n], &mut dst[..n]) };
+        return;
+    }
+    #[cfg(target_arch = "aarch64")]
+    if isa == Isa::Neon {
+        // SAFETY: NEON is baseline on aarch64.
+        unsafe { narrow_slice_neon(&src[..n], &mut dst[..n]) };
+        return;
+    }
+    let _ = isa;
+    for (d, &s) in dst[..n].iter_mut().zip(src) {
+        *d = narrow(s);
+    }
+}
+
+/// Widen `src` into `dst` (`min(len)` elements). Bit-identical across
+/// ISAs; records a `widen_bf16` kstats entry (work = elements).
+pub fn widen_slice(isa: Isa, src: &[u16], dst: &mut [f32]) {
+    let n = src.len().min(dst.len());
+    kstats::record(kstats::Kernel::WidenBf16, n);
+    #[cfg(target_arch = "x86_64")]
+    if isa == Isa::Avx2 {
+        // SAFETY: see `narrow_slice`.
+        unsafe { widen_slice_avx2(&src[..n], &mut dst[..n]) };
+        return;
+    }
+    #[cfg(target_arch = "aarch64")]
+    if isa == Isa::Neon {
+        // SAFETY: NEON is baseline on aarch64.
+        unsafe { widen_slice_neon(&src[..n], &mut dst[..n]) };
+        return;
+    }
+    let _ = isa;
+    for (d, &s) in dst[..n].iter_mut().zip(src) {
+        *d = widen(s);
+    }
+}
+
+/// `y += alpha * widen(x)` — the bf16 twin of [`crate::simd::axpy`], and
+/// the inner kernel of the bf16 SpMM family. Scalar path is plain
+/// mul-add (the bitwise reference), AVX2 widens 8 lanes in-register and
+/// FMAs, mirroring the f32 kernel's tolerance class.
+pub fn axpy_bf16(isa: Isa, alpha: f32, x: &[u16], y: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if isa == Isa::Avx2 {
+        // SAFETY: see `narrow_slice`.
+        unsafe { axpy_bf16_avx2(alpha, x, y) };
+        return;
+    }
+    #[cfg(target_arch = "aarch64")]
+    if isa == Isa::Neon {
+        // SAFETY: NEON is baseline on aarch64.
+        unsafe { axpy_bf16_neon(alpha, x, y) };
+        return;
+    }
+    let _ = isa;
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv += alpha * widen(xv);
+    }
+}
+
+/// In-place ReLU on packed bf16: strictly negative values become `+0.0`
+/// (the packed bits alone decide; NaNs and `-0.0` pass through, matching
+/// the scalar f32 `max(0.0)` caveats documented in [`crate::simd`]).
+pub fn relu_bf16(y: &mut [u16]) {
+    kstats::record(kstats::Kernel::Elemwise, y.len());
+    for v in y {
+        if widen(*v) < 0.0 {
+            *v = 0;
+        }
+    }
+}
+
+/// `y = narrow(widen(y) + alpha * widen(x))` — widen, f32 mul-add,
+/// narrow-on-store. The elementwise pattern for bf16-resident buffers.
+pub fn add_scaled_bf16(y: &mut [u16], x: &[u16], alpha: f32) {
+    kstats::record(kstats::Kernel::Elemwise, y.len().min(x.len()));
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv = narrow(widen(*yv) + alpha * widen(xv));
+    }
+}
+
+/// Register-tiled GEMM rows over a packed-bf16 `B` (row-major `k x n` in
+/// `bq`): the bf16 twin of the [`crate::simd::gemm_rows`] dispatch.
+/// Honors the auto-tuned register tile on AVX2; every other ISA runs the
+/// scalar reference (plain mul-add, byte-identical everywhere).
+/// The signature mirrors `simd::gemm_rows` plus the packed operand — the
+/// twins must stay call-compatible for the dispatch layer.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_rows_bf16(
+    isa: Isa,
+    tile: GemmTile,
+    a: &Matrix,
+    bq: &[u16],
+    n: usize,
+    out: &mut [f32],
+    row_begin: usize,
+    row_end: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if isa == Isa::Avx2 {
+        // SAFETY: see `narrow_slice`.
+        unsafe {
+            match tile {
+                GemmTile::T4x8 => gemm_rows_bf16_avx2::<4, 1>(a, bq, n, out, row_begin, row_end),
+                GemmTile::T4x16 => gemm_rows_bf16_avx2::<4, 2>(a, bq, n, out, row_begin, row_end),
+                GemmTile::T8x8 => gemm_rows_bf16_avx2::<8, 1>(a, bq, n, out, row_begin, row_end),
+                GemmTile::T6x16 => gemm_rows_bf16_avx2::<6, 2>(a, bq, n, out, row_begin, row_end),
+            }
+        }
+        return;
+    }
+    let _ = (isa, tile);
+    gemm_rows_bf16_scalar(a, bq, n, out, row_begin, row_end);
+}
+
+/// Scalar bf16 GEMM rows — same 4×8 tiling, zero-skip, and plain mul-add
+/// accumulation order as the f32 scalar reference in `gemm.rs`, with `B`
+/// widened on load.
+pub(crate) fn gemm_rows_bf16_scalar(
+    a: &Matrix,
+    bq: &[u16],
+    n: usize,
+    out: &mut [f32],
+    row_begin: usize,
+    row_end: usize,
+) {
+    const MR: usize = 4;
+    const NR: usize = 8;
+    let k = a.cols();
+    let rows = row_end - row_begin;
+    let mut i = 0;
+    while i < rows {
+        let mr = MR.min(rows - i);
+        let r0 = row_begin + i;
+        let mut jt = 0;
+        while jt < n {
+            let nr = NR.min(n - jt);
+            if mr == MR && nr == NR {
+                let a_rows: [&[f32]; MR] = [a.row(r0), a.row(r0 + 1), a.row(r0 + 2), a.row(r0 + 3)];
+                let mut acc = [[0.0f32; NR]; MR];
+                for p in 0..k {
+                    let av = [a_rows[0][p], a_rows[1][p], a_rows[2][p], a_rows[3][p]];
+                    if av == [0.0; MR] {
+                        continue;
+                    }
+                    let bp = &bq[p * n + jt..p * n + jt + NR];
+                    for (accr, &ar) in acc.iter_mut().zip(&av) {
+                        for (o, &bv) in accr.iter_mut().zip(bp) {
+                            *o += ar * widen(bv);
+                        }
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate() {
+                    out[(i + r) * n + jt..(i + r) * n + jt + NR].copy_from_slice(accr);
+                }
+            } else {
+                for r in 0..mr {
+                    let a_row = a.row(r0 + r);
+                    let mut acc = [0.0f32; NR];
+                    for (p, &ap) in a_row.iter().enumerate() {
+                        if ap == 0.0 {
+                            continue;
+                        }
+                        let bp = &bq[p * n + jt..p * n + jt + nr];
+                        for (o, &bv) in acc[..nr].iter_mut().zip(bp) {
+                            *o += ap * widen(bv);
+                        }
+                    }
+                    out[(i + r) * n + jt..(i + r) * n + jt + nr].copy_from_slice(&acc[..nr]);
+                }
+            }
+            jt += nr;
+        }
+        i += mr;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// u16 staging scratch
+// ---------------------------------------------------------------------------
+
+/// Retained staging buffers (the GEMM/SpMM drivers stage one dense operand
+/// per call, so a handful of slots suffices).
+const MAX_SCRATCH_BUFFERS: usize = 8;
+
+fn scratch_pool() -> &'static Mutex<Vec<Vec<u16>>> {
+    static POOL: std::sync::OnceLock<Mutex<Vec<Vec<u16>>>> = std::sync::OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Borrow a `len`-element u16 staging buffer (contents unspecified).
+pub fn take_scratch_u16(len: usize) -> Vec<u16> {
+    let mut pool = scratch_pool().lock().expect("bf16 scratch lock");
+    let pos = pool.iter().position(|b| b.capacity() >= len);
+    let mut buf = pos.map(|p| pool.swap_remove(p)).unwrap_or_default();
+    buf.resize(len, 0);
+    buf
+}
+
+/// Return a staging buffer to the pool (dropped when the pool is full).
+pub fn give_scratch_u16(buf: Vec<u16>) {
+    let mut pool = scratch_pool().lock().expect("bf16 scratch lock");
+    if pool.len() < MAX_SCRATCH_BUFFERS {
+        pool.push(buf);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 implementations
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::Matrix;
+    use std::arch::x86_64::*;
+
+    /// Widen 8 packed bf16 values at `ptr` into an f32 vector (exact).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn widen8(ptr: *const u16) -> __m256 {
+        let h = _mm_loadu_si128(ptr as *const __m128i);
+        _mm256_castsi256_ps(_mm256_slli_epi32(_mm256_cvtepu16_epi32(h), 16))
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn narrow_slice_avx2(src: &[f32], dst: &mut [u16]) {
+        let n = src.len().min(dst.len());
+        let abs_mask = _mm256_set1_epi32(0x7fff_ffff);
+        let exp_all = _mm256_set1_epi32(0x7f80_0000);
+        let bias = _mm256_set1_epi32(0x7fff);
+        let one = _mm256_set1_epi32(1);
+        let quiet = _mm256_set1_epi32(0x40);
+        let lo16 = _mm256_set1_epi32(0xffff);
+        let mut i = 0;
+        while i + 8 <= n {
+            // Same integer arithmetic as the scalar `narrow`, 8 lanes wide:
+            // signed compare is safe because |bits| ≤ 0x7fffffff, and the
+            // rounding add wraps exactly like `wrapping_add`.
+            let v = _mm256_loadu_si256(src.as_ptr().add(i) as *const __m256i);
+            let nan = _mm256_cmpgt_epi32(_mm256_and_si256(v, abs_mask), exp_all);
+            let lsb = _mm256_and_si256(_mm256_srli_epi32(v, 16), one);
+            let rounded = _mm256_srli_epi32(_mm256_add_epi32(_mm256_add_epi32(v, bias), lsb), 16);
+            let nanv = _mm256_or_si256(_mm256_srli_epi32(v, 16), quiet);
+            let res = _mm256_and_si256(_mm256_blendv_epi8(rounded, nanv, nan), lo16);
+            let packed = _mm256_packus_epi32(res, res);
+            let perm = _mm256_permute4x64_epi64(packed, 0b00_00_10_00);
+            _mm_storeu_si128(
+                dst.as_mut_ptr().add(i) as *mut __m128i,
+                _mm256_castsi256_si128(perm),
+            );
+            i += 8;
+        }
+        while i < n {
+            *dst.get_unchecked_mut(i) = super::narrow(*src.get_unchecked(i));
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn widen_slice_avx2(src: &[u16], dst: &mut [f32]) {
+        let n = src.len().min(dst.len());
+        let mut i = 0;
+        while i + 8 <= n {
+            _mm256_storeu_ps(dst.as_mut_ptr().add(i), widen8(src.as_ptr().add(i)));
+            i += 8;
+        }
+        while i < n {
+            *dst.get_unchecked_mut(i) = super::widen(*src.get_unchecked(i));
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn axpy_bf16_avx2(alpha: f32, x: &[u16], y: &mut [f32]) {
+        let n = y.len().min(x.len());
+        let av = _mm256_set1_ps(alpha);
+        let mut i = 0;
+        while i + 8 <= n {
+            let xv = widen8(x.as_ptr().add(i));
+            let yv = _mm256_loadu_ps(y.as_ptr().add(i));
+            _mm256_storeu_ps(y.as_mut_ptr().add(i), _mm256_fmadd_ps(av, xv, yv));
+            i += 8;
+        }
+        while i < n {
+            *y.get_unchecked_mut(i) =
+                alpha.mul_add(super::widen(*x.get_unchecked(i)), *y.get_unchecked(i));
+            i += 1;
+        }
+    }
+
+    /// bf16 twin of `simd::gemm_rows_avx2`: identical tiling, zero-skip,
+    /// and per-element accumulation order, with `B` widened in-register.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn gemm_rows_bf16_avx2<const MR: usize, const NU: usize>(
+        a: &Matrix,
+        bq: &[u16],
+        n: usize,
+        out: &mut [f32],
+        row_begin: usize,
+        row_end: usize,
+    ) {
+        let k = a.cols();
+        let nr = NU * 8;
+        let rows = row_end - row_begin;
+        let mut i = 0;
+        while i < rows {
+            let mr = MR.min(rows - i);
+            let r0 = row_begin + i;
+            let mut jt = 0;
+            while jt < n {
+                let w = nr.min(n - jt);
+                if mr == MR && w == nr {
+                    let a_ptrs: [*const f32; MR] = std::array::from_fn(|r| a.row(r0 + r).as_ptr());
+                    let mut acc = [[_mm256_setzero_ps(); NU]; MR];
+                    for p in 0..k {
+                        let avals: [f32; MR] = std::array::from_fn(|r| *a_ptrs[r].add(p));
+                        if avals == [0.0; MR] {
+                            continue;
+                        }
+                        let bp = bq.as_ptr().add(p * n + jt);
+                        let bv: [__m256; NU] = std::array::from_fn(|u| widen8(bp.add(u * 8)));
+                        for (accr, &ar) in acc.iter_mut().zip(&avals) {
+                            let av = _mm256_set1_ps(ar);
+                            for (o, &bvu) in accr.iter_mut().zip(&bv) {
+                                *o = _mm256_fmadd_ps(av, bvu, *o);
+                            }
+                        }
+                    }
+                    for (r, accr) in acc.iter().enumerate() {
+                        let optr = out.as_mut_ptr().add((i + r) * n + jt);
+                        for (u, &o) in accr.iter().enumerate() {
+                            _mm256_storeu_ps(optr.add(u * 8), o);
+                        }
+                    }
+                } else {
+                    let mut acc = [0.0f32; 16];
+                    for r in 0..mr {
+                        let a_row = a.row(r0 + r);
+                        acc[..w].fill(0.0);
+                        for (p, &ap) in a_row.iter().enumerate() {
+                            if ap == 0.0 {
+                                continue;
+                            }
+                            let bp = &bq[p * n + jt..p * n + jt + w];
+                            for (o, &bv) in acc[..w].iter_mut().zip(bp) {
+                                *o = ap.mul_add(super::widen(bv), *o);
+                            }
+                        }
+                        out[(i + r) * n + jt..(i + r) * n + jt + w].copy_from_slice(&acc[..w]);
+                    }
+                }
+                jt += w;
+            }
+            i += mr;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use avx2::{axpy_bf16_avx2, gemm_rows_bf16_avx2, narrow_slice_avx2, widen_slice_avx2};
+
+// ---------------------------------------------------------------------------
+// NEON implementations (conversion + axpy; GEMM uses the scalar reference)
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use std::arch::aarch64::*;
+
+    #[target_feature(enable = "neon")]
+    pub unsafe fn narrow_slice_neon(src: &[f32], dst: &mut [u16]) {
+        let n = src.len().min(dst.len());
+        let abs_mask = vdupq_n_u32(0x7fff_ffff);
+        let exp_all = vdupq_n_u32(0x7f80_0000);
+        let bias = vdupq_n_u32(0x7fff);
+        let one = vdupq_n_u32(1);
+        let quiet = vdupq_n_u32(0x40);
+        let mut i = 0;
+        while i + 4 <= n {
+            let v = vreinterpretq_u32_f32(vld1q_f32(src.as_ptr().add(i)));
+            let nan = vcgtq_u32(vandq_u32(v, abs_mask), exp_all);
+            let lsb = vandq_u32(vshrq_n_u32(v, 16), one);
+            let rounded = vshrq_n_u32(vaddq_u32(vaddq_u32(v, bias), lsb), 16);
+            let nanv = vorrq_u32(vshrq_n_u32(v, 16), quiet);
+            let res = vbslq_u32(nan, nanv, rounded);
+            vst1_u16(dst.as_mut_ptr().add(i), vmovn_u32(res));
+            i += 4;
+        }
+        while i < n {
+            *dst.get_unchecked_mut(i) = super::narrow(*src.get_unchecked(i));
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    pub unsafe fn widen_slice_neon(src: &[u16], dst: &mut [f32]) {
+        let n = src.len().min(dst.len());
+        let mut i = 0;
+        while i + 4 <= n {
+            let h = vld1_u16(src.as_ptr().add(i));
+            let w = vreinterpretq_f32_u32(vshll_n_u16(h, 16));
+            vst1q_f32(dst.as_mut_ptr().add(i), w);
+            i += 4;
+        }
+        while i < n {
+            *dst.get_unchecked_mut(i) = super::widen(*src.get_unchecked(i));
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    pub unsafe fn axpy_bf16_neon(alpha: f32, x: &[u16], y: &mut [f32]) {
+        let n = y.len().min(x.len());
+        let mut i = 0;
+        while i + 4 <= n {
+            let h = vld1_u16(x.as_ptr().add(i));
+            let xv = vreinterpretq_f32_u32(vshll_n_u16(h, 16));
+            let yv = vld1q_f32(y.as_ptr().add(i));
+            vst1q_f32(y.as_mut_ptr().add(i), vfmaq_n_f32(yv, xv, alpha));
+            i += 4;
+        }
+        while i < n {
+            *y.get_unchecked_mut(i) =
+                alpha.mul_add(super::widen(*x.get_unchecked(i)), *y.get_unchecked(i));
+            i += 1;
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+use neon::{axpy_bf16_neon, narrow_slice_neon, widen_slice_neon};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrow_rounds_to_nearest_even() {
+        // 1.0 + 2^-8 is exactly halfway between bf16(1.0) and the next
+        // value up; RNE picks the even mantissa (1.0).
+        let halfway = f32::from_bits(0x3f80_8000);
+        assert_eq!(narrow(halfway), 0x3f80);
+        // One ulp above halfway rounds up.
+        assert_eq!(narrow(f32::from_bits(0x3f80_8001)), 0x3f81);
+        // Odd mantissa at exact halfway rounds up to even.
+        assert_eq!(narrow(f32::from_bits(0x3f81_8000)), 0x3f82);
+    }
+
+    #[test]
+    fn specials_survive_narrowing() {
+        assert_eq!(narrow(f32::INFINITY), 0x7f80);
+        assert_eq!(narrow(f32::NEG_INFINITY), 0xff80);
+        assert_eq!(narrow(0.0), 0x0000);
+        assert_eq!(narrow(-0.0), 0x8000);
+        assert!(widen(narrow(f32::NAN)).is_nan());
+        // A NaN whose payload lives only in the truncated bits must stay
+        // a NaN after narrowing.
+        let sneaky = f32::from_bits(0x7f80_0001);
+        assert!(widen(narrow(sneaky)).is_nan());
+    }
+
+    #[test]
+    fn widen_is_exact_for_all_bf16_values() {
+        for b in 0..=u16::MAX {
+            let w = widen(b);
+            if w.is_nan() {
+                assert!(widen(narrow(w)).is_nan());
+            } else {
+                assert_eq!(narrow(w), b, "bf16 {b:#06x} must round-trip");
+            }
+        }
+    }
+
+    #[test]
+    fn relu_and_add_scaled_operate_on_packed_values() {
+        let mut y = [narrow(-2.0), narrow(3.0), narrow(-0.0), narrow(0.5)];
+        relu_bf16(&mut y);
+        assert_eq!(widen(y[0]), 0.0);
+        assert_eq!(widen(y[1]), 3.0);
+        assert_eq!(y[2], 0x8000, "-0.0 passes through like the f32 scalar relu");
+        let x = [narrow(1.0), narrow(1.0), narrow(1.0), narrow(1.0)];
+        add_scaled_bf16(&mut y, &x, 2.0);
+        assert_eq!(widen(y[0]), 2.0);
+        assert_eq!(widen(y[1]), 5.0);
+    }
+
+    #[test]
+    fn scratch_buffers_are_reused() {
+        let a = take_scratch_u16(64);
+        let ptr = a.as_ptr();
+        give_scratch_u16(a);
+        let b = take_scratch_u16(32);
+        assert_eq!(b.len(), 32);
+        assert_eq!(b.as_ptr(), ptr, "pooled buffer should be recycled");
+        give_scratch_u16(b);
+    }
+}

@@ -40,10 +40,19 @@ pub enum Kernel {
     Reduce,
     /// Fused Adam parameter step (work = parameter elements).
     Adam,
+    /// f32 → bf16 narrowing (work = elements packed).
+    PackBf16,
+    /// bf16 → f32 widening, counted by the bf16 drivers as packed elements
+    /// streamed through widen-on-load (work = elements widened).
+    WidenBf16,
+    /// f32 → int8 symmetric quantization (work = elements quantized).
+    QuantI8,
+    /// int8 GEMM with i32 accumulation (work = output rows).
+    GemmI8,
 }
 
 /// Number of tracked kernel families.
-pub const KERNEL_COUNT: usize = 10;
+pub const KERNEL_COUNT: usize = 14;
 
 const NAMES: [&str; KERNEL_COUNT] = [
     "gemm",
@@ -56,6 +65,10 @@ const NAMES: [&str; KERNEL_COUNT] = [
     "elemwise",
     "reduce",
     "adam",
+    "pack_bf16",
+    "widen_bf16",
+    "quant_i8",
+    "gemm_i8",
 ];
 
 static CALLS: [AtomicU64; KERNEL_COUNT] = [const { AtomicU64::new(0) }; KERNEL_COUNT];

@@ -1,0 +1,115 @@
+//! Process-wide storage-precision mode for the dense-operand kernels.
+//!
+//! [`Storage::F32`] is the reference mode: every kernel reads and writes
+//! full-precision `f32`, exactly as before this module existed.
+//! [`Storage::Bf16`] stages the *streamed dense operand* of the
+//! bandwidth-bound kernels — the `X` of the SpMM family and the `B` of the
+//! forward GEMM — in packed bfloat16 (see [`crate::bf16`]) and widens on
+//! load inside the inner loops. Accumulation stays `f32` everywhere, so
+//! bf16 mode trades one round-to-nearest-even narrowing of the streamed
+//! operand for half its memory traffic; gradients, parameters, optimizer
+//! moments, and every reduction remain full `f32`.
+//!
+//! The mode is resolved once per process from `SKIPNODE_PRECISION`
+//! (`f32`/empty keep the default, `bf16` enables packed staging) and can be
+//! overridden by [`force`] — the hook `TrainConfig::precision` uses. Like
+//! the SIMD dispatch in [`crate::simd`], the setting is process-global:
+//! kernels deep in the stack cannot see per-run configuration, so a run
+//! that overrides it does so for the whole process.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Storage precision of the streamed dense operand in the hot kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Storage {
+    /// Full-precision `f32` operands (the bitwise reference mode).
+    F32,
+    /// Streamed dense operands packed to bfloat16, widened on load;
+    /// accumulation stays `f32`.
+    Bf16,
+}
+
+impl Storage {
+    /// Stable lowercase name used in bench metadata and tuner reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Storage::F32 => "f32",
+            Storage::Bf16 => "bf16",
+        }
+    }
+}
+
+/// 0 = unresolved (read env on first query), else discriminant + 1.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+fn code(mode: Storage) -> u8 {
+    match mode {
+        Storage::F32 => 1,
+        Storage::Bf16 => 2,
+    }
+}
+
+fn resolve() -> Storage {
+    match std::env::var("SKIPNODE_PRECISION") {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "bf16" => Storage::Bf16,
+            "" | "f32" | "off" | "full" => Storage::F32,
+            other => {
+                eprintln!("SKIPNODE_PRECISION={other:?} not recognized (f32|bf16); using f32");
+                Storage::F32
+            }
+        },
+        Err(_) => Storage::F32,
+    }
+}
+
+/// The storage mode kernels currently honor. Resolved from
+/// `SKIPNODE_PRECISION` on first call, then a relaxed atomic load.
+#[inline]
+pub fn active() -> Storage {
+    match ACTIVE.load(Ordering::Relaxed) {
+        0 => {
+            let mode = resolve();
+            ACTIVE.store(code(mode), Ordering::Relaxed);
+            mode
+        }
+        1 => Storage::F32,
+        _ => Storage::Bf16,
+    }
+}
+
+/// Install a storage mode for this process (the `TrainConfig::precision`
+/// hook; benches and tests A/B-ing modes on one binary). Returns the mode
+/// that was active before.
+pub fn force(mode: Storage) -> Storage {
+    let prev = active();
+    ACTIVE.store(code(mode), Ordering::Relaxed);
+    prev
+}
+
+/// Accuracy-delta tolerance the precision gates compare bf16 runs against
+/// their f32 reference with: `SKIPNODE_PREC_TOL` when set (absolute
+/// accuracy delta / relative loss delta), else `0.02`.
+pub fn accuracy_tolerance() -> f64 {
+    std::env::var("SKIPNODE_PREC_TOL")
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .filter(|t| t.is_finite() && *t >= 0.0)
+        .unwrap_or(0.02)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NOTE: no unit test flips the mode here — unit tests share a process
+    // with the kernel tests, and a transient Bf16 window would reroute a
+    // concurrently running GEMM/SpMM assertion. Mode-flipping coverage
+    // lives in `tensor/tests/bf16_quant.rs`, which owns its process.
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Storage::F32.name(), "f32");
+        assert_eq!(Storage::Bf16.name(), "bf16");
+    }
+}

@@ -1,0 +1,245 @@
+//! Property tests for the reduced-precision paths: f32↔bf16 conversion,
+//! vector-vs-scalar bit-identity of the conversion and int8 kernels, the
+//! tolerance-class bf16 compute twins, and the process-global precision
+//! mode switch.
+//!
+//! Everything lives in ONE `#[test]` because both the active ISA
+//! (`simd::force`) and the storage precision (`precision::force`) are
+//! process-global: parallel test threads flipping them would race. This
+//! binary owns its process, so a single serial test is safe — and it is
+//! the one place in the test tree allowed to flip `precision::force`
+//! (the unit-test modules promise not to; see `precision.rs`).
+
+use skipnode_tensor::precision::{self, Storage};
+use skipnode_tensor::quant::{qgemm, QuantizedMatrix};
+use skipnode_tensor::simd::{self, Isa};
+use skipnode_tensor::{bf16, kstats, Matrix, SplitRng};
+
+/// Best vector ISA the host supports, or `None` on scalar-only machines
+/// (where vector-vs-scalar equivalence is vacuous).
+fn host_vector_isa() -> Option<Isa> {
+    for isa in [Isa::Avx2, Isa::Neon] {
+        if simd::force(isa) == isa {
+            return Some(isa);
+        }
+    }
+    simd::force(Isa::Scalar);
+    None
+}
+
+/// Awkward lengths: vector-width multiples, remainders, empties.
+const LENGTHS: &[usize] = &[0, 1, 3, 7, 8, 9, 31, 32, 33, 64, 100, 257];
+
+/// Finite specials plus representative normals/subnormals for conversion
+/// edge cases (NaN handled separately — payload equality is not promised).
+/// The halfway literals are exact f32 values on purpose.
+#[allow(clippy::excessive_precision)]
+const SPECIALS: &[f32] = &[
+    0.0,
+    -0.0,
+    1.0,
+    -1.0,
+    f32::INFINITY,
+    f32::NEG_INFINITY,
+    f32::MIN_POSITIVE, // smallest normal
+    1.0e-41,           // subnormal
+    -1.0e-41,          // negative subnormal
+    f32::MAX,
+    f32::MIN,
+    3.4028e38,  // near-overflow; rounds up to inf in bf16
+    1.00390625, // 1 + 2^-8: exact halfway, even mantissa below
+    1.01171875, // 1 + 3·2^-8: exact halfway, odd mantissa below
+];
+
+#[allow(clippy::excessive_precision)]
+fn roundtrip_properties(rng: &mut SplitRng) {
+    // Narrowing is idempotent: a value that came out of widen() is exactly
+    // representable, so a second narrow must return the same bits.
+    for _ in 0..10_000 {
+        let x = rng.uniform(-1.0e6, 1.0e6);
+        let b = bf16::narrow(x);
+        let w = bf16::widen(b);
+        assert_eq!(bf16::narrow(w), b, "idempotent narrow for {x}");
+        // RNE error bound: |x - widen(narrow(x))| <= 2^-8 |x| for normals.
+        assert!(
+            (x - w).abs() <= x.abs() * 2.0f32.powi(-8),
+            "rounding error bound for {x}: widened {w}"
+        );
+    }
+    for &s in SPECIALS {
+        let w = bf16::widen(bf16::narrow(s));
+        if s.abs() > 3.389e38 {
+            assert!(w.is_infinite() && w.signum() == s.signum(), "{s} -> {w}");
+        } else if s.is_finite() && s != 0.0 && s.abs() < 1.0e-40 {
+            // Subnormals round like any bit pattern; the result stays tiny.
+            assert!(w.abs() <= 1.1e-40, "subnormal {s} -> {w}");
+        } else if s == 1.00390625 {
+            // 1 + 2^-8: exact halfway between 1.0 and 1.0078125 — ties to
+            // even picks the even mantissa below.
+            assert_eq!(w, 1.0, "halfway {s} must round down to even");
+        } else if s == 1.01171875 {
+            // 1 + 3·2^-8: halfway with an odd mantissa below — ties to
+            // even rounds up.
+            assert_eq!(w, 1.015625, "halfway {s} must round up to even");
+        } else {
+            assert_eq!(w.to_bits(), s.to_bits(), "special {s} must round-trip");
+        }
+    }
+    assert!(bf16::widen(bf16::narrow(f32::NAN)).is_nan());
+    // NaN whose payload lives only in the truncated bits stays NaN.
+    assert!(bf16::widen(bf16::narrow(f32::from_bits(0x7f80_0001))).is_nan());
+}
+
+fn conversion_bit_identity(vector_isa: Isa, rng: &mut SplitRng) {
+    for &len in LENGTHS {
+        let mut src: Vec<f32> = (0..len).map(|_| rng.uniform(-100.0, 100.0)).collect();
+        for (i, &s) in SPECIALS.iter().enumerate() {
+            if i < src.len() {
+                src[i] = s;
+            }
+        }
+        let mut packed_v = vec![0u16; len];
+        let mut packed_s = vec![0u16; len];
+        bf16::narrow_slice(vector_isa, &src, &mut packed_v);
+        bf16::narrow_slice(Isa::Scalar, &src, &mut packed_s);
+        assert_eq!(packed_v, packed_s, "narrow_slice len {len}");
+
+        let mut wide_v = vec![0.0f32; len];
+        let mut wide_s = vec![0.0f32; len];
+        bf16::widen_slice(vector_isa, &packed_v, &mut wide_v);
+        bf16::widen_slice(Isa::Scalar, &packed_s, &mut wide_s);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&wide_v), bits(&wide_s), "widen_slice len {len}");
+    }
+}
+
+fn bf16_compute_tolerance(vector_isa: Isa, rng: &mut SplitRng) {
+    // axpy and the bf16 GEMM are FMA-class: vector paths contract, so they
+    // match the scalar reference to rounding, not bitwise.
+    for &len in LENGTHS {
+        let x: Vec<u16> = (0..len)
+            .map(|_| bf16::narrow(rng.uniform(-2.0, 2.0)))
+            .collect();
+        let y0: Vec<f32> = (0..len).map(|_| rng.uniform(-2.0, 2.0)).collect();
+        let mut y_v = y0.clone();
+        let mut y_s = y0;
+        bf16::axpy_bf16(vector_isa, 0.37, &x, &mut y_v);
+        bf16::axpy_bf16(Isa::Scalar, 0.37, &x, &mut y_s);
+        for (i, (a, b)) in y_v.iter().zip(&y_s).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-5 * (1.0 + b.abs()),
+                "axpy_bf16 len {len} element {i}: {a} vs {b}"
+            );
+        }
+    }
+    for (m, k, n) in [(1, 1, 1), (5, 13, 7), (8, 32, 16), (13, 11, 17)] {
+        let a = rng.uniform_matrix(m, k, -1.5, 1.5);
+        let b = rng.uniform_matrix(k, n, -1.5, 1.5);
+        let mut bq = vec![0u16; k * n];
+        bf16::narrow_slice(vector_isa, b.as_slice(), &mut bq);
+        let mut out_v = vec![f32::NAN; m * n];
+        let mut out_s = vec![f32::NAN; m * n];
+        bf16::gemm_rows_bf16(vector_isa, simd::gemm_tile(), &a, &bq, n, &mut out_v, 0, m);
+        bf16::gemm_rows_bf16(Isa::Scalar, simd::gemm_tile(), &a, &bq, n, &mut out_s, 0, m);
+        for (i, (x, y)) in out_v.iter().zip(&out_s).enumerate() {
+            assert!(
+                (x - y).abs() <= 1e-5 * (1.0 + y.abs()),
+                "gemm_rows_bf16 ({m},{k},{n}) element {i}: {x} vs {y}"
+            );
+        }
+    }
+}
+
+fn qgemm_bit_identity_and_accuracy(vector_isa: Isa, rng: &mut SplitRng) {
+    for (m, k, n) in [(1, 64, 9), (17, 96, 12), (33, 130, 5), (9, 31, 16)] {
+        let mut a = rng.uniform_matrix(m, k, -2.0, 2.0);
+        for c in 0..k {
+            a.set(m / 2, c, 0.25); // constant row: affine-correction path
+        }
+        let b = rng.uniform_matrix(k, n, -1.0, 1.0);
+        let qb = QuantizedMatrix::from_cols(&b);
+
+        simd::force(vector_isa);
+        let mut fast = Matrix::full(m, n, f32::NAN);
+        qgemm(&a, &qb, &mut fast);
+        simd::force(Isa::Scalar);
+        let mut slow = Matrix::full(m, n, f32::NAN);
+        qgemm(&a, &qb, &mut slow);
+        simd::force(vector_isa);
+        assert_eq!(
+            fast.as_slice(),
+            slow.as_slice(),
+            "qgemm must be bit-identical across ISAs at ({m},{k},{n})"
+        );
+
+        // 7-bit affine activations x 6-bit weights track the f32 product
+        // within the scales' error bound (loose absolute check). Pin f32
+        // for the reference so an ambient SKIPNODE_PRECISION=bf16 doesn't
+        // swap in the staged path.
+        let ambient = precision::force(Storage::F32);
+        let reference = a.matmul(&b);
+        precision::force(ambient);
+        for (q, f) in fast.as_slice().iter().zip(reference.as_slice()) {
+            assert!(
+                (q - f).abs() <= 0.05 * (k as f32).sqrt() + 0.05,
+                "qgemm accuracy at ({m},{k},{n}): {q} vs {f}"
+            );
+        }
+    }
+}
+
+fn precision_mode_switch(rng: &mut SplitRng) {
+    // The ONE place in the test tree that flips the process-global
+    // precision mode. bf16-staged matmul is tolerance-class against the
+    // f32 reference, and the conversion kernels must leave kstats
+    // evidence that data actually moved through the packed path.
+    let a = rng.uniform_matrix(37, 29, -1.0, 1.0);
+    let b = rng.uniform_matrix(29, 23, -1.0, 1.0);
+    // Pin an f32 baseline whatever SKIPNODE_PRECISION says; the ambient
+    // mode is restored on the way out.
+    let ambient = precision::force(Storage::F32);
+    let reference = a.matmul(&b);
+
+    kstats::set_enabled(true);
+    let packs_before = kstats::snapshot()[kstats::Kernel::PackBf16 as usize].calls;
+    let prev = precision::force(Storage::Bf16);
+    assert_eq!(prev, Storage::F32);
+    let staged = a.matmul(&b);
+    precision::force(ambient);
+    let packs_after = kstats::snapshot()[kstats::Kernel::PackBf16 as usize].calls;
+
+    assert!(
+        packs_after > packs_before,
+        "bf16 mode must route the GEMM operand through narrow_slice"
+    );
+    let tol = precision::accuracy_tolerance() as f32;
+    for (i, (x, y)) in staged
+        .as_slice()
+        .iter()
+        .zip(reference.as_slice())
+        .enumerate()
+    {
+        assert!(
+            (x - y).abs() <= tol * (1.0 + y.abs()),
+            "bf16-staged matmul element {i}: {x} vs f32 {y}"
+        );
+    }
+}
+
+#[test]
+fn reduced_precision_paths_hold_their_contracts() {
+    let mut rng = SplitRng::new(4242);
+    roundtrip_properties(&mut rng);
+
+    let Some(vector_isa) = host_vector_isa() else {
+        eprintln!("host has no vector ISA; vector-vs-scalar checks are vacuous");
+        let mut rng = SplitRng::new(17);
+        qgemm_bit_identity_and_accuracy(Isa::Scalar, &mut rng);
+        precision_mode_switch(&mut rng);
+        return;
+    };
+    conversion_bit_identity(vector_isa, &mut rng);
+    bf16_compute_tolerance(vector_isa, &mut rng);
+    qgemm_bit_identity_and_accuracy(vector_isa, &mut rng);
+    precision_mode_switch(&mut rng);
+}
