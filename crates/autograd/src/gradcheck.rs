@@ -164,6 +164,43 @@ mod tests {
     }
 
     #[test]
+    fn readout_gradient_all_kinds() {
+        use skipnode_tensor::{ReadoutKind, SegmentTable};
+        // Three segments, one empty; max inputs scaled away from ties.
+        let seg = Arc::new(SegmentTable::from_lens(&[3, 0, 4]));
+        let mut x = rand_matrix(7, 3, 31);
+        x.map_in_place(|v| v * 2.0);
+        for kind in [ReadoutKind::Mean, ReadoutKind::Sum, ReadoutKind::Max] {
+            let eps = if kind == ReadoutKind::Max { 1e-3 } else { 1e-2 };
+            let dev = finite_difference_check(&x, eps, |t, xid| t.readout(xid, kind, &seg));
+            assert!(dev < 2e-2, "{kind:?} dev {dev}");
+        }
+    }
+
+    #[test]
+    fn readout_composes_with_dense_head() {
+        use skipnode_tensor::{ReadoutKind, SegmentTable};
+        // Conv-style body → readout → dense head: the graph-classification
+        // shape. Gradients must flow through the pooling into the body.
+        let adj = Arc::new(gcn_adjacency(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]));
+        let seg = Arc::new(SegmentTable::from_lens(&[3, 3]));
+        let x = rand_matrix(6, 4, 32);
+        let w = rand_matrix(4, 4, 33);
+        let head = rand_matrix(4, 2, 34);
+        let dev = finite_difference_check(&x, 1e-2, |t, xid| {
+            let a = t.register_adj(adj.clone());
+            let wid = t.constant(w.clone());
+            let hid = t.constant(head.clone());
+            let h = t.spmm(a, xid);
+            let h = t.matmul(h, wid);
+            let h = t.relu(h);
+            let r = t.readout(h, ReadoutKind::Mean, &seg);
+            t.matmul(r, hid)
+        });
+        assert!(dev < 2e-2, "dev {dev}");
+    }
+
+    #[test]
     fn pairnorm_gradient() {
         let x = rand_matrix(6, 4, 17);
         let dev = finite_difference_check(&x, 1e-2, |t, xid| t.pairnorm(xid, 1.0));

@@ -23,6 +23,7 @@ use crate::attention::gat_forward;
 use crate::ops::skip_conv_compute;
 use crate::tape::{NodeId, Op, Tape, Value};
 use skipnode_tensor::quant::{qgemm, QuantizedMatrix};
+use skipnode_tensor::segment::segment_reduce_into;
 use skipnode_tensor::{workspace, Matrix};
 
 /// Sentinel for "no consumer".
@@ -74,6 +75,7 @@ pub(crate) fn op_inputs(op: &Op, f: &mut dyn FnMut(usize)) {
         }
         Op::ConcatCols(parts) => parts.iter().for_each(|p| f(p.0)),
         Op::MaxPool { xs, .. } => xs.iter().for_each(|p| f(p.0)),
+        Op::Readout { x, .. } => f(x.0),
         Op::LinComb(parts) => parts.iter().for_each(|&(p, _)| f(p.0)),
         Op::WeightedSum { xs, w } => {
             xs.iter().for_each(|p| f(p.0));
@@ -329,6 +331,23 @@ impl Tape {
                             }
                         }
                     }
+                }
+                v
+            }
+            Op::Readout {
+                x,
+                kind,
+                seg,
+                argmax,
+            } => {
+                let (rows, cols) = self.nodes[idx].value.shape();
+                let mut v = workspace::take_scratch(rows, cols);
+                if retain {
+                    // Refresh the backward argmax record for replay.
+                    segment_reduce_into(self.val(x.0), seg, *kind, &mut v, argmax);
+                } else {
+                    let mut scratch = Vec::new();
+                    segment_reduce_into(self.val(x.0), seg, *kind, &mut v, &mut scratch);
                 }
                 v
             }

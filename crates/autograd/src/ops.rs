@@ -10,7 +10,9 @@
 
 use crate::tape::{pairnorm_forward, AdjId, NodeId, Op, SkipConvCache, Tape};
 use skipnode_sparse::{CsrMatrix, COL_SKIP};
-use skipnode_tensor::{workspace, Matrix, SplitRng};
+use skipnode_tensor::segment::segment_reduce_into;
+use skipnode_tensor::{workspace, Matrix, ReadoutKind, SegmentTable, SplitRng};
+use std::sync::Arc;
 
 /// Operand bundle for the generalized fused masked layer
 /// ([`Tape::skip_conv_step`]). Describes one activated graph-convolution
@@ -569,6 +571,44 @@ impl Tape {
             value,
             Op::MaxPool {
                 xs: parts.to_vec(),
+                argmax,
+            },
+            rg,
+        )
+    }
+
+    /// Segmented graph readout: pool each segment's contiguous row range of
+    /// `x` into one output row (`seg.num_segments() × d`). This is the
+    /// graph-classification pooling layer over a packed multi-graph batch;
+    /// a [`SegmentTable::single`] table reduces the whole matrix to one row.
+    pub fn readout(&mut self, x: NodeId, kind: ReadoutKind, seg: &Arc<SegmentTable>) -> NodeId {
+        let (n, d) = self.shape(x);
+        assert_eq!(n, seg.total_rows(), "segment table must cover input rows");
+        let g_rows = seg.num_segments();
+        if self.infer() {
+            // `argmax` is a backward-only record; the executor recomputes
+            // the pooling (and refreshes the record on compiled replay).
+            return self.push_pending(
+                g_rows,
+                d,
+                Op::Readout {
+                    x,
+                    kind,
+                    seg: Arc::clone(seg),
+                    argmax: Vec::new(),
+                },
+            );
+        }
+        let mut value = workspace::take_scratch(g_rows, d);
+        let mut argmax = Vec::new();
+        segment_reduce_into(self.value(x), seg, kind, &mut value, &mut argmax);
+        let rg = self.rg(x);
+        self.push(
+            value,
+            Op::Readout {
+                x,
+                kind,
+                seg: Arc::clone(seg),
                 argmax,
             },
             rg,

@@ -1,7 +1,8 @@
 //! The tape: node storage, adjacency registry, and the backward pass.
 
 use skipnode_sparse::CsrMatrix;
-use skipnode_tensor::{workspace, Matrix};
+use skipnode_tensor::segment::segment_reduce_backward_into;
+use skipnode_tensor::{workspace, Matrix, ReadoutKind, SegmentTable};
 use std::ops::Index;
 use std::sync::Arc;
 
@@ -91,6 +92,18 @@ pub(crate) enum Op {
     MaxPool {
         xs: Vec<NodeId>,
         argmax: Vec<u8>,
+    },
+    /// Segmented graph readout: pools each segment's contiguous row range
+    /// of `x` into one output row (`g × d`, one row per graph in the packed
+    /// batch). `argmax` is the max-pool backward record — row index per
+    /// `(segment, column)`, [`skipnode_tensor::segment::SEG_NO_ARGMAX`] for
+    /// empty segments, empty vec for mean/sum — refreshed on compiled
+    /// replay exactly like [`Op::MaxPool`]'s.
+    Readout {
+        x: NodeId,
+        kind: ReadoutKind,
+        seg: Arc<SegmentTable>,
+        argmax: Vec<u32>,
     },
     /// PairNorm center-and-scale with target scale `s`.
     PairNorm {
@@ -706,6 +719,19 @@ impl Tape {
                             dx.as_mut_slice()[i] = gv;
                         }
                     }
+                    accum(grads, *x, dx);
+                }
+            }
+            Op::Readout {
+                x,
+                kind,
+                seg,
+                argmax,
+            } => {
+                if self.nodes[x.0].requires_grad {
+                    let (n, d) = self.nodes[x.0].value.shape();
+                    let mut dx = workspace::take(n, d);
+                    segment_reduce_backward_into(g, seg, *kind, argmax, &mut dx);
                     accum(grads, *x, dx);
                 }
             }

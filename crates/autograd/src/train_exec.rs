@@ -36,6 +36,7 @@
 use crate::infer::{op_inputs, NO_USE};
 use crate::tape::{accum, pairnorm_backward, NodeId, Op, Tape, Value};
 use skipnode_sparse::{CsrMatrix, COL_SKIP};
+use skipnode_tensor::segment::segment_reduce_backward_into;
 use skipnode_tensor::{workspace, Matrix, SplitRng};
 use std::sync::Arc;
 
@@ -952,6 +953,20 @@ impl TrainProgram {
                 }
                 workspace::give(g);
             }
+            Op::Readout {
+                x,
+                kind,
+                seg,
+                argmax,
+            } => {
+                if self.rg(*x) {
+                    let (rows, cols) = self.tape.nodes[x.0].value.shape();
+                    let mut dx = workspace::take(rows, cols);
+                    segment_reduce_backward_into(&g, seg, *kind, argmax, &mut dx);
+                    accum(grads, *x, dx);
+                }
+                workspace::give(g);
+            }
             Op::PairNorm { x, s } => {
                 if self.rg(*x) {
                     let dx = pairnorm_backward(self.tape.val(x.0), &g, *s);
@@ -1058,6 +1073,9 @@ fn backward_value_reads(tape: &Tape, idx: usize, f: &mut dyn FnMut(usize)) {
         | Op::RowCombine { .. }
         | Op::ConcatCols(..)
         | Op::MaxPool { .. }
+        // Readout's backward reads only the upstream gradient plus the
+        // op-resident segment table and argmax record.
+        | Op::Readout { .. }
         | Op::LinComb(..) => {}
         Op::MatMul(a, b) => {
             if rg(*a) {

@@ -25,7 +25,7 @@
 
 use skipnode_autograd::{softmax_cross_entropy, Tape, TrainProgram};
 use skipnode_bench::timing::Bencher;
-use skipnode_bench::{build_model, require};
+use skipnode_bench::{build_model, require, BenchSession};
 use skipnode_core::{Sampling, SkipNodeConfig};
 use skipnode_graph::{
     full_supervised_split, load, partition_graph, DatasetName, FeatureStyle, Graph,
@@ -39,7 +39,7 @@ use skipnode_nn::{
 use skipnode_sparse::CsrMatrix;
 use skipnode_tensor::precision::{self, Storage};
 use skipnode_tensor::quant::{qgemm, QuantizedMatrix};
-use skipnode_tensor::{pool, workspace, Matrix, SplitRng};
+use skipnode_tensor::{workspace, Matrix, SplitRng};
 use std::sync::Arc;
 
 /// Bandwidth-bound training shape (same degree-skewed planted partition
@@ -176,12 +176,9 @@ fn measured_peak(
 }
 
 fn main() {
-    let _kstats = skipnode_tensor::kstats::exit_report();
-    // Force kernel counters on so the conversion-kernel metadata in the
-    // JSON is non-zero regardless of the environment.
-    skipnode_tensor::kstats::set_enabled(true);
-    let fast = std::env::var("SKIPNODE_BENCH_FAST").is_ok_and(|v| v == "1");
-    let mut bench = Bencher::from_env();
+    let mut session = BenchSession::start("8");
+    let fast = session.fast;
+    let bench = &mut session.bench;
     assert_eq!(
         precision::active(),
         Storage::F32,
@@ -195,9 +192,8 @@ fn main() {
     let strategy = Strategy::SkipNode(SkipNodeConfig::new(0.5, Sampling::Uniform));
     let gate_epochs = if fast { 3 } else { 5 };
 
-    let mut meta: Vec<(&str, String)> = vec![
-        ("pr", "8".to_string()),
-        ("threads", pool::num_threads().to_string()),
+    let meta = &mut session.meta;
+    meta.extend([
         (
             "graph",
             "planted_partition n=3000 m=15000 power=0.8".to_string(),
@@ -207,7 +203,7 @@ fn main() {
             "accuracy_tolerance",
             format!("{}", precision::accuracy_tolerance()),
         ),
-    ];
+    ]);
 
     // ---- gate: compiled-vs-eager identity, f32 mode ------------------
     // The engine identity from bench_pr5 must still hold with the
@@ -450,10 +446,10 @@ fn main() {
                 .mean_ns;
             f32_ns / i8_ns
         };
-        let mut speedup = measure(&mut bench, 0);
+        let mut speedup = measure(bench, 0);
         if speedup < 1.5 && !fast {
             // One re-measure guards against transient interference.
-            speedup = measure(&mut bench, 1);
+            speedup = measure(bench, 1);
         }
         println!("int8 dense-layer speedup: {speedup:.2}x");
         if !fast {
@@ -531,6 +527,5 @@ fn main() {
     );
     meta.push(("peak_workspace_bytes", peaks.join("; ")));
 
-    meta.extend(skipnode_bench::perf_metadata());
-    bench.write_json("results/BENCH_PR8.json", &meta);
+    session.finish("results/BENCH_PR8.json");
 }

@@ -15,8 +15,8 @@ pub mod timing;
 
 pub use executor::{derive_seed, parse_workers, Executor};
 pub use harness::{
-    build_model, mean_std, require, run_classification, strategy_by_name, tuned_rho, ExpArgs,
-    Protocol, RunOutcome,
+    build_model, mean_std, require, run_classification, strategy_by_name, tuned_rho, BenchSession,
+    ExpArgs, Protocol, RunOutcome,
 };
 pub use sweep::{sweep_backbone, sweep_rate, RateSweepResult, SweepResult, SweepSpace};
 pub use table::TablePrinter;

@@ -12,6 +12,7 @@
 //! the paper studies (`λ` close to 1, class structure recoverable from
 //! features + topology). See DESIGN.md §3 for the substitution table.
 
+mod batch;
 mod centrality;
 mod dataset;
 mod generators;
@@ -22,6 +23,9 @@ mod preprocess;
 mod splits;
 mod stream;
 
+pub use batch::{
+    graph_classification_dataset, graph_level_split, GraphBatch, GraphClassConfig, GraphClassSet,
+};
 pub use centrality::pagerank;
 pub use dataset::{load, DatasetName, DatasetSpec, Scale, ALL_DATASETS};
 pub use generators::{

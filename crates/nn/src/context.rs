@@ -4,7 +4,7 @@ use skipnode_autograd::{AdjId, NodeId, Tape};
 use skipnode_core::SkipNodeConfig;
 use skipnode_graph::{Graph, Reordering};
 use skipnode_sparse::{gcn_adjacency_filtered, gcn_adjacency_with_node_mask, CsrMatrix};
-use skipnode_tensor::SplitRng;
+use skipnode_tensor::{SegmentTable, SplitRng};
 use std::sync::Arc;
 
 /// Draw a per-node skip mask, covariant with a cache-locality reordering.
@@ -27,6 +27,39 @@ pub(crate) fn sample_skip_mask(
             let logical_deg: Vec<usize> = (0..n).map(|o| degrees[ord.inv[o]]).collect();
             let logical = cfg.sample_mask(&logical_deg, rng);
             (0..n).map(|j| logical[ord.perm[j]]).collect()
+        }
+    }
+}
+
+/// Segment-aware skip-mask draw for packed multi-graph batches: one
+/// independent draw per graph, in segment (= logical row) order, so the
+/// skip rate and degree-biased weighting are computed *within* each graph
+/// rather than across the union.
+///
+/// RNG-parity rule: segments are contiguous and ordered, so a 1-segment
+/// batch makes exactly one [`SkipNodeConfig::sample_mask`] call over the
+/// full degree slice — the identical call, consuming the identical stream,
+/// as the single-graph path. The packed-identity tests pin this bitwise.
+pub(crate) fn sample_skip_mask_segmented(
+    cfg: &SkipNodeConfig,
+    degrees: &[usize],
+    order: Option<&Reordering>,
+    segments: Option<&SegmentTable>,
+    rng: &mut SplitRng,
+) -> Vec<bool> {
+    match segments {
+        None => sample_skip_mask(cfg, degrees, order, rng),
+        Some(seg) => {
+            assert!(
+                order.is_none(),
+                "cache-locality reordering does not compose with packed batches"
+            );
+            assert_eq!(seg.total_rows(), degrees.len(), "segment table mismatch");
+            let mut mask = Vec::with_capacity(degrees.len());
+            for s in 0..seg.num_segments() {
+                mask.extend(cfg.sample_mask(&degrees[seg.range(s)], rng));
+            }
+            mask
         }
     }
 }
@@ -95,27 +128,33 @@ impl Strategy {
         train: bool,
         rng: &mut SplitRng,
     ) -> Arc<CsrMatrix> {
+        self.epoch_adjacency_edges(graph.num_nodes(), graph.edges(), full, train, rng)
+    }
+
+    /// [`Strategy::epoch_adjacency`] over a raw `(n, edges)` pair, so
+    /// packed multi-graph batches ([`skipnode_graph::GraphBatch`]) resample
+    /// with the identical logic and RNG consumption as a single graph.
+    /// Connected components never span pack boundaries, so the resampled
+    /// normalization stays block-diagonal.
+    pub fn epoch_adjacency_edges(
+        &self,
+        n: usize,
+        edges: &[(usize, usize)],
+        full: &Arc<CsrMatrix>,
+        train: bool,
+        rng: &mut SplitRng,
+    ) -> Arc<CsrMatrix> {
         if !train {
             return Arc::clone(full);
         }
         match self {
             Strategy::DropEdge { rate } => {
-                let kept = graph
-                    .edges()
-                    .iter()
-                    .copied()
-                    .filter(|_| !rng.bernoulli(*rate));
-                Arc::new(gcn_adjacency_filtered(graph.num_nodes(), kept))
+                let kept = edges.iter().copied().filter(|_| !rng.bernoulli(*rate));
+                Arc::new(gcn_adjacency_filtered(n, kept))
             }
             Strategy::DropNode { rate } => {
-                let keep: Vec<bool> = (0..graph.num_nodes())
-                    .map(|_| !rng.bernoulli(*rate))
-                    .collect();
-                Arc::new(gcn_adjacency_with_node_mask(
-                    graph.num_nodes(),
-                    graph.edges(),
-                    &keep,
-                ))
+                let keep: Vec<bool> = (0..n).map(|_| !rng.bernoulli(*rate)).collect();
+                Arc::new(gcn_adjacency_with_node_mask(n, edges, &keep))
             }
             _ => Arc::clone(full),
         }
@@ -153,6 +192,11 @@ pub struct ForwardCtx<'a> {
     /// [`Graph::node_order`]). Skip masks are then sampled in logical
     /// order so reordered runs stay RNG-identical to unreordered ones.
     pub node_order: Option<&'a Reordering>,
+    /// Per-graph row ranges when this forward runs over a packed
+    /// multi-graph batch ([`skipnode_graph::GraphBatch`]). Skip masks are
+    /// then drawn per segment (see [`sample_skip_mask_segmented`]); `None`
+    /// means single-graph semantics.
+    pub segments: Option<&'a Arc<SegmentTable>>,
 }
 
 impl<'a> ForwardCtx<'a> {
@@ -176,6 +220,7 @@ impl<'a> ForwardCtx<'a> {
             fuse: true,
             tune: crate::autotune::active_profile(),
             node_order: None,
+            segments: None,
         }
     }
 
@@ -203,10 +248,11 @@ impl<'a> ForwardCtx<'a> {
         if conv_shape != prev_shape {
             return None;
         }
-        Some(sample_skip_mask(
+        Some(sample_skip_mask_segmented(
             cfg,
             self.degrees,
             self.node_order,
+            self.segments.map(Arc::as_ref),
             self.rng,
         ))
     }
@@ -222,14 +268,26 @@ impl<'a> ForwardCtx<'a> {
                 if tape.shape(h_act) != tape.shape(h_prev) {
                     return h_act;
                 }
-                let mask = sample_skip_mask(cfg, self.degrees, self.node_order, self.rng);
+                let mask = sample_skip_mask_segmented(
+                    cfg,
+                    self.degrees,
+                    self.node_order,
+                    self.segments.map(Arc::as_ref),
+                    self.rng,
+                );
                 tape.row_combine(h_act, h_prev, &mask)
             }
             Strategy::SkipNodeTrainEval(cfg) => {
                 if tape.shape(h_act) != tape.shape(h_prev) {
                     return h_act;
                 }
-                let mask = sample_skip_mask(cfg, self.degrees, self.node_order, self.rng);
+                let mask = sample_skip_mask_segmented(
+                    cfg,
+                    self.degrees,
+                    self.node_order,
+                    self.segments.map(Arc::as_ref),
+                    self.rng,
+                );
                 tape.row_combine(h_act, h_prev, &mask)
             }
             _ => h_act,

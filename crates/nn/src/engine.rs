@@ -7,13 +7,13 @@
 //! engine's [`EpochSampler`] callback so per-epoch skip masks are drawn
 //! with exactly the RNG consumption of the eager path.
 
-use crate::context::{sample_skip_mask, ForwardCtx, Strategy};
+use crate::context::{sample_skip_mask_segmented, ForwardCtx, Strategy};
 use crate::models::Model;
 use skipnode_autograd::{CompileError, EpochSampler, Tape, TrainProgram};
 use skipnode_core::SkipNodeConfig;
-use skipnode_graph::{Graph, Reordering};
+use skipnode_graph::{Graph, GraphBatch, Reordering};
 use skipnode_sparse::CsrMatrix;
-use skipnode_tensor::SplitRng;
+use skipnode_tensor::{Matrix, SegmentTable, SplitRng};
 use std::sync::Arc;
 
 /// Why a model could not be compiled for epoch replay.
@@ -73,6 +73,7 @@ pub struct StrategySampler<'a> {
     cfg: Option<&'a SkipNodeConfig>,
     degrees: &'a [usize],
     order: Option<&'a Reordering>,
+    segments: Option<&'a SegmentTable>,
 }
 
 impl<'a> StrategySampler<'a> {
@@ -86,6 +87,7 @@ impl<'a> StrategySampler<'a> {
             cfg,
             degrees,
             order: None,
+            segments: None,
         }
     }
 
@@ -96,6 +98,14 @@ impl<'a> StrategySampler<'a> {
         self.order = order;
         self
     }
+
+    /// Draw one independent mask per graph of a packed batch, matching the
+    /// segment-aware eager forward (see
+    /// [`crate::context::sample_skip_mask_segmented`]).
+    pub fn with_segments(mut self, segments: Option<&'a SegmentTable>) -> Self {
+        self.segments = segments;
+        self
+    }
 }
 
 impl EpochSampler for StrategySampler<'_> {
@@ -103,7 +113,13 @@ impl EpochSampler for StrategySampler<'_> {
         let cfg = self
             .cfg
             .expect("recorded tape has skip layers but the strategy samples no masks");
-        out.copy_from_slice(&sample_skip_mask(cfg, self.degrees, self.order, rng));
+        out.copy_from_slice(&sample_skip_mask_segmented(
+            cfg,
+            self.degrees,
+            self.order,
+            self.segments,
+            rng,
+        ));
     }
 }
 
@@ -123,6 +139,52 @@ pub fn compile_train_program(
     strategy: &Strategy,
     fuse: bool,
 ) -> Result<TrainProgram, EngineError> {
+    compile_probe(
+        model,
+        graph.features_arc(),
+        &graph.degrees(),
+        full_adj,
+        strategy,
+        fuse,
+        graph.node_order(),
+        None,
+    )
+}
+
+/// [`compile_train_program`] over a packed multi-graph batch: the probe
+/// forward runs with [`ForwardCtx::segments`] set, so segment-aware ops
+/// (per-graph skip masks, [`crate::plan::PlanOp::Readout`]) record into
+/// the compiled tape exactly as the eager batched forward plays them.
+pub fn compile_train_program_packed(
+    model: &dyn Model,
+    batch: &GraphBatch,
+    full_adj: &Arc<CsrMatrix>,
+    strategy: &Strategy,
+    fuse: bool,
+) -> Result<TrainProgram, EngineError> {
+    compile_probe(
+        model,
+        batch.features_arc(),
+        batch.degrees(),
+        full_adj,
+        strategy,
+        fuse,
+        None,
+        Some(batch.segments()),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn compile_probe(
+    model: &dyn Model,
+    features: Arc<Matrix>,
+    degrees: &[usize],
+    full_adj: &Arc<CsrMatrix>,
+    strategy: &Strategy,
+    fuse: bool,
+    node_order: Option<&Reordering>,
+    segments: Option<&Arc<SegmentTable>>,
+) -> Result<TrainProgram, EngineError> {
     if model.plan().is_none() {
         return Err(EngineError::NoPlan {
             model: model.name(),
@@ -131,12 +193,12 @@ pub fn compile_train_program(
     let mut tape = Tape::new();
     let binding = model.store().bind(&mut tape);
     let adj_id = tape.register_adj(Arc::clone(full_adj));
-    let x = tape.constant_shared(graph.features_arc());
-    let degrees = graph.degrees();
+    let x = tape.constant_shared(features);
     let mut probe_rng = SplitRng::new(0x5eed);
-    let mut ctx = ForwardCtx::new(adj_id, x, &degrees, strategy, true, &mut probe_rng);
+    let mut ctx = ForwardCtx::new(adj_id, x, degrees, strategy, true, &mut probe_rng);
     ctx.fuse = fuse;
-    ctx.node_order = graph.node_order();
+    ctx.node_order = node_order;
+    ctx.segments = segments;
     let heads = model.forward_heads(&mut tape, &binding, &mut ctx);
     TrainProgram::compile(tape, heads).map_err(|source| EngineError::Unsupported {
         model: model.name(),

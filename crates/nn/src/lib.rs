@@ -45,7 +45,9 @@ pub use checkpoint::{load_checkpoint, read_checkpoint, save_checkpoint, write_ch
 pub use context::{ForwardCtx, Strategy};
 pub use diagnostics::{DiagnosticsRecorder, EpochDiagnostics};
 pub use energy::dirichlet_energy;
-pub use engine::{compile_train_program, EngineError, StrategySampler};
+pub use engine::{
+    compile_train_program, compile_train_program_packed, EngineError, StrategySampler,
+};
 pub use linkpred::{train_link_predictor, LinkPredConfig, LinkPredResult};
 pub use metrics::{accuracy, hits_at_k, mean_average_distance};
 pub use minibatch::{
@@ -58,5 +60,6 @@ pub use param::{Binding, LayerInit, ParamId, ParamStore};
 pub use plan::{LayerPlan, PlanBuilder, PlanExecutor, PlanOp, PlanTuning, Reg};
 pub use schedule::{clip_global_norm, LrSchedule};
 pub use trainer::{
-    evaluate, evaluate_quantized, train_node_classifier, TrainConfig, TrainEngine, TrainResult,
+    evaluate, evaluate_packed, evaluate_quantized, train_graph_classifier, train_node_classifier,
+    train_packed_node_classifier, TrainConfig, TrainEngine, TrainResult,
 };

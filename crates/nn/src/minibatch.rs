@@ -380,8 +380,12 @@ fn shard_step(
         program.replay_forward();
         let heads = program.heads().to_vec();
         let logits: Vec<&Matrix> = heads.iter().map(|&h| program.value(h)).collect();
-        let (mean_loss, first_grad_norm, seeds) =
-            build_seeds(&logits, &sh.graph, &sh.local_split, model.consistency());
+        let (mean_loss, first_grad_norm, seeds) = build_seeds(
+            &logits,
+            sh.graph.labels(),
+            &sh.local_split,
+            model.consistency(),
+        );
         let param_grads = program.backward(heads.iter().zip(seeds).map(|(&h, s)| (h, s)).collect());
         (mean_loss, first_grad_norm, param_grads)
     } else {
@@ -396,8 +400,12 @@ fn shard_step(
         ctx.node_order = sh.graph.node_order();
         let heads = model.forward_heads(&mut tape, &binding, &mut ctx);
         let logits: Vec<&Matrix> = heads.iter().map(|&h| tape.value(h)).collect();
-        let (mean_loss, first_grad_norm, seeds) =
-            build_seeds(&logits, &sh.graph, &sh.local_split, model.consistency());
+        let (mean_loss, first_grad_norm, seeds) = build_seeds(
+            &logits,
+            sh.graph.labels(),
+            &sh.local_split,
+            model.consistency(),
+        );
         let grads = tape.backward_multi(heads.iter().zip(seeds).map(|(&h, s)| (h, s)).collect());
         let param_grads: Vec<Option<Matrix>> = {
             let mut grads = grads;
@@ -537,7 +545,8 @@ fn train_neighbor_sampled(
                 val: Vec::new(),
                 test: Vec::new(),
             };
-            let (_, _, seeds_g) = build_seeds(&logits, &sub, &local_split, model.consistency());
+            let (_, _, seeds_g) =
+                build_seeds(&logits, sub.labels(), &local_split, model.consistency());
             let grads =
                 tape.backward_multi(heads.iter().zip(seeds_g).map(|(&h, s)| (h, s)).collect());
             let mut param_grads: Vec<Option<Matrix>> = {

@@ -1,0 +1,229 @@
+//! Graph-level classifier: a GCN-family backbone over a packed
+//! multi-graph batch, a per-graph [`PlanOp::Readout`] pooling, and a dense
+//! classification head.
+//!
+//! The backbone layers are ordinary activated convolutions, so every
+//! plug-and-play strategy — SkipNode included — applies to them unchanged;
+//! the readout then collapses each graph's node embeddings to one row and
+//! the head maps it to graph-class logits (`num_graphs × C`). Plans from
+//! this model only execute against a segment-aware [`ForwardCtx`]
+//! (`ctx.segments` set from a [`skipnode_graph::GraphBatch`]).
+//!
+//! [`PlanOp::Readout`]: crate::plan::PlanOp::Readout
+//! [`ForwardCtx`]: crate::context::ForwardCtx
+
+use super::{BuildError, Model};
+use crate::param::{LayerInit, ParamId, ParamStore};
+use crate::plan::{LayerPlan, PlanBuilder};
+use skipnode_tensor::{ReadoutKind, SplitRng};
+
+/// Backbone wiring of a [`GraphClassifier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphBackbone {
+    /// Stacked convolutions (GCN).
+    Plain,
+    /// Stacked convolutions with identity skips on equal-width layers
+    /// (ResGCN).
+    Residual,
+    /// Jumping-knowledge concat across all layer outputs (JKNet).
+    Jk,
+}
+
+impl GraphBackbone {
+    /// Parse a node-backbone table name into its graph-level counterpart.
+    pub fn parse(name: &str) -> Result<Self, BuildError> {
+        match name {
+            "gcn" => Ok(Self::Plain),
+            "resgcn" => Ok(Self::Residual),
+            "jknet" => Ok(Self::Jk),
+            other => Err(BuildError::UnknownBackbone(other.to_string())),
+        }
+    }
+}
+
+/// GCN-family backbone + per-graph readout + dense head.
+pub struct GraphClassifier {
+    store: ParamStore,
+    weights: Vec<ParamId>,
+    biases: Vec<ParamId>,
+    head_w: ParamId,
+    head_b: ParamId,
+    dropout: f64,
+    readout: ReadoutKind,
+    backbone: GraphBackbone,
+    name: &'static str,
+}
+
+impl GraphClassifier {
+    /// Build a graph classifier with `depth ≥ 1` convolutions
+    /// (`in_dim → hidden → … → hidden`), a `readout` pooling, and a
+    /// `hidden → graph_classes` head (`hidden·depth` for JK concat).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        backbone: GraphBackbone,
+        in_dim: usize,
+        hidden: usize,
+        graph_classes: usize,
+        depth: usize,
+        dropout: f64,
+        readout: ReadoutKind,
+        rng: &mut SplitRng,
+    ) -> Self {
+        assert!(depth >= 1, "graph classifier needs at least 1 conv layer");
+        let mut store = ParamStore::new();
+        let mut weights = Vec::with_capacity(depth);
+        let mut biases = Vec::with_capacity(depth);
+        let mut init = LayerInit::new(&mut store, rng);
+        for l in 0..depth {
+            let fi = if l == 0 { in_dim } else { hidden };
+            let (w, b) = init.linear(format!("w{l}"), format!("b{l}"), fi, hidden);
+            weights.push(w);
+            biases.push(b);
+        }
+        let head_in = match backbone {
+            GraphBackbone::Jk => hidden * depth,
+            _ => hidden,
+        };
+        let (head_w, head_b) = init.linear("head_w", "head_b", head_in, graph_classes);
+        let name = match backbone {
+            GraphBackbone::Plain => "gcls-gcn",
+            GraphBackbone::Residual => "gcls-resgcn",
+            GraphBackbone::Jk => "gcls-jknet",
+        };
+        Self {
+            store,
+            weights,
+            biases,
+            head_w,
+            head_b,
+            dropout,
+            readout,
+            backbone,
+            name,
+        }
+    }
+
+    /// Number of convolutional layers.
+    pub fn depth(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The readout kind pooling node embeddings per graph.
+    pub fn readout_kind(&self) -> ReadoutKind {
+        self.readout
+    }
+}
+
+impl Model for GraphClassifier {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn plan(&self) -> Option<LayerPlan> {
+        let mut b = PlanBuilder::new();
+        let mut h = PlanBuilder::input();
+        let mut layer_outs = Vec::with_capacity(self.depth());
+        for l in 0..self.depth() {
+            let h_in = b.dropout(h, self.dropout);
+            h = match self.backbone {
+                GraphBackbone::Residual => {
+                    // Identity skip after the ReLU; shape-gated by the
+                    // executor exactly as in node-level ResGCN.
+                    b.activated_conv_residual(h_in, h, self.weights[l], self.biases[l], h)
+                }
+                _ => b.activated_conv(h_in, h, self.weights[l], self.biases[l]),
+            };
+            layer_outs.push(h);
+        }
+        if self.backbone == GraphBackbone::Jk {
+            h = b.aggregate(layer_outs, super::JkAggregate::Concat);
+        }
+        b.penultimate(h);
+        let pooled = b.readout(h, self.readout);
+        let drop = b.dropout(pooled, self.dropout);
+        let out = b.dense(drop, self.head_w, self.head_b);
+        Some(b.finish(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{ForwardCtx, Strategy};
+    use skipnode_autograd::Tape;
+    use skipnode_core::{Sampling, SkipNodeConfig};
+    use skipnode_graph::{graph_classification_dataset, GraphBatch, GraphClassConfig};
+    use skipnode_tensor::Matrix;
+
+    fn forward_logits(backbone: GraphBackbone, strategy: &Strategy, train: bool) -> Matrix {
+        let set = graph_classification_dataset(
+            &GraphClassConfig {
+                graphs: 12,
+                ..GraphClassConfig::default()
+            },
+            &mut SplitRng::new(5),
+        );
+        let refs: Vec<&skipnode_graph::Graph> = set.graphs.iter().collect();
+        let batch = GraphBatch::pack(&refs, &set.labels, set.num_classes);
+        let mut rng = SplitRng::new(1);
+        let model = GraphClassifier::new(
+            backbone,
+            batch.features_arc().cols(),
+            16,
+            batch.graph_classes(),
+            3,
+            0.2,
+            ReadoutKind::Mean,
+            &mut rng,
+        );
+        let mut tape = Tape::new();
+        let binding = model.store().bind(&mut tape);
+        let adj = tape.register_adj(batch.gcn_adjacency());
+        let x = tape.constant_shared(batch.features_arc());
+        let degrees: Vec<usize> = batch.degrees().to_vec();
+        let mut fwd_rng = rng.split();
+        let mut ctx = ForwardCtx::new(adj, x, &degrees, strategy, train, &mut fwd_rng);
+        let seg = std::sync::Arc::clone(batch.segments());
+        ctx.segments = Some(&seg);
+        let out = model.forward(&mut tape, &binding, &mut ctx);
+        tape.value(out).clone()
+    }
+
+    #[test]
+    fn logits_are_one_row_per_graph() {
+        for backbone in [
+            GraphBackbone::Plain,
+            GraphBackbone::Residual,
+            GraphBackbone::Jk,
+        ] {
+            let logits = forward_logits(backbone, &Strategy::None, false);
+            assert_eq!(logits.shape(), (12, 3));
+            assert!(logits.all_finite());
+        }
+    }
+
+    #[test]
+    fn skipnode_applies_at_train_time_only() {
+        let s = Strategy::SkipNode(SkipNodeConfig::new(0.5, Sampling::Uniform));
+        let eval_a = forward_logits(GraphBackbone::Plain, &s, false);
+        let eval_b = forward_logits(GraphBackbone::Plain, &Strategy::None, false);
+        assert_eq!(eval_a, eval_b);
+        let train_a = forward_logits(GraphBackbone::Plain, &s, true);
+        assert_ne!(train_a, eval_a);
+    }
+
+    #[test]
+    fn backbone_names_parse() {
+        assert_eq!(GraphBackbone::parse("gcn").unwrap(), GraphBackbone::Plain);
+        assert_eq!(GraphBackbone::parse("jknet").unwrap(), GraphBackbone::Jk);
+        assert!(GraphBackbone::parse("nope").is_err());
+    }
+}

@@ -19,6 +19,7 @@ mod gcn;
 mod gcnii;
 mod gprgnn;
 mod grand;
+mod graphcls;
 mod inceptgcn;
 mod jknet;
 mod sgc;
@@ -29,6 +30,7 @@ pub use gcn::Gcn;
 pub use gcnii::Gcnii;
 pub use gprgnn::GprGnn;
 pub use grand::Grand;
+pub use graphcls::{GraphBackbone, GraphClassifier};
 pub use inceptgcn::InceptGcn;
 pub use jknet::{JkAggregate, JkNet};
 pub use sgc::Sgc;

@@ -44,6 +44,7 @@ use crate::param::{Binding, ParamId};
 use skipnode_autograd::{FusedStep, NodeId, Tape};
 use skipnode_sparse::SpmmSchedule;
 use skipnode_tensor::simd::{self, GemmTile};
+use skipnode_tensor::ReadoutKind;
 
 /// A virtual register in a [`LayerPlan`]. `Reg(0)` is the input feature
 /// matrix; op `k` defines `Reg(k + 1)`.
@@ -159,6 +160,17 @@ pub enum PlanOp {
     Penultimate {
         /// The representation before the classification layer.
         src: Reg,
+    },
+    /// Per-graph pooling over a packed multi-graph batch: reduce each
+    /// segment of `src`'s rows (one segment per graph, from
+    /// [`ForwardCtx::segments`]) to a single row. Turns `total_nodes × d`
+    /// node embeddings into `num_graphs × d` graph embeddings — the bridge
+    /// from node-level convolution to graph-level classification.
+    Readout {
+        /// Input register (node embeddings).
+        src: Reg,
+        /// Reduction applied within each segment.
+        kind: ReadoutKind,
     },
 }
 
@@ -335,6 +347,11 @@ impl PlanBuilder {
         self.push(PlanOp::Penultimate { src })
     }
 
+    /// Append a [`PlanOp::Readout`].
+    pub fn readout(&mut self, src: Reg, kind: ReadoutKind) -> Reg {
+        self.push(PlanOp::Readout { src, kind })
+    }
+
     /// Seal the plan with its output register.
     pub fn finish(self, output: Reg) -> LayerPlan {
         LayerPlan {
@@ -462,6 +479,12 @@ fn exec_op(
             let node = r(*src);
             ctx.penultimate = Some(node);
             node
+        }
+        PlanOp::Readout { src, kind } => {
+            let seg = ctx
+                .segments
+                .expect("PlanOp::Readout requires a segment-aware ForwardCtx (packed batch)");
+            tape.readout(r(*src), *kind, seg)
         }
     }
 }

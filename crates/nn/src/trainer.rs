@@ -1,17 +1,19 @@
-//! The node-classification training harness.
+//! The classification training harness: node-level (single graph or
+//! packed batch) and graph-level (packed batch + readout head) share one
+//! core loop over a [`TrainData`] view.
 
 use crate::context::{ForwardCtx, Strategy};
 use crate::diagnostics::{DiagnosticsRecorder, EpochDiagnostics};
-use crate::engine::{compile_train_program, EngineError, StrategySampler};
+use crate::engine::{compile_probe, EngineError, StrategySampler};
 use crate::metrics::{accuracy, mean_average_distance};
 use crate::models::{Consistency, Model};
 use crate::optim::{Adam, AdamConfig};
 use crate::schedule::{clip_global_norm, LrSchedule};
 use skipnode_autograd::{softmax_cross_entropy, Tape, TrainProgram};
-use skipnode_graph::{Graph, Split};
+use skipnode_graph::{Graph, GraphBatch, Reordering, Split};
 use skipnode_sparse::CsrMatrix;
 use skipnode_tensor::precision::{self, Storage};
-use skipnode_tensor::{workspace, Matrix, SplitRng};
+use skipnode_tensor::{workspace, Matrix, SegmentTable, SplitRng};
 use std::sync::Arc;
 
 /// Which executor drives the per-epoch training step.
@@ -113,6 +115,50 @@ impl Drop for PrecisionGuard {
     }
 }
 
+/// Everything the core training loop needs from its data source, borrowed
+/// from either a single [`Graph`] or a packed [`GraphBatch`]. `labels` and
+/// the split index the *rows of the model's logits* — nodes for node
+/// classification, graphs for graph classification (where the plan ends in
+/// a readout) — so one loop serves both protocols.
+pub(crate) struct TrainData<'a> {
+    pub features: Arc<Matrix>,
+    pub degrees: Vec<usize>,
+    pub labels: &'a [usize],
+    pub full_adj: Arc<CsrMatrix>,
+    pub edges: &'a [(usize, usize)],
+    pub n: usize,
+    pub node_order: Option<&'a Reordering>,
+    pub segments: Option<&'a Arc<SegmentTable>>,
+}
+
+impl<'a> TrainData<'a> {
+    fn from_graph(graph: &'a Graph) -> Self {
+        Self {
+            features: graph.features_arc(),
+            degrees: graph.degrees(),
+            labels: graph.labels(),
+            full_adj: graph.gcn_adjacency(),
+            edges: graph.edges(),
+            n: graph.num_nodes(),
+            node_order: graph.node_order(),
+            segments: None,
+        }
+    }
+
+    fn from_batch(batch: &'a GraphBatch, labels: &'a [usize]) -> Self {
+        Self {
+            features: batch.features_arc(),
+            degrees: batch.degrees().to_vec(),
+            labels,
+            full_adj: batch.gcn_adjacency(),
+            edges: batch.edges(),
+            n: batch.num_nodes(),
+            node_order: None,
+            segments: Some(batch.segments()),
+        }
+    }
+}
+
 /// Outcome of a training run.
 #[derive(Debug, Clone)]
 pub struct TrainResult {
@@ -144,7 +190,22 @@ pub fn evaluate(
     strategy: &Strategy,
     rng: &mut SplitRng,
 ) -> (Matrix, Option<Matrix>) {
-    evaluate_with(Tape::inference(), model, graph, full_adj, strategy, rng)
+    let mut data = TrainData::from_graph(graph);
+    data.full_adj = Arc::clone(full_adj);
+    evaluate_data(Tape::inference(), model, &data, strategy, rng)
+}
+
+/// [`evaluate`] over a packed multi-graph batch: the forward runs with
+/// segment-aware semantics, so readout plans return `num_graphs × C`
+/// graph logits (node-level plans return packed node logits).
+pub fn evaluate_packed(
+    model: &dyn Model,
+    batch: &GraphBatch,
+    strategy: &Strategy,
+    rng: &mut SplitRng,
+) -> (Matrix, Option<Matrix>) {
+    let data = TrainData::from_batch(batch, batch.node_labels());
+    evaluate_data(Tape::inference(), model, &data, strategy, rng)
 }
 
 /// [`evaluate`] on the int8 inference tape: leaf weight matrices are
@@ -159,30 +220,24 @@ pub fn evaluate_quantized(
     strategy: &Strategy,
     rng: &mut SplitRng,
 ) -> (Matrix, Option<Matrix>) {
-    evaluate_with(
-        Tape::inference_quantized(),
-        model,
-        graph,
-        full_adj,
-        strategy,
-        rng,
-    )
+    let mut data = TrainData::from_graph(graph);
+    data.full_adj = Arc::clone(full_adj);
+    evaluate_data(Tape::inference_quantized(), model, &data, strategy, rng)
 }
 
-fn evaluate_with(
+fn evaluate_data(
     mut tape: Tape,
     model: &dyn Model,
-    graph: &Graph,
-    full_adj: &Arc<CsrMatrix>,
+    data: &TrainData<'_>,
     strategy: &Strategy,
     rng: &mut SplitRng,
 ) -> (Matrix, Option<Matrix>) {
     let binding = model.store().bind(&mut tape);
-    let adj = tape.register_adj(Arc::clone(full_adj));
-    let x = tape.constant_shared(graph.features_arc());
-    let degrees = graph.degrees();
-    let mut ctx = ForwardCtx::new(adj, x, &degrees, strategy, false, rng);
-    ctx.node_order = graph.node_order();
+    let adj = tape.register_adj(Arc::clone(&data.full_adj));
+    let x = tape.constant_shared(Arc::clone(&data.features));
+    let mut ctx = ForwardCtx::new(adj, x, &data.degrees, strategy, false, rng);
+    ctx.node_order = data.node_order;
+    ctx.segments = data.segments;
     let out = model.forward(&mut tape, &binding, &mut ctx);
     let mut keep = vec![out];
     if let Some(p) = ctx.penultimate {
@@ -212,9 +267,58 @@ pub fn train_node_classifier(
     rng: &mut SplitRng,
 ) -> TrainResult {
     split.validate(graph.num_nodes());
+    let data = TrainData::from_graph(graph);
+    train_classifier_core(model, &data, split, strategy, cfg, rng, Some(graph))
+}
+
+/// Train a *node* classifier over a packed multi-graph batch: the split
+/// indexes packed node rows and the loss is the usual per-node softmax
+/// cross-entropy. A 1-graph batch is byte-identical to
+/// [`train_node_classifier`] on that graph (same losses, gradients, RNG
+/// stream, and final parameters) — `tests/packed_identity.rs` pins it.
+pub fn train_packed_node_classifier(
+    model: &mut dyn Model,
+    batch: &GraphBatch,
+    split: &Split,
+    strategy: &Strategy,
+    cfg: &TrainConfig,
+    rng: &mut SplitRng,
+) -> TrainResult {
+    split.validate(batch.num_nodes());
+    let data = TrainData::from_batch(batch, batch.node_labels());
+    train_classifier_core(model, &data, split, strategy, cfg, rng, None)
+}
+
+/// Train a *graph* classifier over a packed batch: the model's plan must
+/// end in a [`crate::plan::PlanOp::Readout`] (e.g.
+/// [`crate::models::GraphClassifier`]) so logits are `num_graphs × C`;
+/// the split indexes graphs and the loss is batched cross-entropy over
+/// the train graphs' rows.
+pub fn train_graph_classifier(
+    model: &mut dyn Model,
+    batch: &GraphBatch,
+    split: &Split,
+    strategy: &Strategy,
+    cfg: &TrainConfig,
+    rng: &mut SplitRng,
+) -> TrainResult {
+    split.validate(batch.num_graphs());
+    let data = TrainData::from_batch(batch, batch.graph_labels());
+    train_classifier_core(model, &data, split, strategy, cfg, rng, None)
+}
+
+fn train_classifier_core(
+    model: &mut dyn Model,
+    data: &TrainData<'_>,
+    split: &Split,
+    strategy: &Strategy,
+    cfg: &TrainConfig,
+    rng: &mut SplitRng,
+    diag_graph: Option<&Graph>,
+) -> TrainResult {
     let _precision = PrecisionGuard::install(cfg.precision);
-    let full_adj = graph.gcn_adjacency();
-    let degrees = graph.degrees();
+    let full_adj = Arc::clone(&data.full_adj);
+    let degrees = &data.degrees;
     if crate::autotune::enabled(cfg.tune) {
         // One cached timing pass per problem shape; every installed choice
         // is bit-neutral, so tuned and untuned runs produce identical
@@ -224,7 +328,7 @@ pub fn train_node_classifier(
             .values()
             .map(|m| m.cols())
             .max()
-            .unwrap_or_else(|| graph.feature_dim());
+            .unwrap_or_else(|| data.features.cols());
         let rate = match strategy {
             Strategy::SkipNode(c) | Strategy::SkipNodeTrainEval(c) => c.rate(),
             _ => 0.0,
@@ -232,7 +336,9 @@ pub fn train_node_classifier(
         let profile = crate::autotune::profile_for(&full_adj, f, rate);
         crate::autotune::apply(&profile, &full_adj);
     }
-    let adj_list = (cfg.record_mad || cfg.diagnostics_every > 0).then(|| graph.adjacency_list());
+    let adj_list = (cfg.record_mad || cfg.diagnostics_every > 0)
+        .then(|| diag_graph.map(|g| g.adjacency_list()))
+        .flatten();
     let mut opt = Adam::new(model.store(), cfg.adam);
     let mut recorder = DiagnosticsRecorder::new(cfg.diagnostics_every);
 
@@ -240,19 +346,26 @@ pub fn train_node_classifier(
     // epoch-resident schedule every training step replays. Only a model
     // that advertises *no* plan (GAT) falls back to eager; a plan that
     // fails to compile is a bug we refuse to paper over.
+    let compile = |model: &dyn Model| {
+        compile_probe(
+            model,
+            Arc::clone(&data.features),
+            degrees,
+            &full_adj,
+            strategy,
+            cfg.fuse,
+            data.node_order,
+            data.segments,
+        )
+    };
     let mut program: Option<TrainProgram> = match cfg.engine {
         TrainEngine::Eager => None,
-        TrainEngine::Compiled => Some(
-            compile_train_program(model, graph, &full_adj, strategy, cfg.fuse)
-                .unwrap_or_else(|e| panic!("{e}")),
-        ),
-        TrainEngine::Auto => {
-            match compile_train_program(model, graph, &full_adj, strategy, cfg.fuse) {
-                Ok(p) => Some(p),
-                Err(EngineError::NoPlan { .. }) => None,
-                Err(e) => panic!("{e}"),
-            }
-        }
+        TrainEngine::Compiled => Some(compile(model).unwrap_or_else(|e| panic!("{e}"))),
+        TrainEngine::Auto => match compile(model) {
+            Ok(p) => Some(p),
+            Err(EngineError::NoPlan { .. }) => None,
+            Err(e) => panic!("{e}"),
+        },
     };
     if let Some(p) = program.as_mut() {
         p.enable_checkpointing(cfg.checkpoint_segments);
@@ -272,20 +385,21 @@ pub fn train_node_classifier(
         // Both branches consume `rng` identically (epoch adjacency, then
         // one split for the forward) and produce identical losses, seeds,
         // and parameter gradients — the engine-identity tests pin it.
-        let adj = strategy.epoch_adjacency(graph, &full_adj, true, rng);
+        let adj = strategy.epoch_adjacency_edges(data.n, data.edges, &full_adj, true, rng);
         let (mean_loss, first_grad_norm, mut param_grads) = if let Some(program) = program.as_mut()
         {
             program.set_adjacency(adj);
             program.load_params(model.store().values());
             let mut fwd_rng = rng.split();
-            let mut sampler =
-                StrategySampler::new(strategy, &degrees).with_order(graph.node_order());
+            let mut sampler = StrategySampler::new(strategy, degrees)
+                .with_order(data.node_order)
+                .with_segments(data.segments.map(Arc::as_ref));
             program.begin_epoch(&mut sampler, &mut fwd_rng);
             program.replay_forward();
             let heads = program.heads().to_vec();
             let logits: Vec<&Matrix> = heads.iter().map(|&h| program.value(h)).collect();
             let (mean_loss, first_grad_norm, seeds) =
-                build_seeds(&logits, graph, split, model.consistency());
+                build_seeds(&logits, data.labels, split, model.consistency());
             let param_grads =
                 program.backward(heads.iter().zip(seeds).map(|(&h, s)| (h, s)).collect());
             (mean_loss, first_grad_norm, param_grads)
@@ -293,15 +407,16 @@ pub fn train_node_classifier(
             let mut tape = Tape::new();
             let binding = model.store().bind(&mut tape);
             let adj_id = tape.register_adj(adj);
-            let x = tape.constant_shared(graph.features_arc());
+            let x = tape.constant_shared(Arc::clone(&data.features));
             let mut fwd_rng = rng.split();
-            let mut ctx = ForwardCtx::new(adj_id, x, &degrees, strategy, true, &mut fwd_rng);
+            let mut ctx = ForwardCtx::new(adj_id, x, degrees, strategy, true, &mut fwd_rng);
             ctx.fuse = cfg.fuse;
-            ctx.node_order = graph.node_order();
+            ctx.node_order = data.node_order;
+            ctx.segments = data.segments;
             let heads = model.forward_heads(&mut tape, &binding, &mut ctx);
             let logits: Vec<&Matrix> = heads.iter().map(|&h| tape.value(h)).collect();
             let (mean_loss, first_grad_norm, seeds) =
-                build_seeds(&logits, graph, split, model.consistency());
+                build_seeds(&logits, data.labels, split, model.consistency());
             let grads =
                 tape.backward_multi(heads.iter().zip(seeds).map(|(&h, s)| (h, s)).collect());
             let param_grads: Vec<Option<Matrix>> = {
@@ -326,16 +441,17 @@ pub fn train_node_classifier(
         let wants_diag = recorder.wants(epoch);
         if should_eval || wants_diag {
             let mut eval_rng = rng.split();
-            let (logits, penultimate) = evaluate(model, graph, &full_adj, strategy, &mut eval_rng);
+            let (logits, penultimate) =
+                evaluate_data(Tape::inference(), model, data, strategy, &mut eval_rng);
             let val_acc = if split.val.is_empty() {
-                accuracy(&logits, graph.labels(), &split.train)
+                accuracy(&logits, data.labels, &split.train)
             } else {
-                accuracy(&logits, graph.labels(), &split.val)
+                accuracy(&logits, data.labels, &split.val)
             };
             let test_acc = if split.test.is_empty() {
                 val_acc
             } else {
-                accuracy(&logits, graph.labels(), &split.test)
+                accuracy(&logits, data.labels, &split.test)
             };
             let mad = match (&adj_list, &penultimate) {
                 (Some(al), Some(p)) if cfg.record_mad || wants_diag => {
@@ -397,7 +513,7 @@ pub fn train_node_classifier(
 /// 1-shard run bit-identical to this one.
 pub(crate) fn build_seeds(
     logits: &[&Matrix],
-    graph: &Graph,
+    labels: &[usize],
     split: &Split,
     consistency: Option<Consistency>,
 ) -> (f64, f64, Vec<Matrix>) {
@@ -407,7 +523,7 @@ pub(crate) fn build_seeds(
     let mut first_grad_norm = 0.0f64;
     let mut head_probs = Vec::with_capacity(s);
     for (hi, logit) in logits.iter().enumerate() {
-        let out = softmax_cross_entropy(logit, graph.labels(), &split.train);
+        let out = softmax_cross_entropy(logit, labels, &split.train);
         mean_loss += out.loss / s as f64;
         if hi == 0 {
             first_grad_norm = skipnode_tensor::frobenius_norm(&out.grad);

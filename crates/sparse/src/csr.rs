@@ -234,6 +234,33 @@ impl CsrMatrix {
         }
     }
 
+    /// True when every stored entry stays inside the diagonal block given
+    /// by `offsets` (segment boundaries: `offsets[s]..offsets[s+1]` is
+    /// block `s`, with `offsets[0] == 0` and the last offset == `rows`).
+    ///
+    /// A packed multi-graph adjacency must satisfy this — an SpMM over a
+    /// block-diagonal matrix then provably never mixes rows of different
+    /// graphs, which is what makes packed execution equivalent to a
+    /// per-graph loop.
+    pub fn is_block_diagonal(&self, offsets: &[usize]) -> bool {
+        if offsets.first() != Some(&0) || offsets.last() != Some(&self.rows) {
+            return false;
+        }
+        for s in 0..offsets.len() - 1 {
+            let (lo, hi) = (offsets[s], offsets[s + 1]);
+            for r in lo..hi {
+                let (cols, _) = self.row(r);
+                if cols
+                    .iter()
+                    .any(|&c| (c as usize) < lo || (c as usize) >= hi)
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
     /// Dense copy (test/debug helper; avoid on large matrices).
     pub fn to_dense(&self) -> Matrix {
         let mut m = Matrix::zeros(self.rows, self.cols);

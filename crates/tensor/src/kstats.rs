@@ -49,10 +49,12 @@ pub enum Kernel {
     QuantI8,
     /// int8 GEMM with i32 accumulation (work = output rows).
     GemmI8,
+    /// Segmented (per-graph) pooling reductions (work = input elements).
+    SegReduce,
 }
 
 /// Number of tracked kernel families.
-pub const KERNEL_COUNT: usize = 14;
+pub const KERNEL_COUNT: usize = 15;
 
 const NAMES: [&str; KERNEL_COUNT] = [
     "gemm",
@@ -69,6 +71,7 @@ const NAMES: [&str; KERNEL_COUNT] = [
     "widen_bf16",
     "quant_i8",
     "gemm_i8",
+    "seg_reduce",
 ];
 
 static CALLS: [AtomicU64; KERNEL_COUNT] = [const { AtomicU64::new(0) }; KERNEL_COUNT];

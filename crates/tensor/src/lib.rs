@@ -37,6 +37,7 @@ pub mod precision;
 pub mod quant;
 mod reduce;
 mod rng;
+pub mod segment;
 pub mod simd;
 pub mod workspace;
 
@@ -45,3 +46,4 @@ pub use linalg::{max_singular_value, power_iteration, PowerIterOptions};
 pub use matrix::Matrix;
 pub use reduce::{cosine_distance_rows, frobenius_norm, l2_norm_sq, row_softmax_in_place};
 pub use rng::{normal_f32, uniform_f32, SplitRng};
+pub use segment::{ReadoutKind, SegmentTable};

@@ -1,0 +1,446 @@
+//! Segment table and segmented (per-graph) reduction kernels.
+//!
+//! A packed multi-graph batch stacks the node features of `g` graphs into
+//! one tall matrix; the [`SegmentTable`] records where each graph's
+//! contiguous node range lives. The reduction kernels here pool each
+//! segment's rows into one output row (graph readout): mean, sum, or
+//! column-wise max with an argmax record for the backward pass.
+//!
+//! Determinism contract: every kernel accumulates per output column in
+//! **row order within the segment**, independently per column. Additions
+//! per output element are therefore the same sequence whatever the vector
+//! width, so the SIMD-dispatched paths are bit-identical to the scalar
+//! reference — pinned by the `scalar_parity_*` tests below, and by the
+//! `SKIPNODE_SIMD=off` CI leg.
+//!
+//! Empty segments (a zero-node graph in a batch) pool to a zero row; max
+//! pooling records [`SEG_NO_ARGMAX`] for every column of that row and its
+//! backward scatters nothing.
+
+use crate::kstats::{self, Kernel};
+use crate::matrix::Matrix;
+use crate::simd;
+use std::ops::Range;
+
+/// Argmax sentinel for columns of an empty segment: no input row was
+/// pooled, so the max-pool backward has nothing to scatter to.
+pub const SEG_NO_ARGMAX: u32 = u32::MAX;
+
+/// Per-graph node ranges of a packed batch.
+///
+/// Stored as `g + 1` monotone offsets with `offsets[0] == 0`; segment `s`
+/// owns rows `offsets[s]..offsets[s + 1]`. Segments are contiguous and
+/// ordered, which is what makes per-segment RNG draws in segment order
+/// equal to one draw over all rows in row order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentTable {
+    offsets: Vec<usize>,
+}
+
+impl SegmentTable {
+    /// Build from explicit offsets (`offsets[0] == 0`, monotone
+    /// non-decreasing; equal neighbors denote an empty segment).
+    pub fn from_offsets(offsets: Vec<usize>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must hold at least [0]");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be monotone non-decreasing"
+        );
+        Self { offsets }
+    }
+
+    /// Build from per-segment lengths.
+    pub fn from_lens(lens: &[usize]) -> Self {
+        let mut offsets = Vec::with_capacity(lens.len() + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &l in lens {
+            acc += l;
+            offsets.push(acc);
+        }
+        Self { offsets }
+    }
+
+    /// The degenerate 1-segment table covering `n` rows — the shape every
+    /// single-graph code path implicitly assumes.
+    pub fn single(n: usize) -> Self {
+        Self {
+            offsets: vec![0, n],
+        }
+    }
+
+    /// Number of segments (graphs).
+    pub fn num_segments(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total rows covered (`offsets.last()`).
+    pub fn total_rows(&self) -> usize {
+        *self.offsets.last().expect("non-empty offsets")
+    }
+
+    /// Row range of segment `s`.
+    pub fn range(&self, s: usize) -> Range<usize> {
+        self.offsets[s]..self.offsets[s + 1]
+    }
+
+    /// Number of rows in segment `s`.
+    pub fn len(&self, s: usize) -> usize {
+        self.offsets[s + 1] - self.offsets[s]
+    }
+
+    /// The raw offset array (`num_segments() + 1` entries).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+}
+
+/// Pooling flavor of a graph readout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadoutKind {
+    /// Per-column mean over the segment's rows (empty segment → zeros).
+    Mean,
+    /// Per-column sum over the segment's rows.
+    Sum,
+    /// Per-column max with argmax record (empty segment → zeros).
+    Max,
+}
+
+impl ReadoutKind {
+    /// Stable lowercase name (CLI flags, bench labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            ReadoutKind::Mean => "mean",
+            ReadoutKind::Sum => "sum",
+            ReadoutKind::Max => "max",
+        }
+    }
+
+    /// Parse a CLI-style name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "mean" => Some(ReadoutKind::Mean),
+            "sum" => Some(ReadoutKind::Sum),
+            "max" => Some(ReadoutKind::Max),
+            _ => None,
+        }
+    }
+}
+
+fn check_shapes(x: &Matrix, seg: &SegmentTable, out: &Matrix) {
+    assert_eq!(
+        x.rows(),
+        seg.total_rows(),
+        "segment table covers input rows"
+    );
+    assert_eq!(out.rows(), seg.num_segments(), "one output row per segment");
+    assert_eq!(out.cols(), x.cols(), "pooling preserves width");
+}
+
+/// `out[s] = Σ_{r ∈ seg s} x[r]`, accumulated in row order per segment.
+pub fn segment_sum_into(x: &Matrix, seg: &SegmentTable, out: &mut Matrix) {
+    check_shapes(x, seg, out);
+    let isa = simd::active();
+    kstats::record(Kernel::SegReduce, x.len());
+    for s in 0..seg.num_segments() {
+        let o = out.row_mut(s);
+        o.fill(0.0);
+        for r in seg.range(s) {
+            simd::add_scaled(isa, o, x.row(r), 1.0);
+        }
+    }
+}
+
+/// `out[s] = mean_{r ∈ seg s} x[r]` (empty segment → zero row). The sum
+/// runs exactly as [`segment_sum_into`], then one multiply by `1/len` —
+/// same operation order at every vector width.
+pub fn segment_mean_into(x: &Matrix, seg: &SegmentTable, out: &mut Matrix) {
+    segment_sum_into(x, seg, out);
+    for s in 0..seg.num_segments() {
+        let n = seg.len(s);
+        if n > 1 {
+            let inv = 1.0 / n as f32;
+            for v in out.row_mut(s) {
+                *v *= inv;
+            }
+        }
+    }
+}
+
+/// `out[s][c] = max_{r ∈ seg s} x[r][c]`, with `argmax[s*d + c]` the
+/// **first** row attaining the max (strict `>` comparison in row order —
+/// deterministic under ties). Empty segments produce a zero row and
+/// [`SEG_NO_ARGMAX`] entries. `argmax` is resized to `g * d`.
+pub fn segment_max_into(x: &Matrix, seg: &SegmentTable, out: &mut Matrix, argmax: &mut Vec<u32>) {
+    check_shapes(x, seg, out);
+    let d = x.cols();
+    kstats::record(Kernel::SegReduce, x.len());
+    argmax.clear();
+    argmax.resize(seg.num_segments() * d, SEG_NO_ARGMAX);
+    for s in 0..seg.num_segments() {
+        let range = seg.range(s);
+        let o = out.row_mut(s);
+        if range.is_empty() {
+            o.fill(0.0);
+            continue;
+        }
+        let am = &mut argmax[s * d..(s + 1) * d];
+        o.copy_from_slice(x.row(range.start));
+        am.fill(range.start as u32);
+        for r in range.start + 1..range.end {
+            let xr = x.row(r);
+            // Per-column compare+select: lane-parallel, no cross-column
+            // dependence, so auto-vectorization cannot change the result.
+            for c in 0..d {
+                if xr[c] > o[c] {
+                    o[c] = xr[c];
+                    am[c] = r as u32;
+                }
+            }
+        }
+    }
+}
+
+/// Forward dispatch over [`ReadoutKind`]. `argmax` is filled only for
+/// `Max` (cleared otherwise).
+pub fn segment_reduce_into(
+    x: &Matrix,
+    seg: &SegmentTable,
+    kind: ReadoutKind,
+    out: &mut Matrix,
+    argmax: &mut Vec<u32>,
+) {
+    match kind {
+        ReadoutKind::Mean => {
+            argmax.clear();
+            segment_mean_into(x, seg, out);
+        }
+        ReadoutKind::Sum => {
+            argmax.clear();
+            segment_sum_into(x, seg, out);
+        }
+        ReadoutKind::Max => segment_max_into(x, seg, out, argmax),
+    }
+}
+
+/// Backward of the segmented reduction: **accumulates** `∂L/∂x` into `dx`
+/// given `∂L/∂out`. Mean scatters `dout[s]/len(s)` to every row of the
+/// segment, sum scatters `dout[s]`, max routes `dout[s][c]` to the
+/// recorded argmax row (sentinel entries scatter nothing).
+pub fn segment_reduce_backward_into(
+    dout: &Matrix,
+    seg: &SegmentTable,
+    kind: ReadoutKind,
+    argmax: &[u32],
+    dx: &mut Matrix,
+) {
+    assert_eq!(dout.rows(), seg.num_segments(), "one grad row per segment");
+    assert_eq!(dx.rows(), seg.total_rows(), "segment table covers dx rows");
+    assert_eq!(dx.cols(), dout.cols(), "pooling preserves width");
+    let isa = simd::active();
+    kstats::record(Kernel::SegReduce, dx.len());
+    match kind {
+        ReadoutKind::Mean | ReadoutKind::Sum => {
+            for s in 0..seg.num_segments() {
+                let n = seg.len(s);
+                if n == 0 {
+                    continue;
+                }
+                let alpha = match kind {
+                    ReadoutKind::Mean => 1.0 / n as f32,
+                    _ => 1.0,
+                };
+                let g = dout.row(s);
+                for r in seg.range(s) {
+                    simd::add_scaled(isa, dx.row_mut(r), g, alpha);
+                }
+            }
+        }
+        ReadoutKind::Max => {
+            let d = dout.cols();
+            assert_eq!(argmax.len(), seg.num_segments() * d, "argmax record");
+            for s in 0..seg.num_segments() {
+                let g = dout.row(s);
+                let am = &argmax[s * d..(s + 1) * d];
+                for c in 0..d {
+                    if am[c] != SEG_NO_ARGMAX {
+                        let r = am[c] as usize;
+                        dx.row_mut(r)[c] += g[c];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitRng;
+    use crate::simd::{force, Isa};
+
+    fn sample(rows: usize, cols: usize, seed: u64) -> Matrix {
+        SplitRng::new(seed).uniform_matrix(rows, cols, -2.0, 2.0)
+    }
+
+    /// Naive per-element reference, written without any shared kernels.
+    fn reference(x: &Matrix, seg: &SegmentTable, kind: ReadoutKind) -> (Matrix, Vec<u32>) {
+        let d = x.cols();
+        let g = seg.num_segments();
+        let mut out = Matrix::zeros(g, d);
+        let mut argmax = vec![SEG_NO_ARGMAX; g * d];
+        for s in 0..g {
+            for c in 0..d {
+                let mut acc = 0.0f32;
+                let mut best = f32::NEG_INFINITY;
+                let mut best_r = SEG_NO_ARGMAX;
+                for r in seg.range(s) {
+                    acc += x.get(r, c);
+                    if x.get(r, c) > best {
+                        best = x.get(r, c);
+                        best_r = r as u32;
+                    }
+                }
+                let v = match kind {
+                    ReadoutKind::Sum => acc,
+                    ReadoutKind::Mean => {
+                        // Multiply by the reciprocal exactly as the kernel
+                        // does, so the comparison can be bitwise.
+                        if seg.len(s) == 0 {
+                            0.0
+                        } else {
+                            acc * (1.0 / seg.len(s) as f32)
+                        }
+                    }
+                    ReadoutKind::Max => {
+                        if best_r == SEG_NO_ARGMAX {
+                            0.0
+                        } else {
+                            best
+                        }
+                    }
+                };
+                out.set(s, c, v);
+                argmax[s * d + c] = best_r;
+            }
+        }
+        if kind != ReadoutKind::Max {
+            argmax.clear();
+        }
+        (out, argmax)
+    }
+
+    #[test]
+    fn matches_reference_including_empty_and_single_row_segments() {
+        let seg = SegmentTable::from_lens(&[3, 0, 1, 5, 0, 2]);
+        let x = sample(seg.total_rows(), 7, 11);
+        for kind in [ReadoutKind::Mean, ReadoutKind::Sum, ReadoutKind::Max] {
+            let (want, want_am) = reference(&x, &seg, kind);
+            let mut out = Matrix::zeros(seg.num_segments(), 7);
+            let mut am = Vec::new();
+            segment_reduce_into(&x, &seg, kind, &mut out, &mut am);
+            // Mean sums in row order then divides once, exactly as the
+            // per-column reference accumulation — bitwise comparable.
+            assert_eq!(out.as_slice(), want.as_slice(), "{kind:?} values");
+            assert_eq!(am, want_am, "{kind:?} argmax");
+        }
+    }
+
+    #[test]
+    fn scalar_parity_is_bitwise() {
+        let seg = SegmentTable::from_lens(&[9, 1, 0, 17, 30]);
+        let x = sample(seg.total_rows(), 13, 23);
+        for kind in [ReadoutKind::Mean, ReadoutKind::Sum, ReadoutKind::Max] {
+            let mut out_v = Matrix::zeros(seg.num_segments(), 13);
+            let mut am_v = Vec::new();
+            segment_reduce_into(&x, &seg, kind, &mut out_v, &mut am_v);
+            let prev = force(Isa::Scalar);
+            let mut out_s = Matrix::zeros(seg.num_segments(), 13);
+            let mut am_s = Vec::new();
+            segment_reduce_into(&x, &seg, kind, &mut out_s, &mut am_s);
+            force(prev);
+            assert_eq!(out_v.as_slice(), out_s.as_slice(), "{kind:?} values");
+            assert_eq!(am_v, am_s, "{kind:?} argmax");
+        }
+    }
+
+    #[test]
+    fn single_segment_mean_equals_column_mean() {
+        let x = sample(20, 5, 3);
+        let seg = SegmentTable::single(20);
+        let mut out = Matrix::zeros(1, 5);
+        let mut am = Vec::new();
+        segment_reduce_into(&x, &seg, ReadoutKind::Mean, &mut out, &mut am);
+        let want = x.col_mean();
+        for c in 0..5 {
+            assert!((out.get(0, c) - want.get(0, c)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_difference_structure() {
+        // Gradient check by linearity: reduce is linear in x for sum/mean
+        // and locally linear for max, so scatter(dout)·x' == dout·reduce(x')
+        // for any perturbation direction x' respecting the argmax cells.
+        let seg = SegmentTable::from_lens(&[4, 0, 2, 7]);
+        let x = sample(seg.total_rows(), 6, 5);
+        let dout = sample(seg.num_segments(), 6, 9);
+        for kind in [ReadoutKind::Mean, ReadoutKind::Sum, ReadoutKind::Max] {
+            let mut out = Matrix::zeros(seg.num_segments(), 6);
+            let mut am = Vec::new();
+            segment_reduce_into(&x, &seg, kind, &mut out, &mut am);
+            let mut dx = Matrix::zeros(seg.total_rows(), 6);
+            segment_reduce_backward_into(&dout, &seg, kind, &am, &mut dx);
+            // <dx, x> must equal <dout, reduce(x)> for linear kinds; for
+            // max it equals <dout, out> because only argmax cells carry.
+            let lhs: f64 = dx
+                .as_slice()
+                .iter()
+                .zip(x.as_slice())
+                .map(|(a, b)| (*a as f64) * (*b as f64))
+                .sum();
+            let rhs: f64 = dout
+                .as_slice()
+                .iter()
+                .zip(out.as_slice())
+                .map(|(a, b)| (*a as f64) * (*b as f64))
+                .sum();
+            assert!((lhs - rhs).abs() < 1e-3, "{kind:?}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn empty_segment_backward_scatters_nothing() {
+        let seg = SegmentTable::from_lens(&[0, 3, 0]);
+        let x = sample(3, 4, 1);
+        let dout = sample(3, 4, 2);
+        for kind in [ReadoutKind::Mean, ReadoutKind::Sum, ReadoutKind::Max] {
+            let mut out = Matrix::zeros(3, 4);
+            let mut am = Vec::new();
+            segment_reduce_into(&x, &seg, kind, &mut out, &mut am);
+            assert_eq!(out.row(0), &[0.0; 4], "{kind:?} empty rows are zero");
+            assert_eq!(out.row(2), &[0.0; 4]);
+            let mut dx = Matrix::zeros(3, 4);
+            segment_reduce_backward_into(&dout, &seg, kind, &am, &mut dx);
+            assert!(dx.all_finite());
+        }
+    }
+
+    #[test]
+    fn offsets_round_trip_and_ranges() {
+        let seg = SegmentTable::from_offsets(vec![0, 2, 2, 7]);
+        assert_eq!(seg.num_segments(), 3);
+        assert_eq!(seg.total_rows(), 7);
+        assert_eq!(seg.range(1), 2..2);
+        assert_eq!(seg.len(2), 5);
+        assert_eq!(SegmentTable::from_lens(&[2, 0, 5]).offsets(), seg.offsets());
+        assert_eq!(SegmentTable::single(7).offsets(), &[0, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn decreasing_offsets_rejected() {
+        let _ = SegmentTable::from_offsets(vec![0, 3, 1]);
+    }
+}
