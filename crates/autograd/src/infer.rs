@@ -223,19 +223,12 @@ impl Tape {
             }
             Op::AddBias(x, bias) => {
                 let mut v = self.reuse_or_copy(x.0, idx, last_use, pinned, &[bias.0]);
-                for r in 0..v.rows() {
-                    let row = v.row_mut(r);
-                    for (t, &bv) in row.iter_mut().zip(self.val(bias.0).row(0)) {
-                        *t += bv;
-                    }
-                }
+                crate::subset::add_bias_in_place(&mut v, self.val(bias.0));
                 v
             }
             Op::Relu(x) => {
                 let mut v = self.reuse_or_copy(x.0, idx, last_use, pinned, &[]);
-                for t in v.as_mut_slice() {
-                    *t = t.max(0.0);
-                }
+                crate::subset::relu_in_place(&mut v);
                 v
             }
             Op::Mask { x, mask, .. } => {
@@ -325,11 +318,7 @@ impl Tape {
                             }
                         }
                     } else {
-                        for (t, &cand) in v.as_mut_slice().iter_mut().zip(pv.as_slice()) {
-                            if cand > *t {
-                                *t = cand;
-                            }
-                        }
+                        crate::subset::max_pool_in_place(&mut v, pv);
                     }
                 }
                 v
@@ -361,19 +350,22 @@ impl Tape {
             }
             Op::LinComb(parts) => {
                 let (rows, cols) = self.nodes[idx].value.shape();
-                let mut v = workspace::take(rows, cols);
-                for &(p, c) in parts.iter() {
-                    v.add_scaled(self.val(p.0), c);
-                }
+                let mut v = workspace::take_scratch(rows, cols);
+                let operands: Vec<(&Matrix, f32)> =
+                    parts.iter().map(|&(p, c)| (self.val(p.0), c)).collect();
+                crate::subset::lin_comb_into(&mut v, &operands);
                 v
             }
             Op::WeightedSum { xs, w } => {
                 let coef: Vec<f32> = (0..xs.len()).map(|k| self.val(w.0).get(0, k)).collect();
                 let (rows, cols) = self.nodes[idx].value.shape();
-                let mut v = workspace::take(rows, cols);
-                for (x, &c) in xs.iter().zip(&coef) {
-                    v.add_scaled(self.val(x.0), c);
-                }
+                let mut v = workspace::take_scratch(rows, cols);
+                let operands: Vec<(&Matrix, f32)> = xs
+                    .iter()
+                    .zip(&coef)
+                    .map(|(x, &c)| (self.val(x.0), c))
+                    .collect();
+                crate::subset::lin_comb_into(&mut v, &operands);
                 v
             }
             Op::EdgeScore { h, edges } => {

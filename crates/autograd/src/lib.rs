@@ -30,6 +30,7 @@ mod gradcheck;
 mod infer;
 mod loss;
 mod ops;
+pub mod subset;
 mod tape;
 mod train_exec;
 

@@ -25,7 +25,7 @@
 //! `SKIPNODE_BENCH_FAST=1` shrinks the budgets for smoke testing.
 
 use skipnode_autograd::{softmax_cross_entropy, Tape};
-use skipnode_bench::timing::Bencher;
+use skipnode_bench::BenchSession;
 use skipnode_core::{Sampling, SkipNodeConfig};
 use skipnode_graph::{
     partition_graph, reorder_graph, FeatureStyle, Graph, GraphReorder, PartitionConfig,
@@ -166,9 +166,9 @@ fn equivalence_gates(g: &Graph, full_adj: &Arc<CsrMatrix>, degrees: &[usize], ve
 }
 
 fn main() {
-    let _kstats = skipnode_tensor::kstats::exit_report();
-    let fast = std::env::var("SKIPNODE_BENCH_FAST").is_ok_and(|v| v == "1");
-    let mut bench = Bencher::from_env();
+    let mut session = BenchSession::start("6");
+    let fast = session.fast;
+    let bench = &mut session.bench;
     let vector_isa = detect_vector_isa();
     simd::force(Isa::Scalar);
     println!("host vector ISA: {}", vector_isa.name());
@@ -297,9 +297,7 @@ fn main() {
         reorder_summary.push(format!("{}={:.2}", mode.name(), base_ns / reord_ns));
     }
 
-    let mut meta: Vec<(&str, String)> = vec![
-        ("pr", "6".to_string()),
-        ("threads", pool::num_threads().to_string()),
+    session.meta.extend([
         (
             "graph",
             "planted_partition n=3000 m=15000 power=0.8".to_string(),
@@ -312,7 +310,6 @@ fn main() {
         ("tuner_timing_runs", autotune::timing_runs().to_string()),
         ("tuner_cache_hit_on_second_call", "true".to_string()),
         ("spmm_reorder_speedups", reorder_summary.join(" ")),
-    ];
-    meta.extend(skipnode_bench::perf_metadata());
-    bench.write_json("results/BENCH_PR6.json", &meta);
+    ]);
+    session.finish("results/BENCH_PR6.json");
 }

@@ -28,7 +28,7 @@
 //! `--smoke` or `SKIPNODE_BENCH_FAST=1` shrinks the graph to ~50k nodes;
 //! `SKIPNODE_SHARDS=4,8,16` overrides the shard counts.
 
-use skipnode_bench::timing::Bencher;
+use skipnode_bench::BenchSession;
 use skipnode_core::{Sampling, SkipNodeConfig};
 use skipnode_graph::{
     full_supervised_split, partition_graph, partition_nodes, streamed_partition_graph,
@@ -40,7 +40,7 @@ use skipnode_nn::{
     MiniBatchConfig, Strategy, TrainConfig,
 };
 use skipnode_sparse::peak_budget_bytes;
-use skipnode_tensor::{pool, workspace, SplitRng};
+use skipnode_tensor::{workspace, SplitRng};
 use std::time::Instant;
 
 const DIM: usize = 32;
@@ -138,10 +138,8 @@ fn cut_fraction(g: &LargeGraph, shards: usize) -> f64 {
 }
 
 fn main() {
-    let _kstats = skipnode_tensor::kstats::exit_report();
-    let smoke = std::env::args().any(|a| a == "--smoke")
-        || std::env::var("SKIPNODE_BENCH_FAST").is_ok_and(|v| v == "1");
-    let bench = Bencher::from_env();
+    let mut session = BenchSession::start("7");
+    let smoke = std::env::args().any(|a| a == "--smoke") || session.fast;
 
     let n: usize = if smoke { 50_000 } else { 1_000_000 };
     let m = 5 * n;
@@ -323,9 +321,7 @@ fn main() {
             .collect::<Vec<_>>()
             .join(" ")
     };
-    let mut meta: Vec<(&str, String)> = vec![
-        ("pr", "7".to_string()),
-        ("threads", pool::num_threads().to_string()),
+    session.meta.extend([
         (
             "graph",
             format!("streamed planted_partition n={n} m={m} power=0.3 chunk={chunk_edges}"),
@@ -358,7 +354,6 @@ fn main() {
         ("loss_last", fmt_list(&last_losses)),
         ("epoch_scaling_ratio", format!("{scaling_ratio:.3}")),
         ("identity_gate", "passed".to_string()),
-    ];
-    meta.extend(skipnode_bench::perf_metadata());
-    bench.write_json("results/BENCH_PR7.json", &meta);
+    ]);
+    session.finish("results/BENCH_PR7.json");
 }

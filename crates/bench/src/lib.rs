@@ -20,6 +20,7 @@ pub use harness::{
 };
 pub use sweep::{sweep_backbone, sweep_rate, RateSweepResult, SweepResult, SweepSpace};
 pub use table::TablePrinter;
+pub use timing::{fmt_ns, Bencher, LatencyHistogram, Sample};
 
 /// Kernel-backend provenance for bench JSON metadata: the detected SIMD
 /// ISA, the installed GEMM microkernel tile, the active storage precision

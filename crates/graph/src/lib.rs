@@ -22,6 +22,7 @@ mod partition;
 mod preprocess;
 mod splits;
 mod stream;
+mod update;
 
 pub use batch::{
     graph_classification_dataset, graph_level_split, GraphBatch, GraphClassConfig, GraphClassSet,
@@ -41,3 +42,4 @@ pub use stream::{
     assemble_large_graph, streamed_ba_graph, streamed_partition_graph, streamed_ring_graph,
     BaStream, PlantedPartitionStream, RingOfBlocksStream, StreamedGraphStats,
 };
+pub use update::{GraphUpdate, UpdateStream};

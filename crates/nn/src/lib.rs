@@ -41,7 +41,9 @@ pub mod plan;
 mod schedule;
 mod trainer;
 
-pub use checkpoint::{load_checkpoint, read_checkpoint, save_checkpoint, write_checkpoint};
+pub use checkpoint::{
+    load_checkpoint, read_checkpoint, save_checkpoint, write_checkpoint, ModelCheckpoint,
+};
 pub use context::{ForwardCtx, Strategy};
 pub use diagnostics::{DiagnosticsRecorder, EpochDiagnostics};
 pub use energy::dirichlet_energy;

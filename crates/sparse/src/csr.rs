@@ -28,7 +28,8 @@ use skipnode_tensor::{bf16, kstats, pool, workspace, Matrix};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Below this many multiply-adds (`nnz * feature_dim`), SpMM stays serial.
-const SPMM_PARALLEL_THRESHOLD: usize = 1 << 18;
+/// Public so serving tests can construct workloads that straddle it.
+pub const SPMM_PARALLEL_THRESHOLD: usize = 1 << 18;
 /// Below this many multiply-adds (`nnz`), SpMV stays serial.
 const SPMV_PARALLEL_THRESHOLD: usize = 1 << 16;
 
@@ -584,6 +585,32 @@ impl CsrMatrix {
         }
     }
 
+    /// `self * X̂` computed **only** for the output rows listed in `rows`
+    /// (sorted, duplicate-free), against a row-compacted operand: `col_map[c]`
+    /// is the row of `x_compact` holding logical row `c` of `X̂`, or
+    /// [`COL_SKIP`] for an absent (all-zero) row. This is the serving
+    /// frontier kernel — one micro-batch keeps every intermediate compacted
+    /// to its frontier, and this kernel bridges two compactions without ever
+    /// scattering back to full width. Output row `k` of `out` is logical row
+    /// `rows[k]`.
+    ///
+    /// Per-row accumulation order is CSR order via the same dispatched
+    /// [`simd::axpy`] as [`CsrMatrix::spmm_rows`], so computed rows match the
+    /// full product bit-for-bit whenever every referenced column is mapped.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or an out-of-range row index.
+    pub fn spmm_rows_subset_mapped(
+        &self,
+        x_compact: &Matrix,
+        col_map: &[u32],
+        rows: &[u32],
+        out: &mut Matrix,
+    ) {
+        assert_eq!(col_map.len(), self.cols, "spmm_rows_subset_mapped map len");
+        spmm_subset_mapped_impl(self, x_compact, col_map, rows, out);
+    }
+
     /// Sparse × dense-vector product into a caller buffer (used by the
     /// spectral power iteration to avoid per-step allocation). Pooled over
     /// disjoint output ranges for large matrices.
@@ -697,6 +724,109 @@ impl CsrMatrix {
         (0..self.rows)
             .map(|r| self.row(r).1.iter().map(|&v| v as f64).sum())
             .collect()
+    }
+}
+
+/// Anything that can hand out CSR-shaped rows `(sorted cols, values)`.
+/// Lets [`spmm_subset_mapped_impl`] serve both the immutable [`CsrMatrix`]
+/// and the serving layer's patchable [`crate::DynamicAdjacency`] with one
+/// accumulation loop — the loop being shared is what makes "patched
+/// adjacency" and "rebuilt adjacency" provably produce the same bytes for
+/// the same row contents.
+pub(crate) trait SubsetRowSource: Sync {
+    /// Number of rows.
+    fn source_rows(&self) -> usize;
+    /// One row's sorted column indices and values.
+    fn source_row(&self, r: usize) -> (&[u32], &[f32]);
+}
+
+impl SubsetRowSource for CsrMatrix {
+    fn source_rows(&self) -> usize {
+        self.rows
+    }
+    fn source_row(&self, r: usize) -> (&[u32], &[f32]) {
+        self.row(r)
+    }
+}
+
+/// Shared driver for the subset × col-mapped product (see
+/// [`CsrMatrix::spmm_rows_subset_mapped`] for semantics). Pooled with
+/// nnz-balanced chunking over the subset; bf16 storage mode stages the
+/// compact operand only — narrowing is elementwise, so a compact staging
+/// holds exactly the bytes the full staging would for the same rows.
+pub(crate) fn spmm_subset_mapped_impl<S: SubsetRowSource + ?Sized>(
+    src: &S,
+    x_compact: &Matrix,
+    col_map: &[u32],
+    rows: &[u32],
+    out: &mut Matrix,
+) {
+    assert_eq!(
+        out.shape(),
+        (rows.len(), x_compact.cols()),
+        "spmm_rows_subset_mapped out shape"
+    );
+    let d = x_compact.cols();
+    if d == 0 || rows.is_empty() {
+        return;
+    }
+    kstats::record(kstats::Kernel::SpmmSubsetMapped, rows.len());
+    let isa = simd::active();
+    // Prefix nonzero counts over the subset drive the pooled balance.
+    let mut cum = Vec::with_capacity(rows.len() + 1);
+    cum.push(0usize);
+    for &r in rows {
+        let r = r as usize;
+        assert!(r < src.source_rows(), "spmm_rows_subset_mapped row range");
+        cum.push(cum.last().unwrap() + src.source_row(r).0.len());
+    }
+    let sub_nnz = *cum.last().unwrap();
+    let xq = (precision::active() == Storage::Bf16).then(|| {
+        let mut q = bf16::take_scratch_u16(x_compact.rows() * x_compact.cols());
+        bf16::narrow_slice(isa, x_compact.as_slice(), &mut q);
+        kstats::record(kstats::Kernel::WidenBf16, sub_nnz * d);
+        q
+    });
+    let kernel = |out: &mut [f32], lo: usize, hi: usize| {
+        stats::record_spmm_rows(hi - lo);
+        for (local, &r) in rows[lo..hi].iter().enumerate() {
+            let (cols, vals) = src.source_row(r as usize);
+            let out_row = &mut out[local * d..(local + 1) * d];
+            out_row.fill(0.0);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let m = col_map[c as usize];
+                if m == COL_SKIP {
+                    continue;
+                }
+                match &xq {
+                    Some(q) => {
+                        let m = m as usize;
+                        bf16::axpy_bf16(isa, v, &q[m * d..(m + 1) * d], out_row);
+                    }
+                    None => simd::axpy(isa, v, x_compact.row(m as usize), out_row),
+                }
+            }
+        }
+    };
+    if sub_nnz * d < SPMM_PARALLEL_THRESHOLD || rows.len() <= 1 {
+        kernel(out.as_mut_slice(), 0, rows.len());
+    } else {
+        let chunks = pool::chunk_count(rows.len());
+        let mut bounds = Vec::with_capacity(chunks + 1);
+        bounds.push(0usize);
+        for i in 1..chunks {
+            let target = i * sub_nnz / chunks;
+            let b = cum.partition_point(|&p| p < target).min(rows.len());
+            bounds.push(b.max(*bounds.last().unwrap()));
+        }
+        bounds.push(rows.len());
+        let elem_bounds: Vec<usize> = bounds.iter().map(|&k| k * d).collect();
+        pool::par_ranges_mut(out.as_mut_slice(), &elem_bounds, |idx, block| {
+            kernel(block, bounds[idx], bounds[idx + 1]);
+        });
+    }
+    if let Some(q) = xq {
+        bf16::give_scratch_u16(q);
     }
 }
 
@@ -872,6 +1002,51 @@ mod tests {
         }
         m.set_spmm_schedule(None);
         workspace::give(reference);
+    }
+
+    /// The mapped subset kernel must agree with `spmm_rows_subset` under an
+    /// identity column map, and skip unmapped columns like
+    /// `spmm_cols_compact` does.
+    #[test]
+    fn subset_mapped_matches_subset_and_skips_unmapped() {
+        let n = 40usize;
+        let mut indptr = vec![0usize];
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..n {
+            for c in (r % 3..n).step_by(5) {
+                indices.push(c as u32);
+                values.push(((r * 2 + c) % 9) as f32 * 0.5 - 2.0);
+            }
+            indptr.push(indices.len());
+        }
+        let m = CsrMatrix::new(n, n, indptr, indices, values);
+        let mut x = Matrix::zeros(n, 6);
+        for r in 0..n {
+            for c in 0..6 {
+                x.set(r, c, ((r * 7 + c) % 13) as f32 * 0.25 - 1.5);
+            }
+        }
+        let rows: Vec<u32> = (0..n as u32).filter(|r| r % 4 == 1).collect();
+        let identity: Vec<u32> = (0..n as u32).collect();
+        let mut got = Matrix::zeros(rows.len(), 6);
+        m.spmm_rows_subset_mapped(&x, &identity, &rows, &mut got);
+        let mut want = Matrix::zeros(rows.len(), 6);
+        m.spmm_rows_subset(&x, &rows, &mut want);
+        assert_eq!(got, want);
+
+        // Skipping a column must equal multiplying against X with that
+        // logical row zeroed (exact: the skipped term is exactly zero).
+        let dropped = 7usize;
+        let mut map = identity.clone();
+        map[dropped] = COL_SKIP;
+        let mut skipped = Matrix::zeros(rows.len(), 6);
+        m.spmm_rows_subset_mapped(&x, &map, &rows, &mut skipped);
+        let mut x_zeroed = x.clone();
+        x_zeroed.row_mut(dropped).fill(0.0);
+        let mut reference = Matrix::zeros(rows.len(), 6);
+        m.spmm_rows_subset(&x_zeroed, &rows, &mut reference);
+        assert_eq!(skipped, reference);
     }
 
     /// Banded matrix large enough to cross both pooled-dispatch thresholds;

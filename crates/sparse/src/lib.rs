@@ -20,15 +20,17 @@
 mod build;
 mod csr;
 mod normalize;
+mod patch;
 mod spectral;
 pub mod stats;
 mod stream;
 
 pub use build::{dedup_undirected_edges, CooBuilder};
-pub use csr::{CsrMatrix, SpmmSchedule, COL_SKIP};
+pub use csr::{CsrMatrix, SpmmSchedule, COL_SKIP, SPMM_PARALLEL_THRESHOLD};
 pub use normalize::{
     gcn_adjacency, gcn_adjacency_filtered, gcn_adjacency_with_node_mask, row_normalized_adjacency,
 };
+pub use patch::DynamicAdjacency;
 pub use spectral::{connected_components, second_largest_eigen_magnitude, SmoothingSubspace};
 pub use stream::{
     gcn_adjacency_from_structure, peak_budget_bytes, stream_adjacency, CsrStructure,

@@ -1,0 +1,370 @@
+//! Incrementally patchable GCN-normalized adjacency for online serving.
+//!
+//! [`DynamicAdjacency`] holds the symmetrically normalized propagation
+//! matrix `Ã = (D+I)^{-1/2}(A+I)(D+I)^{-1/2}` as per-row sorted
+//! `(column, value)` arrays plus the raw degree vector. Inserting an edge
+//! or node **patches in place**: only the two endpoint rows and the rows of
+//! their neighbors are rewritten (their normalization factors changed), an
+//! O(deg(u) + deg(v) + Σ_{w∈N(u)∪N(v)} log deg(w)) update instead of the
+//! O(n + m) full rebuild [`crate::gcn_adjacency`] pays.
+//!
+//! **Bitwise oracle.** Every patched value is recomputed from the *current*
+//! degrees with the exact float expressions `gcn_adjacency` uses —
+//! `inv_sqrt(d) = 1.0 / ((d + 1) as f32).sqrt()` and entry
+//! `inv_sqrt(deg_u) * inv_sqrt(deg_v)` (f32 multiplication is commutative,
+//! so operand order is immaterial) — and rows stay sorted by column. A
+//! [`DynamicAdjacency::snapshot`] therefore equals the from-scratch rebuild
+//! **byte for byte**, which is the structural gate the serving tests pin.
+//!
+//! Rows touched since the last [`DynamicAdjacency::drain_touched`] are
+//! recorded so callers can invalidate exactly the affected rows of any
+//! cached intermediate (the serve engine's first-hop `Ã·X` row cache).
+
+use crate::csr::{spmm_subset_mapped_impl, CsrMatrix, SubsetRowSource};
+use skipnode_tensor::Matrix;
+
+/// One adjacency row stored CSR-style (parallel arrays, columns sorted).
+#[derive(Debug, Clone, Default)]
+struct AdjRow {
+    cols: Vec<u32>,
+    vals: Vec<f32>,
+}
+
+/// The normalization factor `gcn_adjacency` derives from a raw degree.
+/// Shared by construction and patching so both produce identical bits.
+#[inline]
+fn inv_sqrt(deg: u32) -> f32 {
+    1.0 / ((deg + 1) as f32).sqrt()
+}
+
+/// A GCN-normalized adjacency that absorbs edge/node insertions in place.
+/// See the module docs for the patching and bitwise-oracle contract.
+#[derive(Debug, Clone, Default)]
+pub struct DynamicAdjacency {
+    rows: Vec<AdjRow>,
+    /// Raw neighbor counts (self-loops excluded).
+    deg: Vec<u32>,
+    /// Undirected edge count (self-loops excluded).
+    edges: usize,
+    /// Rows modified since the last drain (unsorted, may repeat).
+    touched: Vec<u32>,
+}
+
+impl DynamicAdjacency {
+    /// Build from canonical undirected edges (self-loops ignored,
+    /// duplicates deduplicated) — same tolerances as
+    /// [`crate::gcn_adjacency`], and bitwise the same matrix.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut seen: Vec<(usize, usize)> = edges
+            .iter()
+            .copied()
+            .filter(|(u, v)| u != v)
+            .map(|(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        let mut deg = vec![0u32; n];
+        for &(u, v) in &seen {
+            assert!(u < n && v < n, "edge endpoint out of range");
+            deg[u] += 1;
+            deg[v] += 1;
+        }
+        let inv: Vec<f32> = deg.iter().map(|&d| inv_sqrt(d)).collect();
+        let mut rows: Vec<AdjRow> = (0..n)
+            .map(|i| AdjRow {
+                cols: Vec::with_capacity(deg[i] as usize + 1),
+                vals: Vec::with_capacity(deg[i] as usize + 1),
+            })
+            .collect();
+        // Neighbor entries arrive sorted per row because `seen` is sorted
+        // and each row receives (a) partners v > u in order from its `u`
+        // role, interleaved with (b) partners u < v in order from its `v`
+        // role — merge by pushing and sorting once at the end instead.
+        for &(u, v) in &seen {
+            let w = inv[u] * inv[v];
+            rows[u].cols.push(v as u32);
+            rows[u].vals.push(w);
+            rows[v].cols.push(u as u32);
+            rows[v].vals.push(w);
+        }
+        for (i, row) in rows.iter_mut().enumerate() {
+            row.cols.push(i as u32);
+            row.vals.push(inv[i] * inv[i]);
+            sort_row(row);
+        }
+        Self {
+            rows,
+            deg,
+            edges: seen.len(),
+            touched: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of undirected edges (self-loops excluded).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges
+    }
+
+    /// Number of stored entries (`2·edges + n` self-loops).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        2 * self.edges + self.rows.len()
+    }
+
+    /// Raw degree (neighbor count) of one node.
+    #[inline]
+    pub fn degree(&self, u: usize) -> u32 {
+        self.deg[u]
+    }
+
+    /// One row's sorted column indices and normalized values.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[u32], &[f32]) {
+        let row = &self.rows[r];
+        (&row.cols, &row.vals)
+    }
+
+    /// Whether the undirected edge `(u, v)` is present.
+    pub fn contains_edge(&self, u: usize, v: usize) -> bool {
+        u != v && self.rows[u].cols.binary_search(&(v as u32)).is_ok()
+    }
+
+    /// Append an isolated node (unit self-loop, as `gcn_adjacency` gives an
+    /// isolated node) and return its id.
+    pub fn add_node(&mut self) -> usize {
+        let id = self.rows.len();
+        self.rows.push(AdjRow {
+            cols: vec![id as u32],
+            vals: vec![1.0],
+        });
+        self.deg.push(0);
+        self.touched.push(id as u32);
+        id
+    }
+
+    /// Insert the undirected edge `(u, v)`, degree-rescaling both endpoint
+    /// rows and the mirrored entries in their neighbors' rows. Returns
+    /// `false` (and changes nothing) for self-loops and duplicates.
+    ///
+    /// # Panics
+    /// Panics when an endpoint is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        let n = self.rows.len();
+        assert!(u < n && v < n, "edge endpoint out of range");
+        if u == v || self.contains_edge(u, v) {
+            return false;
+        }
+        self.deg[u] += 1;
+        self.deg[v] += 1;
+        self.edges += 1;
+        // Both endpoints' normalization factors changed, so every entry in
+        // their rows — and the mirror entry in each neighbor's row — must be
+        // recomputed from current degrees before the new entry goes in.
+        self.rescale_endpoint(u);
+        self.rescale_endpoint(v);
+        let w = inv_sqrt(self.deg[u]) * inv_sqrt(self.deg[v]);
+        insert_entry(&mut self.rows[u], v as u32, w);
+        insert_entry(&mut self.rows[v], u as u32, w);
+        true
+    }
+
+    /// Rewrite row `u` (all values derive from `deg[u]`, which just
+    /// changed) and the `(w → u)` mirror entry of every neighbor `w`.
+    fn rescale_endpoint(&mut self, u: usize) {
+        let inv_u = inv_sqrt(self.deg[u]);
+        self.touched.push(u as u32);
+        let deg = &self.deg;
+        let row = &mut self.rows[u];
+        for (&c, val) in row.cols.iter().zip(row.vals.iter_mut()) {
+            let w = c as usize;
+            *val = if w == u {
+                inv_u * inv_u
+            } else {
+                inv_u * inv_sqrt(deg[w])
+            };
+        }
+        // Mirror entries: neighbor rows store (w, u) with the same value.
+        let neighbors: Vec<u32> = row
+            .cols
+            .iter()
+            .copied()
+            .filter(|&c| c as usize != u)
+            .collect();
+        self.touched.extend_from_slice(&neighbors);
+        for c in neighbors {
+            let w = c as usize;
+            let val = inv_u * inv_sqrt(self.deg[w]);
+            let row = &mut self.rows[w];
+            let slot = row
+                .cols
+                .binary_search(&(u as u32))
+                .expect("mirror entry present");
+            row.vals[slot] = val;
+        }
+    }
+
+    /// Rows modified since the last drain, sorted and deduplicated. The
+    /// serve engine invalidates exactly these rows of its cached `Ã·X`.
+    pub fn drain_touched(&mut self) -> Vec<u32> {
+        let mut t = std::mem::take(&mut self.touched);
+        t.sort_unstable();
+        t.dedup();
+        t
+    }
+
+    /// Materialize the current matrix as an immutable [`CsrMatrix`] —
+    /// byte-identical to `gcn_adjacency(n, current_edges)`.
+    pub fn snapshot(&self) -> CsrMatrix {
+        let n = self.rows.len();
+        let mut indptr = Vec::with_capacity(n + 1);
+        indptr.push(0usize);
+        let nnz = self.nnz();
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        for row in &self.rows {
+            indices.extend_from_slice(&row.cols);
+            values.extend_from_slice(&row.vals);
+            indptr.push(indices.len());
+        }
+        CsrMatrix::new(n, n, indptr, indices, values)
+    }
+
+    /// The serving frontier kernel over the live (patched) rows — identical
+    /// accumulation to [`CsrMatrix::spmm_rows_subset_mapped`] (one shared
+    /// loop), so answers never depend on whether the adjacency was patched
+    /// or rebuilt.
+    pub fn spmm_rows_subset_mapped(
+        &self,
+        x_compact: &Matrix,
+        col_map: &[u32],
+        rows: &[u32],
+        out: &mut Matrix,
+    ) {
+        assert_eq!(col_map.len(), self.n(), "spmm_rows_subset_mapped map len");
+        spmm_subset_mapped_impl(self, x_compact, col_map, rows, out);
+    }
+}
+
+impl SubsetRowSource for DynamicAdjacency {
+    fn source_rows(&self) -> usize {
+        self.n()
+    }
+    fn source_row(&self, r: usize) -> (&[u32], &[f32]) {
+        self.row(r)
+    }
+}
+
+/// Sort one row's parallel arrays by column.
+fn sort_row(row: &mut AdjRow) {
+    let mut order: Vec<usize> = (0..row.cols.len()).collect();
+    order.sort_unstable_by_key(|&i| row.cols[i]);
+    row.cols = order.iter().map(|&i| row.cols[i]).collect();
+    row.vals = order.iter().map(|&i| row.vals[i]).collect();
+}
+
+/// Insert `(col, val)` into a sorted row.
+fn insert_entry(row: &mut AdjRow, col: u32, val: f32) {
+    let slot = match row.cols.binary_search(&col) {
+        Err(s) => s,
+        Ok(_) => unreachable!("duplicate entry was screened by add_edge"),
+    };
+    row.cols.insert(slot, col);
+    row.vals.insert(slot, val);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::gcn_adjacency;
+
+    fn assert_bitwise(dyn_adj: &DynamicAdjacency, edges: &[(usize, usize)]) {
+        let want = gcn_adjacency(dyn_adj.n(), edges);
+        let got = dyn_adj.snapshot();
+        assert_eq!(got, want, "patched snapshot != rebuild");
+    }
+
+    #[test]
+    fn construction_matches_rebuild_bitwise() {
+        let edges = vec![(0, 1), (1, 2), (2, 3), (0, 3), (1, 3)];
+        let adj = DynamicAdjacency::from_edges(5, &edges);
+        assert_bitwise(&adj, &edges);
+        assert_eq!(adj.num_edges(), 5);
+        assert_eq!(adj.degree(3), 3);
+    }
+
+    #[test]
+    fn edge_inserts_match_rebuild_bitwise() {
+        let mut edges = vec![(0, 1)];
+        let mut adj = DynamicAdjacency::from_edges(6, &edges);
+        for &(u, v) in &[(1, 2), (2, 3), (0, 4), (3, 4), (1, 5), (0, 5)] {
+            assert!(adj.add_edge(u, v));
+            edges.push((u, v));
+            assert_bitwise(&adj, &edges);
+        }
+    }
+
+    #[test]
+    fn node_then_edge_matches_rebuild() {
+        let mut adj = DynamicAdjacency::from_edges(3, &[(0, 1), (1, 2)]);
+        let id = adj.add_node();
+        assert_eq!(id, 3);
+        assert!(adj.add_edge(id, 0));
+        assert_bitwise(&adj, &[(0, 1), (1, 2), (3, 0)]);
+    }
+
+    #[test]
+    fn duplicates_and_self_loops_are_rejected_without_change() {
+        let mut adj = DynamicAdjacency::from_edges(3, &[(0, 1)]);
+        adj.drain_touched();
+        assert!(!adj.add_edge(0, 1));
+        assert!(!adj.add_edge(1, 0));
+        assert!(!adj.add_edge(2, 2));
+        assert!(adj.drain_touched().is_empty());
+        assert_bitwise(&adj, &[(0, 1)]);
+    }
+
+    #[test]
+    fn touched_rows_cover_endpoints_and_neighbors() {
+        // Star around node 0, then close an edge between two leaves.
+        let mut adj = DynamicAdjacency::from_edges(5, &[(0, 1), (0, 2), (0, 3)]);
+        adj.drain_touched();
+        assert!(adj.add_edge(1, 2));
+        let touched = adj.drain_touched();
+        // Endpoints 1 and 2 changed; their shared neighbor 0 holds mirror
+        // entries (0,1) and (0,2) that were rescaled. Node 3's row only
+        // references 0 and itself — untouched. Node 4 isolated — untouched.
+        assert_eq!(touched, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn subset_mapped_kernel_matches_csr_twin() {
+        let edges = vec![(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 4)];
+        let mut adj = DynamicAdjacency::from_edges(5, &edges);
+        assert!(adj.add_edge(0, 2));
+        let snap = adj.snapshot();
+        let d = 3usize;
+        // Compact operand holding logical rows {0, 1, 2, 4}.
+        let present = [0u32, 1, 2, 4];
+        let mut col_map = vec![crate::COL_SKIP; 5];
+        let mut x_compact = Matrix::zeros(present.len(), d);
+        for (k, &r) in present.iter().enumerate() {
+            col_map[r as usize] = k as u32;
+            for c in 0..d {
+                x_compact.set(k, c, (r as usize * 3 + c) as f32 * 0.25 - 1.0);
+            }
+        }
+        let rows = [1u32, 3];
+        let mut got = Matrix::zeros(rows.len(), d);
+        adj.spmm_rows_subset_mapped(&x_compact, &col_map, &rows, &mut got);
+        let mut want = Matrix::zeros(rows.len(), d);
+        snap.spmm_rows_subset_mapped(&x_compact, &col_map, &rows, &mut want);
+        assert_eq!(got, want);
+    }
+}

@@ -32,6 +32,9 @@ pub enum Kernel {
     SpmmSubset,
     /// Column-compacted SpMM of the fused backward (work = output rows).
     SpmmCompact,
+    /// Row-subset SpMM against a col-mapped compact operand — the serving
+    /// frontier kernel (work = computed rows).
+    SpmmSubsetMapped,
     /// Sparse mat-vec (work = output rows).
     Spmv,
     /// Elementwise update kernels: `add_scaled`, `relu` (work = elements).
@@ -54,7 +57,7 @@ pub enum Kernel {
 }
 
 /// Number of tracked kernel families.
-pub const KERNEL_COUNT: usize = 15;
+pub const KERNEL_COUNT: usize = 16;
 
 const NAMES: [&str; KERNEL_COUNT] = [
     "gemm",
@@ -63,6 +66,7 @@ const NAMES: [&str; KERNEL_COUNT] = [
     "spmm",
     "spmm_subset",
     "spmm_compact",
+    "spmm_mapped",
     "spmv",
     "elemwise",
     "reduce",
@@ -212,6 +216,7 @@ pub fn report_string() -> Option<String> {
             Kernel::Spmm as usize,
             Kernel::SpmmSubset as usize,
             Kernel::SpmmCompact as usize,
+            Kernel::SpmmSubsetMapped as usize,
             Kernel::Spmv as usize,
         ];
         for (shard, work) in shards {

@@ -23,7 +23,7 @@ $B ablation_centrality -- --epochs 80 --depth 10 > results/ablation_centrality.t
 # Performance-record benches (one per perf PR; each writes results/BENCH_PRn.json).
 # SKIPNODE_KERNEL_STATS=1 makes the conversion-kernel counters in the JSON
 # metadata non-zero; drop it for minimum-overhead timing runs.
-for n in 1 2 3 4 5 6 7 8; do
+for n in 1 2 3 4 5 6 7 8 9 10; do
   SKIPNODE_KERNEL_STATS=1 $B "bench_pr$n" > "results/bench_pr$n.txt" 2>&1
 done
 echo ALL_DONE

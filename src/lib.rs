@@ -21,6 +21,7 @@
 //! | [`sparse`] | CSR matrices, GCN normalization, spectral tools |
 //! | [`autograd`] | the tape engine |
 //! | [`tensor`] | dense matrices and RNG |
+//! | [`serve`] | online inference: micro-batched serving + live graph updates |
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,7 @@ pub use skipnode_autograd as autograd;
 pub use skipnode_core as core;
 pub use skipnode_graph as graph;
 pub use skipnode_nn as nn;
+pub use skipnode_serve as serve;
 pub use skipnode_sparse as sparse;
 pub use skipnode_tensor as tensor;
 

@@ -15,11 +15,15 @@ use skipnode::core::theory::{
     depth_log_ratio_series, random_nonneg_features, theorem2_coefficient, theorem3_min_rho,
     TheoryGraph,
 };
-use skipnode::graph::ALL_DATASETS;
+use skipnode::graph::{UpdateStream, ALL_DATASETS};
 use skipnode::nn::models::build_by_name;
-use skipnode::nn::{save_checkpoint, train_node_classifier_minibatch, MiniBatchConfig};
+use skipnode::nn::{
+    train_node_classifier_minibatch, BackboneSpec, MiniBatchConfig, ModelCheckpoint,
+};
 use skipnode::prelude::*;
+use skipnode::serve::{InferenceServer, ServeEngine, ServeMode, ServerConfig};
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +36,7 @@ fn main() -> ExitCode {
         "datasets" => cmd_datasets(rest),
         "train" => cmd_train(rest),
         "linkpred" => cmd_linkpred(rest),
+        "serve" => cmd_serve(rest),
         "theory" => cmd_theory(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -60,6 +65,10 @@ USAGE:
                     [--save PATH] [--seed N] [--scale S]
   skipnode linkpred --dataset NAME [--depth N] [--strategy ...] [--rho F]
                     [--epochs N] [--seed N] [--scale S]
+  skipnode serve    --dataset NAME [--load PATH | --backbone NAME --depth N
+                    --hidden N --epochs N] [--quantized] [--queries N]
+                    [--window-us U] [--max-batch B] [--update-every K]
+                    [--seed N] [--scale S]
   skipnode theory   [--nodes N] [--edge-prob F] [--layers N] [--s F] [--seed N]
 
 Backbones: gcn resgcn jknet inceptgcn gcnii appnp gprgnn grand sgc
@@ -210,8 +219,18 @@ fn cmd_train(rest: &[String]) -> Result<(), String> {
             .unwrap_or_default()
     );
     if let Some(path) = flags.get("--save") {
-        save_checkpoint(model.store(), path).map_err(|e| format!("saving {path}: {e}"))?;
-        println!("saved parameters to {path}");
+        let spec = BackboneSpec::new(
+            backbone,
+            graph.feature_dim(),
+            hidden,
+            graph.num_classes(),
+            depth,
+            dropout,
+        );
+        ModelCheckpoint::capture(&spec, model.as_ref())
+            .save(path)
+            .map_err(|e| format!("saving {path}: {e}"))?;
+        println!("saved model checkpoint to {path} (servable with `skipnode serve --load`)");
     }
     Ok(())
 }
@@ -245,6 +264,142 @@ fn cmd_linkpred(rest: &[String]) -> Result<(), String> {
         result.hits_at_10 * 100.0,
         result.hits_at_50 * 100.0,
         result.hits_at_100 * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_serve(rest: &[String]) -> Result<(), String> {
+    let flags = Flags(rest);
+    let seed: u64 = flags.parse("--seed", 7)?;
+    let scale = flags.scale()?;
+    let queries: usize = flags.parse("--queries", 256)?;
+    let window_us: u64 = flags.parse("--window-us", 500)?;
+    let max_batch: usize = flags.parse("--max-batch", 64)?;
+    let update_every: usize = flags.parse("--update-every", 0)?;
+    let quantized = flags.0.iter().any(|a| a == "--quantized");
+
+    let dataset = flags.dataset()?;
+    let graph = load(dataset, scale, seed);
+    let mut rng = SplitRng::new(seed);
+
+    let ckpt = match flags.get("--load") {
+        Some(path) => ModelCheckpoint::load(path).map_err(|e| format!("loading {path}: {e}"))?,
+        None => {
+            // No checkpoint given: quick-train one so the demo serves
+            // meaningful logits.
+            let backbone = flags.get("--backbone").unwrap_or("gcn");
+            let depth: usize = flags.parse("--depth", 4)?;
+            let hidden: usize = flags.parse("--hidden", 64)?;
+            let epochs: usize = flags.parse("--epochs", 50)?;
+            let dropout: f64 = flags.parse("--dropout", 0.5)?;
+            let strategy = flags.strategy()?;
+            let spec = BackboneSpec::new(
+                backbone,
+                graph.feature_dim(),
+                hidden,
+                graph.num_classes(),
+                depth,
+                dropout,
+            );
+            let mut model = spec.build(&mut rng).map_err(|e| e.to_string())?;
+            let split = semi_supervised_split(&graph, &mut rng);
+            let cfg = TrainConfig {
+                epochs,
+                ..Default::default()
+            };
+            let result =
+                train_node_classifier(model.as_mut(), &graph, &split, &strategy, &cfg, &mut rng);
+            println!(
+                "trained {backbone} for serving (test accuracy {:.1}%)",
+                result.test_accuracy * 100.0
+            );
+            ModelCheckpoint::capture(&spec, model.as_ref())
+        }
+    };
+
+    let mode = if quantized {
+        ServeMode::Quantized
+    } else {
+        ServeMode::F32
+    };
+    let engine = ServeEngine::from_checkpoint(&ckpt, &graph, mode)
+        .map_err(|e| format!("building serve engine: {e}"))?;
+    let n = graph.num_nodes();
+    println!(
+        "serving {} ({} nodes) with {} [{}], window {window_us}us, max batch {max_batch}",
+        dataset.as_str(),
+        n,
+        ckpt.spec.name,
+        if quantized { "int8" } else { "f32" }
+    );
+    let server = InferenceServer::start(
+        engine,
+        ServerConfig {
+            window: Duration::from_micros(window_us),
+            max_batch,
+        },
+    );
+
+    let mut stream = UpdateStream::new(&vec![2usize; n], 0.1, graph.feature_dim(), seed ^ 0xcafe);
+    let labels = graph.labels();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(queries);
+    let mut correct = 0usize;
+    // Submit in waves so the window actually coalesces concurrent work.
+    let wave = max_batch.clamp(1, 32);
+    let mut done = 0usize;
+    let mut updates_sent = 0usize;
+    while done < queries {
+        let count = wave.min(queries - done);
+        // One graph edit per `update_every` queries submitted so far.
+        while updates_sent < done.checked_div(update_every).unwrap_or(0) {
+            server.update(stream.next_update());
+            updates_sent += 1;
+        }
+        let pending: Vec<(usize, Instant, _)> = (0..count)
+            .map(|_| {
+                let q = rng.below(n);
+                (q, Instant::now(), server.submit(q))
+            })
+            .collect();
+        for (q, t0, rx) in pending {
+            let row = rx.recv().expect("server shut down early");
+            latencies.push(t0.elapsed());
+            let pred = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(c, _)| c)
+                .unwrap_or(0);
+            if pred == labels[q] {
+                correct += 1;
+            }
+        }
+        done += count;
+    }
+
+    let (engine, stats, engine_stats) = server.shutdown();
+    latencies.sort();
+    let pct = |p: usize| latencies[(latencies.len() * p / 100).min(latencies.len() - 1)];
+    println!(
+        "{} queries answered in {} batches (mean batch {:.1}), accuracy {:.1}%",
+        stats.requests,
+        stats.batches,
+        stats.mean_batch(),
+        100.0 * correct as f64 / queries as f64
+    );
+    println!(
+        "latency p50 {:?}  p95 {:?}  p99 {:?}",
+        pct(50),
+        pct(95),
+        pct(99)
+    );
+    println!(
+        "first-hop cache: {} rows cached, {} hits / {} misses; {} updates ({} rows invalidated)",
+        engine.first_hop_cached(),
+        engine_stats.first_hop_hits,
+        engine_stats.first_hop_misses,
+        engine_stats.updates,
+        engine_stats.invalidated_rows
     );
     Ok(())
 }
